@@ -1,0 +1,88 @@
+"""Minimal in-tree PEP 517 build backend.
+
+The reproduction environment is fully offline and lacks the ``wheel``
+package, so neither PEP 517 builds via setuptools nor pip's legacy
+editable path can run.  This backend implements just enough of PEP 517 /
+PEP 660 for ``pip install -e .`` (and plain ``pip install .``) to work with
+the standard library alone: a wheel is only a zip archive with a
+``*.dist-info`` directory, and an editable wheel is one containing a
+``.pth`` file pointing at ``src/``.
+"""
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+_METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of 'Smoke: Fine-grained Lineage at Interactive Speed' (VLDB 2018)
+Requires-Python: >=3.9
+Requires-Dist: numpy>=1.21
+"""
+
+_WHEEL = """Wheel-Version: 1.0
+Generator: repro-inline-backend
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _record_line(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest())
+    return f"{name},sha256={digest.decode().rstrip('=')},{len(data)}"
+
+
+def _write_wheel(path: str, extra_files) -> None:
+    dist_info = f"{NAME}-{VERSION}.dist-info"
+    files = list(extra_files)
+    files.append((f"{dist_info}/METADATA", _METADATA.encode()))
+    files.append((f"{dist_info}/WHEEL", _WHEEL.encode()))
+    record_name = f"{dist_info}/RECORD"
+    record = "\n".join(_record_line(n, d) for n, d in files)
+    record += f"\n{record_name},,\n"
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files:
+            zf.writestr(name, data)
+        zf.writestr(record_name, record)
+
+
+def _package_files():
+    for root, _dirs, names in os.walk(os.path.join(SRC, NAME)):
+        for fname in sorted(names):
+            if fname.endswith((".pyc", ".pyo")):
+                continue
+            full = os.path.join(root, fname)
+            arc = os.path.relpath(full, SRC)
+            with open(full, "rb") as fh:
+                yield arc.replace(os.sep, "/"), fh.read()
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    fname = f"{NAME}-{VERSION}-py3-none-any.whl"
+    _write_wheel(os.path.join(wheel_directory, fname), _package_files())
+    return fname
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    fname = f"{NAME}-{VERSION}-py3-none-any.whl"
+    pth = (f"__editable__.{NAME}.pth", (SRC + "\n").encode())
+    _write_wheel(os.path.join(wheel_directory, fname), [pth])
+    return fname
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    raise NotImplementedError("sdist builds are not supported offline")
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []

@@ -1,0 +1,37 @@
+"""Figure 5: group-by aggregation lineage capture latency.
+
+Paper shape: Smoke-I/Smoke-D track the Baseline; Logic-Rid/Logic-Tup pay
+for the denormalized lineage graph; Phys-Mem pays a call per edge and
+Phys-Bdb an external-subsystem call per edge (worst by far).
+"""
+
+import pytest
+
+from conftest import ROUNDS, SLOW_ROUNDS
+
+from repro.bench.experiments.fig05_groupby import microbenchmark_query
+from repro.bench.techniques import CAPTURE_TECHNIQUES
+
+FAST = ["baseline", "smoke-i", "smoke-d", "logic-rid", "logic-tup", "logic-idx"]
+SLOW = ["phys-mem", "phys-bdb"]
+
+
+@pytest.mark.parametrize("technique", FAST)
+def test_fig05_capture(benchmark, zipf_db, technique):
+    plan = microbenchmark_query()
+    runner = CAPTURE_TECHNIQUES[technique]
+    benchmark.pedantic(lambda: runner(zipf_db, plan), **ROUNDS)
+
+
+@pytest.mark.parametrize("technique", FAST)
+def test_fig05_capture_many_groups(benchmark, zipf_db_many_groups, technique):
+    plan = microbenchmark_query()
+    runner = CAPTURE_TECHNIQUES[technique]
+    benchmark.pedantic(lambda: runner(zipf_db_many_groups, plan), **ROUNDS)
+
+
+@pytest.mark.parametrize("technique", SLOW)
+def test_fig05_capture_physical(benchmark, zipf_db, technique):
+    plan = microbenchmark_query()
+    runner = CAPTURE_TECHNIQUES[technique]
+    benchmark.pedantic(lambda: runner(zipf_db, plan), **SLOW_ROUNDS)

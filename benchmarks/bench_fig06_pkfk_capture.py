@@ -1,0 +1,29 @@
+"""Figure 6: pk-fk join capture latency.
+
+Paper shape: Logic-Idx (1.4x overhead) > Smoke-I (0.41x) > Smoke-I-TC
+(0.23x); the TC gap appears in the tuple-append-emulation pair here.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig06_pkfk import (
+    TECHNIQUES,
+    join_query,
+    run_technique,
+)
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_fig06_capture(benchmark, zipf_db, technique):
+    benchmark.pedantic(
+        lambda: run_technique(zipf_db, technique, 1_000), **ROUNDS
+    )
+
+
+@pytest.mark.parametrize("technique", ["baseline", "logic-idx", "smoke-i"])
+def test_fig06_capture_many_groups(benchmark, zipf_db_many_groups, technique):
+    benchmark.pedantic(
+        lambda: run_technique(zipf_db_many_groups, technique, 10_000), **ROUNDS
+    )

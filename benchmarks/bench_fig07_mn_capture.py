@@ -1,0 +1,23 @@
+"""Figure 7: m:n join capture latency (rid-array resizing).
+
+Paper shape: Smoke-D <= Smoke-D-DeferForw <= Smoke-I; deferring avoids
+up to 2.65x of resizing overhead under skew.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig07_mn import TECHNIQUES, capture, make_tables
+from repro.bench.harness import scaled
+
+
+@pytest.fixture(scope="module", params=[10, 100], ids=["10-left-groups", "100-left-groups"])
+def mn_tables(request):
+    return make_tables(request.param, scaled(50_000))
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_fig07_capture(benchmark, mn_tables, technique):
+    left, right = mn_tables
+    benchmark.pedantic(lambda: capture(left, right, technique), **ROUNDS)

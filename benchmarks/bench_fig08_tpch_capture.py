@@ -1,0 +1,23 @@
+"""Figure 8: TPC-H multi-operator capture overhead.
+
+Paper shape: Smoke-I <= 22% overhead on Q1/Q3/Q10/Q12; Logic-Idx up to
+511% (Q1, whose high selectivity maximizes denormalization).
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.techniques import CAPTURE_TECHNIQUES
+from repro.tpch import ALL_QUERIES
+
+QUERIES = sorted(ALL_QUERIES)
+TECHNIQUES = ["baseline", "smoke-i", "smoke-d", "logic-idx"]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_fig08_capture(benchmark, tpch_bench_db, query, technique):
+    plan = ALL_QUERIES[query]()
+    runner = CAPTURE_TECHNIQUES[technique]
+    benchmark.pedantic(lambda: runner(tpch_bench_db, plan), **ROUNDS)

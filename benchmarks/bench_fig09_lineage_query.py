@@ -1,0 +1,31 @@
+"""Figure 9: backward lineage query latency vs skew.
+
+Paper shape: Smoke-L (index probe) beats Lazy/Logic-Rid/Logic-Tup scans by
+orders of magnitude at low selectivity; skewed groups approach scan cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments.fig09_query import TECHNIQUE_FNS, make_context
+from repro.bench.harness import scaled
+
+THETAS = [0.0, 1.6]
+
+
+@pytest.fixture(scope="module", params=THETAS, ids=lambda t: f"theta={t}")
+def ctx(request):
+    return make_context(request.param, n=scaled(100_000))
+
+
+@pytest.mark.parametrize("technique", sorted(TECHNIQUE_FNS))
+def test_fig09_backward_query(benchmark, ctx, technique):
+    fn = TECHNIQUE_FNS[technique]
+    rng = np.random.default_rng(0)
+    outs = rng.integers(0, ctx["num_groups"], 20)
+
+    def run():
+        for o in outs[:5]:
+            fn(ctx, int(o))
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,33 @@
+"""Figure 10: data skipping for lineage consuming queries.
+
+Paper shape: skipping stays <=150ms across selectivities; no-skipping is
+bottlenecked by secondary scans of large buckets; lazy pays a full scan.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig10_skipping import (
+    STRATEGIES,
+    make_context,
+    parameter_combinations,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context()
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_fig10_consuming_query(benchmark, ctx, strategy):
+    fn = STRATEGIES[strategy]
+    combos = parameter_combinations(2)
+
+    def run():
+        for bar in range(len(ctx["opt"].table)):
+            for p1, p2 in combos:
+                fn(ctx, bar, p1, p2)
+
+    benchmark.pedantic(run, **ROUNDS)

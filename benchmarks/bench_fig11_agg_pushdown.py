@@ -1,0 +1,30 @@
+"""Figure 11: aggregation push-down consuming-query latency.
+
+Paper shape: push-down ~0ms (materialized cube rows) << index scan +
+re-aggregation << lazy full scans (seconds at paper scale).
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig11_aggpush import STRATEGIES, make_context
+from repro.bench.experiments.fig10_skipping import parameter_combinations
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context()
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_fig11_consuming_query(benchmark, ctx, strategy):
+    fn = STRATEGIES[strategy]
+    combos = parameter_combinations(2)
+
+    def run():
+        for bar in range(len(ctx["opt"].table)):
+            for p1, p2 in combos:
+                fn(ctx, bar, p1, p2)
+
+    benchmark.pedantic(run, **ROUNDS)

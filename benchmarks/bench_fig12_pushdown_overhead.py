@@ -1,0 +1,23 @@
+"""Figure 12: capture overhead without vs with aggregation push-down.
+
+Paper shape: ~2.9% average instrumentation overhead without push-down
+rising to ~9.15% with the pushed cube - cheap, but not free.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig12_overhead import make_context, run_bar
+
+MODES = ["baseline", "no-pushdown", "pushdown"]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return make_context()
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_fig12_capture_overhead(benchmark, ctx, mode):
+    benchmark.pedantic(lambda: run_bar(ctx, 0, mode), rounds=2, iterations=1)

@@ -1,0 +1,20 @@
+"""Figure 13: crossfilter cumulative latency (build + all interactions).
+
+Paper shape: BT+FT completes the whole benchmark before the data cube
+finishes building; Lazy is slowest per interaction.
+"""
+
+import pytest
+
+from repro.apps.crossfilter import CrossfilterSession
+from repro.bench.experiments.fig13_crossfilter import run_session
+from repro.datagen import VIEW_DIMENSIONS
+
+
+@pytest.mark.parametrize("technique", CrossfilterSession.TECHNIQUES)
+def test_fig13_cumulative(benchmark, ontime_table, technique):
+    benchmark.pedantic(
+        lambda: run_session(ontime_table, technique, max_per_view=30),
+        rounds=2,
+        iterations=1,
+    )

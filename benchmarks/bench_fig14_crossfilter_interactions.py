@@ -1,0 +1,33 @@
+"""Figure 14: per-interaction crossfilter latency per view.
+
+Paper shape: BT+FT under the 150ms threshold for all but a handful of
+very-high-lineage bars; spatiotemporal views respond <10ms.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.apps.crossfilter import CrossfilterSession
+from repro.datagen import VIEW_DIMENSIONS
+
+
+@pytest.fixture(scope="module")
+def sessions(ontime_table):
+    return {
+        t: CrossfilterSession(ontime_table, VIEW_DIMENSIONS, t)
+        for t in ("lazy", "bt", "bt+ft", "cube")
+    }
+
+
+@pytest.mark.parametrize("technique", ["lazy", "bt", "bt+ft", "cube"])
+@pytest.mark.parametrize("dimension", list(VIEW_DIMENSIONS))
+def test_fig14_single_interaction(benchmark, sessions, technique, dimension):
+    session = sessions[technique]
+    bars = session.views[dimension].num_bars
+
+    def run():
+        session.brush(dimension, 0)          # heaviest bar (zipf rank 1)
+        session.brush(dimension, bars - 1)   # lightest bar
+
+    benchmark.pedantic(run, **ROUNDS)

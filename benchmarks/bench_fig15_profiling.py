@@ -1,0 +1,21 @@
+"""Figure 15: FD-violation profiling latency.
+
+Paper shape: Smoke-CD fastest; Smoke-UG beats the Metanome-UG simulation
+(string-typed values + per-edge virtual calls) by 2-6x.
+"""
+
+import pytest
+
+from repro.apps.profiler import TECHNIQUES, check_fd
+from repro.datagen import FDS
+
+
+@pytest.mark.parametrize("fd", FDS, ids=lambda fd: f"{fd[0]}->{fd[1]}")
+@pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+def test_fig15_fd_check(benchmark, physician_db, fd, technique):
+    determinant, dependent = fd
+    benchmark.pedantic(
+        lambda: check_fd(physician_db, "physician", determinant, dependent, technique),
+        rounds=2,
+        iterations=1,
+    )

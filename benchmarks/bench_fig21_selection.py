@@ -1,0 +1,26 @@
+"""Figure 21 (G.1): selection capture with selectivity estimates.
+
+Paper shape: estimates (Smoke-I-EC) cut overhead ~0.4x -> ~0.15x;
+under-estimation re-introduces resizing.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig21_selection import make_database, run_technique
+
+TECHNIQUES = ["baseline", "smoke-i", "smoke-i-ec"]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_database()
+
+
+@pytest.mark.parametrize("selectivity", [5.0, 50.0])
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_fig21_selection_capture(benchmark, db, selectivity, technique):
+    benchmark.pedantic(
+        lambda: run_technique(db, selectivity, technique), **ROUNDS
+    )

@@ -1,0 +1,28 @@
+"""Figure 22 (G.2): input-relation instrumentation pruning.
+
+Paper shape: capturing only one relation cuts overhead; the left-most
+(high-fanout) tables dominate; lineitem is cheapest (pk-fk rid arrays).
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig22_pruning import CONFIGS, run_config
+
+CASES = [("Q3", None), ("Q3", CONFIGS["Q3"])] + [
+    ("Q3", (r,)) for r in CONFIGS["Q3"]
+] + [("Q10", None), ("Q10", CONFIGS["Q10"])] + [
+    ("Q10", (r,)) for r in CONFIGS["Q10"]
+]
+
+
+@pytest.mark.parametrize(
+    "query,relations",
+    CASES,
+    ids=[f"{q}-{'none' if r is None else ('all' if len(r) > 1 else r[0])}" for q, r in CASES],
+)
+def test_fig22_pruned_capture(benchmark, tpch_bench_db, query, relations):
+    benchmark.pedantic(
+        lambda: run_config(tpch_bench_db, query, relations), **ROUNDS
+    )

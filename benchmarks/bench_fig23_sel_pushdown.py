@@ -1,0 +1,21 @@
+"""Figure 23 (G.2): selection push-down capture cost vs selectivity.
+
+Paper shape: push-down cheaper than plain capture at low selectivity;
+crosses over around 75% where per-row predicate evaluation dominates.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+
+from repro.bench.experiments.fig23_selpush import run_mode
+
+MODES = ["baseline", "smoke-i", "pushdown"]
+
+
+@pytest.mark.parametrize("threshold", [0.01, 0.07])
+@pytest.mark.parametrize("mode", MODES)
+def test_fig23_pushdown_capture(benchmark, tpch_bench_db, threshold, mode):
+    benchmark.pedantic(
+        lambda: run_mode(tpch_bench_db, threshold, mode), **ROUNDS
+    )

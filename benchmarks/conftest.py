@@ -1,0 +1,60 @@
+"""Benchmark-suite fixtures: shared datasets built once per session.
+
+Sizes honour REPRO_SCALE (default 1.0 ~= laptop-CI scale; the paper's
+datasets are 10-100x larger).  Each bench module parametrizes over the
+technique axis of its paper figure and runs a bounded number of rounds so
+the whole suite completes in minutes.
+"""
+
+import pytest
+
+from repro.api import Database
+from repro.bench.harness import scaled
+from repro.datagen import (
+    load_tpch,
+    make_gids_table,
+    make_ontime_table,
+    make_physician_table,
+    make_zipf_table,
+)
+
+ROUNDS = dict(rounds=3, iterations=1, warmup_rounds=1)
+SLOW_ROUNDS = dict(rounds=2, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def zipf_db():
+    db = Database()
+    db.create_table("zipf", make_zipf_table(scaled(100_000), 1_000, theta=1.0))
+    db.create_table("gids", make_gids_table(1_000))
+    return db
+
+
+@pytest.fixture(scope="session")
+def zipf_db_many_groups():
+    db = Database()
+    db.create_table("zipf", make_zipf_table(scaled(100_000), 10_000, theta=1.0))
+    db.create_table("gids", make_gids_table(10_000))
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_bench_db():
+    from repro.bench.harness import scale
+
+    db = Database()
+    load_tpch(db, scale_factor=0.1 * scale())
+    return db
+
+
+@pytest.fixture(scope="session")
+def ontime_table():
+    return make_ontime_table(scaled(200_000))
+
+
+@pytest.fixture(scope="session")
+def physician_db():
+    data = make_physician_table(scaled(100_000))
+    db = Database()
+    db.create_table("physician", data.table)
+    return db

@@ -1,0 +1,79 @@
+"""Linked brushing between two visualization views (paper Figure 1).
+
+Two views over a shared sales table: V1 (revenue vs profit per product)
+and V2 (revenue per price bucket).  Selecting circles in V1 highlights
+the bars in V2 that derive from the same input records — one backward
+query plus one forward query, no hand-written index code.
+
+Run:  python examples/linked_brushing.py
+"""
+
+import numpy as np
+
+from repro.api import Database
+from repro.apps.linked_brush import LinkedBrushingSession
+from repro.plan.logical import AggCall, GroupBy, Scan, col
+from repro.storage import Table
+
+
+def main() -> None:
+    db = Database()
+    rng = np.random.default_rng(42)
+    n = 50_000
+    db.create_table(
+        "X",
+        Table(
+            {
+                "product": rng.integers(0, 30, n),
+                "price": np.round(rng.random(n) * 99 + 1, 2),
+                "profit": np.round(rng.random(n) * 20 - 5, 2),
+                "revenue": np.round(rng.random(n) * 1000, 2),
+            }
+        ),
+    )
+
+    session = LinkedBrushingSession(db, shared_relation="X")
+    v1 = session.add_view(
+        "V1",
+        GroupBy(
+            Scan("X"),
+            [(col("product"), "product")],
+            [
+                AggCall("sum", col("revenue"), "revenue"),
+                AggCall("avg", col("profit"), "profit"),
+            ],
+        ),
+    )
+    from repro.expr.ast import Func
+
+    v2 = session.add_view(
+        "V2",
+        GroupBy(
+            Scan("X"),
+            [(Func("floor", [col("price") / 10]), "price_bucket")],
+            [AggCall("sum", col("revenue"), "revenue")],
+        ),
+    )
+    print(f"V1: {len(v1.table)} marks (products); V2: {len(v2.table)} marks")
+
+    # User brushes the three highest-revenue products in V1.
+    top3 = np.argsort(v1.table.column("revenue"))[-3:].tolist()
+    result = session.brush("V1", top3)
+    products = v1.table.column("product")[result.selected_marks]
+    print(f"Brushed products {sorted(products.tolist())} "
+          f"-> {result.shared_rids.size} shared input records")
+    print(f"Highlighted V2 marks: {result.highlighted['V2'].size} "
+          f"of {len(v2.table)} (in {result.seconds*1000:.2f}ms)")
+
+    # Sanity: highlighted V2 marks are exactly the price buckets touched
+    # by the brushed products' rows.
+    x = db.table("X")
+    rows = np.isin(x.column("product"), products)
+    touched = set(np.floor(x.column("price")[rows] / 10).astype(int).tolist())
+    v2_keys = v2.table.column("price_bucket")[result.highlighted["V2"]]
+    assert set(v2_keys.tolist()) == touched
+    print("Cross-checked against a manual recomputation: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""The "Overview first, zoom and filter" workflow on TPC-H (paper §6.4).
+
+Runs Q1 as the overview with a declared interaction workload, then
+answers the drill-down chain Q1a → Q1b → Q1c three ways each — lazily,
+with plain lineage indexes, and with the workload-aware optimizations
+(data skipping, aggregation push-down) — printing the latency ladder the
+paper's Figures 10-11 chart.
+
+Run:  python examples/tpch_drilldown.py [scale_factor]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.api import Database
+from repro.datagen import load_tpch
+from repro.plan.logical import AggCall, GroupBy, Scan, col
+from repro.tpch import q1, q1a_eager, q1b_lazy
+from repro.workload import (
+    AggPushdownSpec,
+    BackwardSpec,
+    SkippingSpec,
+    Workload,
+    execute_with_workload,
+)
+
+SKIP_ATTRS = ("l_shipmode", "l_shipinstruct")
+CUBE_KEYS = ("l_shipmode", "l_shipinstruct", "l_tax")
+
+
+def timed(label, fn):
+    start = time.perf_counter()
+    out = fn()
+    print(f"  {label:18s} {1000*(time.perf_counter()-start):9.2f}ms -> {out}")
+    return out
+
+
+def main() -> None:
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    db = Database()
+    print(f"Generating TPC-H subset at scale {sf} ...")
+    load_tpch(db, scale_factor=sf)
+
+    workload = Workload(
+        [
+            BackwardSpec("lineitem"),
+            SkippingSpec("lineitem", SKIP_ATTRS),
+            AggPushdownSpec(
+                "lineitem",
+                CUBE_KEYS,
+                (
+                    AggCall("count", None, "count_order"),
+                    AggCall("sum", col("l_quantity"), "sum_qty"),
+                ),
+            ),
+        ]
+    )
+    print("Overview (Q1) with workload-aware capture:")
+    start = time.perf_counter()
+    opt = execute_with_workload(db, q1(), workload)
+    print(f"  capture: {1000*opt.capture_seconds:.1f}ms "
+          f"(base query {1000*opt.base_seconds:.1f}ms)")
+    print(opt.table.select_columns(
+        ["l_returnflag", "l_linestatus", "count_order"]).pretty())
+
+    bar = 0
+    flag = opt.table.column("l_returnflag")[bar]
+    status = opt.table.column("l_linestatus")[bar]
+    p1, p2 = "MAIL", "NONE"
+    print(f"\nZoom into bar 0 ({flag},{status}), filter {p1}/{p2}:")
+
+    def q1b_lazy_run():
+        res = db.execute(q1b_lazy(flag, status), params={"p1": p1, "p2": p2})
+        return f"{len(res)} groups"
+
+    def q1b_noskip():
+        rids = opt.backward([bar], "lineitem")
+        sub = db.table("lineitem").take(rids)
+        mask = (sub.column("l_shipmode") == p1) & (sub.column("l_shipinstruct") == p2)
+        db.create_table("__sub", sub.filter(mask), replace=True)
+        return f"{len(db.execute(q1a_eager('__sub')))} groups"
+
+    def q1b_skip():
+        rids = opt.skip_backward(bar, "lineitem", SKIP_ATTRS, (p1, p2))
+        db.create_table("__sub", db.table("lineitem").take(rids), replace=True)
+        return f"{len(db.execute(q1a_eager('__sub')))} groups"
+
+    timed("lazy scan", q1b_lazy_run)
+    timed("index scan", q1b_noskip)
+    timed("data skipping", q1b_skip)
+
+    print(f"\nDrill down by l_tax (Q1c) for the same bar + filters:")
+
+    def q1c_noagg():
+        rids = opt.skip_backward(bar, "lineitem", SKIP_ATTRS, (p1, p2))
+        sub = db.table("lineitem").take(rids)
+        db.create_table("__sub", sub, replace=True)
+        plan = GroupBy(
+            Scan("__sub"),
+            [(col("l_tax"), "l_tax")],
+            [AggCall("count", None, "c")],
+        )
+        return f"{len(db.execute(plan))} tax groups"
+
+    def q1c_pushdown():
+        cells = opt.cube_table(bar, "lineitem", CUBE_KEYS)
+        mask = (cells.column("l_shipmode") == p1) & (
+            cells.column("l_shipinstruct") == p2
+        )
+        return f"{int(mask.sum())} tax groups (materialized)"
+
+    timed("re-aggregate", q1c_noagg)
+    timed("agg push-down", q1c_pushdown)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro — a reproduction of *Smoke: Fine-grained Lineage at Interactive
+Speed* (Psallidas & Wu, VLDB 2018).
+
+Quick tour::
+
+    from repro import Database, CaptureMode, Table
+
+    db = Database()
+    db.create_table("zipf", make_zipf_table(1_000_000, groups=1_000))
+    res = db.sql("SELECT z, COUNT(*) AS c FROM zipf GROUP BY z",
+                 capture=CaptureMode.INJECT)
+    rids = res.backward([0], "zipf")       # backward lineage query
+    outs = res.forward("zipf", rids)        # forward lineage query
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure.
+"""
+
+from .api import Database, QueryResult
+from .errors import (
+    CaptureDisabledError,
+    CatalogError,
+    LineageError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    SqlError,
+    WorkloadError,
+)
+from .lineage.capture import CaptureConfig, CaptureMode, QueryLineage
+from .lineage.indexes import RidArray, RidIndex
+from .storage.table import ColumnType, Schema, Table
+from .workload.spec import (
+    AggPushdownSpec,
+    BackwardSpec,
+    FilteredBackwardSpec,
+    ForwardSpec,
+    SkippingSpec,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggPushdownSpec",
+    "BackwardSpec",
+    "CaptureConfig",
+    "CaptureDisabledError",
+    "CaptureMode",
+    "CatalogError",
+    "ColumnType",
+    "Database",
+    "FilteredBackwardSpec",
+    "ForwardSpec",
+    "LineageError",
+    "PlanError",
+    "QueryLineage",
+    "QueryResult",
+    "ReproError",
+    "RidArray",
+    "RidIndex",
+    "Schema",
+    "SchemaError",
+    "SkippingSpec",
+    "SqlError",
+    "Table",
+    "Workload",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Public entry point: the :class:`Database` facade.
+
+A :class:`Database` owns a catalog of named in-memory tables and executes
+logical plans (or SQL) on either backend, with lineage capture configured
+per query.  Query results are :class:`QueryResult` objects bundling the
+output table, the lineage handle, and helpers for running *lineage
+consuming queries* — queries whose input relation is the backward (or
+forward) lineage of a previous result (paper Section 2.1).
+
+Example
+-------
+>>> db = Database()
+>>> db.create_table("zipf", Table({"z": [1, 1, 2], "v": [1.0, 2.0, 3.0]}))
+>>> res = db.sql("SELECT z, COUNT(*) AS cnt FROM zipf GROUP BY z",
+...              capture=CaptureMode.INJECT)
+>>> res.lineage.backward([0], "zipf")
+array([0, 1])
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .errors import PlanError
+from .exec.vector.executor import ExecResult, VectorExecutor
+from .lineage.capture import CaptureConfig, CaptureMode, QueryLineage
+from .plan.logical import LogicalPlan
+from .storage.catalog import Catalog
+from .storage.table import Table
+
+
+class QueryResult:
+    """The outcome of one instrumented query execution."""
+
+    def __init__(self, database: "Database", plan: LogicalPlan, result: ExecResult):
+        self.database = database
+        self.plan = plan
+        self._result = result
+
+    @property
+    def table(self) -> Table:
+        """The base query's output relation."""
+        return self._result.table
+
+    @property
+    def lineage(self) -> Optional[QueryLineage]:
+        """End-to-end lineage handle, or None when capture was off."""
+        return self._result.lineage
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Raw timing breakdown recorded by the executor."""
+        return self._result.timings
+
+    @property
+    def execute_seconds(self) -> float:
+        """Base-query wall time, including inline (Inject) capture."""
+        return self._result.execute_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Base query plus any deferred capture finalized so far."""
+        return self._result.total_seconds
+
+    def __len__(self) -> int:
+        return self.table.num_rows
+
+    def backward(self, out_rids, relation: str) -> np.ndarray:
+        """Distinct base rids contributing to ``out_rids`` (Lb)."""
+        if self.lineage is None:
+            raise PlanError("query was executed without lineage capture")
+        return self.lineage.backward(out_rids, relation)
+
+    def forward(self, relation: str, in_rids) -> np.ndarray:
+        """Distinct output rids depending on ``in_rids`` (Lf)."""
+        if self.lineage is None:
+            raise PlanError("query was executed without lineage capture")
+        return self.lineage.forward(relation, in_rids)
+
+    def backward_table(self, out_rids, relation: str) -> Table:
+        """The lineage subset of ``relation`` as a relation — the ``FROM
+        Lb(...)`` construct of lineage consuming queries."""
+        rids = self.backward(out_rids, relation)
+        return self.database.table(relation).take(rids)
+
+    def __repr__(self) -> str:
+        return f"QueryResult(rows={len(self)}, lineage={self.lineage!r})"
+
+
+class Database:
+    """An in-memory lineage-enabled database engine."""
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self._vector = VectorExecutor(self.catalog)
+        self._compiled = None  # built lazily; codegen backend is optional
+
+    # -- catalog management -----------------------------------------------------
+
+    def create_table(self, name: str, table: Table, replace: bool = False) -> None:
+        """Register an in-memory relation under ``name``."""
+        self.catalog.register(name, table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        self.catalog.drop(name)
+
+    def table(self, name: str) -> Table:
+        """Look up a registered relation."""
+        return self.catalog.get(name)
+
+    def tables(self):
+        """Sorted names of all registered relations."""
+        return self.catalog.names()
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        capture: Union[CaptureConfig, CaptureMode, None] = None,
+        params: Optional[dict] = None,
+        backend: str = "vector",
+    ) -> QueryResult:
+        """Execute a logical plan.
+
+        ``capture`` accepts a :class:`CaptureMode` for the common case or a
+        full :class:`CaptureConfig` for pruning/hints; ``None`` disables
+        capture (the paper's Baseline).
+        """
+        config = _as_config(capture)
+        if backend == "vector":
+            result = self._vector.execute(plan, config, params)
+        elif backend == "compiled":
+            result = self._compiled_executor().execute(plan, config, params)
+        else:
+            raise PlanError(f"unknown backend {backend!r}; use 'vector' or 'compiled'")
+        return QueryResult(self, plan, result)
+
+    def sql(
+        self,
+        statement: str,
+        capture: Union[CaptureConfig, CaptureMode, None] = None,
+        params: Optional[dict] = None,
+        backend: str = "vector",
+    ) -> QueryResult:
+        """Parse and execute a SQL statement (see :mod:`repro.sql`)."""
+        plan = self.parse(statement)
+        return self.execute(plan, capture=capture, params=params, backend=backend)
+
+    def parse(self, statement: str) -> LogicalPlan:
+        """Parse + bind a SQL statement into a logical plan (no execution)."""
+        from .sql import parse_sql
+
+        return parse_sql(statement, self.catalog)
+
+    def explain(self, statement: str) -> str:
+        """The logical plan a SQL statement binds to, as an ASCII tree."""
+        return self.parse(statement).describe()
+
+    def _compiled_executor(self):
+        if self._compiled is None:
+            from .exec.compiled.executor import CompiledExecutor
+
+            self._compiled = CompiledExecutor(self.catalog)
+        return self._compiled
+
+
+def _as_config(capture) -> CaptureConfig:
+    if capture is None:
+        return CaptureConfig.none()
+    if isinstance(capture, CaptureMode):
+        return CaptureConfig(mode=capture)
+    if isinstance(capture, CaptureConfig):
+        return capture
+    raise PlanError(f"invalid capture specification {capture!r}")

@@ -1,0 +1,23 @@
+"""Lineage-enabled applications: crossfilter, data profiling, linked brushing."""
+
+from .crossfilter import CrossfilterSession, View
+from .linked_brush import BrushResult, LinkedBrushingSession
+from .profiler import (
+    FDViolationReport,
+    check_fd,
+    check_fd_metanome_ug,
+    check_fd_smoke_cd,
+    check_fd_smoke_ug,
+)
+
+__all__ = [
+    "BrushResult",
+    "CrossfilterSession",
+    "FDViolationReport",
+    "LinkedBrushingSession",
+    "View",
+    "check_fd",
+    "check_fd_metanome_ug",
+    "check_fd_smoke_cd",
+    "check_fd_smoke_ug",
+]

@@ -1,0 +1,292 @@
+"""Crossfilter visualization sessions (paper Section 6.5.1, Appendix D).
+
+A crossfilter dashboard renders one group-by COUNT view per dimension.
+Highlighting a bar in one view filters every other view down to the rows
+that contributed to that bar.  The paper expresses this as a backward
+lineage query followed by re-aggregation, and compares four strategies:
+
+* **Lazy** — no capture; each interaction re-runs the group-by queries
+  with the brushed predicate folded in (shared selection scan of T);
+* **BT** — capture backward indexes; an interaction does an indexed scan
+  of the brushed bar's rids, then re-aggregates the other views (rebuilds
+  group-by hash tables over the subset);
+* **BT+FT** — additionally capture forward rid arrays; these act as
+  *perfect hash tables* mapping base rows to output bars, so views update
+  by incrementing counters — no hash table is ever rebuilt (Listing 1);
+* **partial data cube** — the group-by push-down optimization applied
+  pairwise between views; interactions become row lookups, but the cube
+  must be built first (the cold-start cost of Figure 13).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..exec.vector.kernels import factorize
+from ..lineage.indexes import RidIndex
+from ..storage.table import Table
+
+
+@dataclass
+class View:
+    """One crossfilter view: a binned COUNT over a single dimension."""
+
+    dimension: str
+    bin_values: np.ndarray       # distinct dimension values, bar order
+    counts: np.ndarray           # initial bar heights
+    group_of_row: np.ndarray     # forward rid array: base row -> bar
+    backward: Optional[RidIndex]  # bar -> base rids (BT/BT+FT only)
+
+    @property
+    def num_bars(self) -> int:
+        return int(self.bin_values.shape[0])
+
+
+class CrossfilterSession:
+    """Build views over one table and serve brush interactions.
+
+    ``technique`` ∈ {"lazy", "bt", "bt+ft", "cube"}.
+    """
+
+    TECHNIQUES = ("lazy", "bt", "bt+ft", "cube")
+
+    def __init__(self, table: Table, dimensions: Sequence[str], technique: str = "bt+ft"):
+        if technique not in self.TECHNIQUES:
+            raise WorkloadError(
+                f"unknown crossfilter technique {technique!r}; "
+                f"choose from {self.TECHNIQUES}"
+            )
+        self.table = table
+        self.dimensions = tuple(dimensions)
+        self.technique = technique
+        self.views: Dict[str, View] = {}
+        self.cube: Dict[Tuple[str, str], np.ndarray] = {}
+        start = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - start
+
+    @classmethod
+    def from_database(
+        cls, database, relation: str, dimensions: Sequence[str],
+        technique: str = "bt+ft",
+    ) -> "CrossfilterSession":
+        """Build the views *declaratively*: each view is a group-by COUNT
+        query executed by the engine with lineage capture, and the view's
+        interaction structures are exactly the captured indexes — the
+        "express the logic in lineage terms" route the paper advocates,
+        instead of the hand-rolled kernels of the direct constructor.
+        """
+        from ..lineage.capture import CaptureConfig
+        from ..plan.logical import AggCall, GroupBy, Scan, col
+
+        table = database.table(relation)
+        session = cls.__new__(cls)
+        session.table = table
+        session.dimensions = tuple(dimensions)
+        session.technique = technique
+        session.views = {}
+        session.cube = {}
+        if technique not in cls.TECHNIQUES:
+            raise WorkloadError(f"unknown crossfilter technique {technique!r}")
+        start = time.perf_counter()
+        for dim in session.dimensions:
+            plan = GroupBy(
+                Scan(relation), [(col(dim), dim)], [AggCall("count", None, "cnt")]
+            )
+            capture = (
+                CaptureConfig.none()
+                if technique in ("lazy", "cube")
+                else CaptureConfig.inject()
+            )
+            result = database.execute(plan, capture=capture)
+            if capture.enabled:
+                backward = result.lineage.backward_index(relation)
+                group_of_row = result.lineage.forward_index(relation).values
+            else:
+                group_ids, num_groups, _ = factorize([table.column(dim)])
+                backward = None
+                group_of_row = group_ids
+            session.views[dim] = View(
+                dimension=dim,
+                bin_values=np.asarray(result.table.column(dim)),
+                counts=np.asarray(result.table.column("cnt"), dtype=np.int64),
+                group_of_row=group_of_row,
+                backward=backward if technique in ("bt", "bt+ft") else None,
+            )
+        if technique == "cube":
+            for di in session.dimensions:
+                vi = session.views[di]
+                for dj in session.dimensions:
+                    if di == dj:
+                        continue
+                    vj = session.views[dj]
+                    combined = (
+                        vi.group_of_row.astype(np.int64) * vj.num_bars
+                        + vj.group_of_row
+                    )
+                    session.cube[(di, dj)] = np.bincount(
+                        combined, minlength=vi.num_bars * vj.num_bars
+                    ).reshape(vi.num_bars, vj.num_bars)
+        session.build_seconds = time.perf_counter() - start
+        return session
+
+    # -- construction ---------------------------------------------------------------
+
+    def _build(self) -> None:
+        capture_backward = self.technique in ("bt", "bt+ft")
+        for dim in self.dimensions:
+            values = self.table.column(dim)
+            group_ids, num_groups, reps = factorize([values])
+            counts = np.bincount(group_ids, minlength=num_groups)
+            backward = None
+            if capture_backward:
+                backward = RidIndex.from_group_ids(group_ids, num_groups)
+            self.views[dim] = View(
+                dimension=dim,
+                bin_values=values[reps],
+                counts=counts.astype(np.int64),
+                group_of_row=group_ids,
+                backward=backward,
+            )
+        if self.technique == "cube":
+            # Pairwise partial cubes: counts of (bar_i, bar_j) co-occurrence.
+            for di in self.dimensions:
+                vi = self.views[di]
+                for dj in self.dimensions:
+                    if di == dj:
+                        continue
+                    vj = self.views[dj]
+                    combined = (
+                        vi.group_of_row.astype(np.int64) * vj.num_bars
+                        + vj.group_of_row
+                    )
+                    matrix = np.bincount(
+                        combined, minlength=vi.num_bars * vj.num_bars
+                    ).reshape(vi.num_bars, vj.num_bars)
+                    self.cube[(di, dj)] = matrix
+
+    # -- interactions ----------------------------------------------------------------
+
+    def brush(self, dimension: str, bar: int) -> Dict[str, np.ndarray]:
+        """Highlight one bar; returns updated counts for every other view."""
+        if dimension not in self.views:
+            raise WorkloadError(f"unknown dimension {dimension!r}")
+        view = self.views[dimension]
+        if not 0 <= bar < view.num_bars:
+            raise WorkloadError(
+                f"bar {bar} out of range for {dimension} ({view.num_bars} bars)"
+            )
+        if self.technique == "lazy":
+            return self._brush_lazy(view, bar)
+        if self.technique == "bt":
+            return self._brush_bt(view, bar)
+        if self.technique == "bt+ft":
+            return self._brush_btft(view, bar)
+        return self._brush_cube(view, bar)
+
+    def brush_many(self, dimension: str, bars: Sequence[int]) -> Dict[str, np.ndarray]:
+        """Highlight a *set* of bars (the paper's "bar (or set of bars)").
+
+        Semantics: rows contributing to any selected bar.  Bars of one
+        view are disjoint, so the lineage union is a concatenation.
+        """
+        if dimension not in self.views:
+            raise WorkloadError(f"unknown dimension {dimension!r}")
+        view = self.views[dimension]
+        bars = list(bars)
+        for bar in bars:
+            if not 0 <= bar < view.num_bars:
+                raise WorkloadError(f"bar {bar} out of range for {dimension}")
+        if self.technique == "cube":
+            out = {}
+            for other in self._others(dimension):
+                matrix = self.cube[(dimension, other.dimension)]
+                out[other.dimension] = matrix[bars].sum(axis=0)
+            return out
+        if self.technique == "lazy":
+            values = self.table.column(dimension)
+            mask = np.isin(values, view.bin_values[bars])
+            rids = np.nonzero(mask)[0]
+        else:
+            rids = view.backward.lookup_many(np.asarray(bars, dtype=np.int64))
+        if self.technique == "bt+ft":
+            return {
+                other.dimension: np.bincount(
+                    other.group_of_row[rids], minlength=other.num_bars
+                ).astype(np.int64)
+                for other in self._others(dimension)
+            }
+        return self._reaggregate(dimension, rids)
+
+    def _others(self, dimension: str) -> List[View]:
+        return [v for d, v in self.views.items() if d != dimension]
+
+    def _brush_lazy(self, view: View, bar: int) -> Dict[str, np.ndarray]:
+        # Shared selection scan: evaluate the brush predicate once, then
+        # re-run each group-by over the qualifying rows.
+        mask = self.table.column(view.dimension) == view.bin_values[bar]
+        rids = np.nonzero(mask)[0]
+        return self._reaggregate(view.dimension, rids)
+
+    def _brush_bt(self, view: View, bar: int) -> Dict[str, np.ndarray]:
+        rids = view.backward.lookup(bar)
+        return self._reaggregate(view.dimension, rids)
+
+    def _reaggregate(self, brushed_dim: str, rids: np.ndarray) -> Dict[str, np.ndarray]:
+        out = {}
+        for other in self._others(brushed_dim):
+            # Rebuild the group-by over the subset (hash-table rebuild):
+            # re-derive group ids from the dimension values themselves.
+            values = self.table.column(other.dimension)[rids]
+            sub_ids, sub_groups, sub_reps = (
+                factorize([values]) if rids.size else (None, 0, None)
+            )
+            counts = np.zeros(other.num_bars, dtype=np.int64)
+            if sub_groups:
+                sub_counts = np.bincount(sub_ids, minlength=sub_groups)
+                # Map subset bins back to view bar ids via bin values.
+                order = {v: i for i, v in enumerate(other.bin_values.tolist())}
+                for g in range(sub_groups):
+                    counts[order[values[sub_reps[g]]]] = sub_counts[g]
+            out[other.dimension] = counts
+        return out
+
+    def _brush_btft(self, view: View, bar: int) -> Dict[str, np.ndarray]:
+        rids = view.backward.lookup(bar)
+        out = {}
+        for other in self._others(view.dimension):
+            # Forward rid array as a perfect hash: one scatter-add per view.
+            out[other.dimension] = np.bincount(
+                other.group_of_row[rids], minlength=other.num_bars
+            ).astype(np.int64)
+        return out
+
+    def _brush_cube(self, view: View, bar: int) -> Dict[str, np.ndarray]:
+        out = {}
+        for other in self._others(view.dimension):
+            out[other.dimension] = self.cube[(view.dimension, other.dimension)][bar].copy()
+        return out
+
+    # -- benchmarking helpers -----------------------------------------------------------
+
+    def run_all_interactions(
+        self, max_per_view: Optional[int] = None
+    ) -> Dict[str, List[float]]:
+        """Brush every bar of every view; returns per-view latency lists
+        (seconds) — the data behind Figures 13/14."""
+        latencies: Dict[str, List[float]] = {}
+        for dim, view in self.views.items():
+            bars = range(view.num_bars if max_per_view is None
+                         else min(view.num_bars, max_per_view))
+            times = []
+            for bar in bars:
+                t0 = time.perf_counter()
+                self.brush(dim, bar)
+                times.append(time.perf_counter() - t0)
+            latencies[dim] = times
+        return latencies

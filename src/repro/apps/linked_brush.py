@@ -1,0 +1,85 @@
+"""Linked brushing between visualization views (paper Figure 1, Example 1).
+
+Two views are rendered from group-by queries over a shared base table.
+Selecting marks in one view highlights the marks of the other view that
+derive from the same input records:
+
+    highlighted = Lf( Lb(selection ⊆ V1, X), V2 )
+
+— a backward query from the selected marks to the shared relation,
+followed by a forward query into the other view.  This module is the
+declarative replacement for the hand-written implementations the paper's
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..lineage.capture import CaptureMode
+from ..plan.logical import LogicalPlan
+
+
+@dataclass
+class BrushResult:
+    """Outcome of one linked-brush interaction."""
+
+    selected_view: str
+    selected_marks: np.ndarray
+    shared_rids: np.ndarray      # backward lineage in the shared relation
+    highlighted: Dict[str, np.ndarray]  # view name -> highlighted mark rids
+    seconds: float
+
+
+class LinkedBrushingSession:
+    """Coordinates any number of views over one shared base relation."""
+
+    def __init__(self, database, shared_relation: str):
+        self.database = database
+        self.shared_relation = shared_relation
+        self.views: Dict[str, object] = {}
+
+    def add_view(self, name: str, plan: LogicalPlan, params: Optional[dict] = None):
+        """Run a base query with capture and register it as a view."""
+        if name in self.views:
+            raise WorkloadError(f"view {name!r} already registered")
+        result = self.database.execute(
+            plan, capture=CaptureMode.INJECT, params=params
+        )
+        if self.shared_relation not in [
+            r.split("#")[0] for r in result.lineage.relations
+        ]:
+            raise WorkloadError(
+                f"view {name!r} does not read shared relation "
+                f"{self.shared_relation!r}"
+            )
+        self.views[name] = result
+        return result
+
+    def brush(self, view_name: str, mark_rids: Sequence[int]) -> BrushResult:
+        """Select marks in one view; highlight derived marks everywhere."""
+        if view_name not in self.views:
+            raise WorkloadError(f"unknown view {view_name!r}")
+        start = time.perf_counter()
+        marks = np.asarray(mark_rids, dtype=np.int64)
+        source = self.views[view_name]
+        shared = source.lineage.backward(marks, self.shared_relation)
+        highlighted = {}
+        for other_name, other in self.views.items():
+            if other_name == view_name:
+                continue
+            highlighted[other_name] = other.lineage.forward(
+                self.shared_relation, shared
+            )
+        return BrushResult(
+            selected_view=view_name,
+            selected_marks=marks,
+            shared_rids=shared,
+            highlighted=highlighted,
+            seconds=time.perf_counter() - start,
+        )

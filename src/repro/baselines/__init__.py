@@ -1,0 +1,17 @@
+"""State-of-the-art baselines re-implemented inside the engine:
+Lazy, Logic-Rid/Tup/Idx, Phys-Mem, Phys-Bdb (paper Table 1)."""
+
+from .lazy import LazyLineageEvaluator
+from .logical import AnnotatedCapture, build_logic_idx, logical_capture
+from .physical import PhysBdbStore, PhysMemStore, PhysicalCapture, physical_capture
+
+__all__ = [
+    "AnnotatedCapture",
+    "LazyLineageEvaluator",
+    "PhysBdbStore",
+    "PhysMemStore",
+    "PhysicalCapture",
+    "build_logic_idx",
+    "logical_capture",
+    "physical_capture",
+]

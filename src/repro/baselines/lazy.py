@@ -1,0 +1,117 @@
+"""Lazy lineage query evaluation (paper Section 2.1, Appendix C).
+
+Lazy approaches capture nothing during the base query; a lineage query is
+rewritten into a relational query over the base relations.  For a group-by
+aggregation ``O = γ_keys,F(σ_p(R))`` the standard rule gives
+
+    Lb(o ∈ O, R)  =  σ_{o.k1 = R.k1 ∧ ... ∧ p}(R)
+
+i.e. a full selection scan with the output row's key values folded into
+the predicate.  Forward lineage evaluates the keys of the given input rows
+and matches them against the output.  This is the paper's strong baseline:
+the scan costs are what Smoke's index probes are compared against
+(Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..expr.ast import Expr, evaluate
+from ..plan.logical import GroupBy, LogicalPlan, Project, Scan, Select
+from ..storage.table import Table
+
+
+def _peel(plan: LogicalPlan) -> Tuple[GroupBy, List[Expr], str]:
+    """Decompose a supported plan into (group-by, selection predicates,
+    base table name).  Supported shape: Project? (GroupBy (Select* (Scan)))."""
+    node = plan
+    if isinstance(node, Project) and not node.distinct:
+        node = node.child
+    if not isinstance(node, GroupBy):
+        raise PlanError(
+            "lazy rewrites support group-by queries over a single table; "
+            f"got {type(plan).__name__}"
+        )
+    group = node
+    predicates: List[Expr] = []
+    node = group.child
+    while isinstance(node, Select):
+        predicates.append(node.predicate)
+        node = node.child
+    if not isinstance(node, Scan):
+        raise PlanError(
+            "lazy rewrites support selections over a base scan; "
+            f"found {type(node).__name__} under the group-by"
+        )
+    return group, predicates, node.table
+
+
+class LazyLineageEvaluator:
+    """Answers backward/forward lineage for a group-by query with scans."""
+
+    def __init__(self, database, plan: LogicalPlan, params: Optional[dict] = None):
+        self.database = database
+        self.plan = plan
+        self.params = params
+        self.group, self.predicates, self.base_name = _peel(plan)
+        self.base = database.table(self.base_name)
+        self._output: Optional[Table] = None
+
+    @property
+    def output(self) -> Table:
+        """The base query output (computed once, without capture)."""
+        if self._output is None:
+            self._output = self.database.execute(self.plan, params=self.params).table
+        return self._output
+
+    def selection_mask(self) -> np.ndarray:
+        mask = np.ones(self.base.num_rows, dtype=bool)
+        for pred in self.predicates:
+            mask &= np.asarray(evaluate(pred, self.base, self.params), dtype=bool)
+        return mask
+
+    def backward(self, out_rid: int, extra_predicate: Optional[Expr] = None) -> np.ndarray:
+        """``Lb(o, R)`` as a selection scan (returns base rids)."""
+        mask = self.selection_mask()
+        out = self.output
+        for key_expr, alias in self.group.keys:
+            key_value = out.column(alias)[out_rid]
+            values = evaluate(key_expr, self.base, self.params)
+            mask &= values == key_value
+        if extra_predicate is not None:
+            mask &= np.asarray(
+                evaluate(extra_predicate, self.base, self.params), dtype=bool
+            )
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def forward(self, in_rids) -> np.ndarray:
+        """``Lf(R', O)``: output rids whose group keys match the inputs."""
+        in_rids = np.asarray(in_rids, dtype=np.int64)
+        mask = self.selection_mask()
+        out = self.output
+        key_values = [
+            np.asarray(evaluate(e, self.base, self.params)) for e, _ in self.group.keys
+        ]
+        out_keys = [out.column(alias) for _, alias in self.group.keys]
+        hits = set()
+        for rid in in_rids:
+            if not mask[rid]:
+                continue
+            row_key = tuple(vals[rid] for vals in key_values)
+            matches = np.ones(out.num_rows, dtype=bool)
+            for value, col_vals in zip(row_key, out_keys):
+                matches &= col_vals == value
+            hits.update(np.nonzero(matches)[0].tolist())
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def consuming(self, out_rid: int, consuming_plan_builder) -> Table:
+        """Run a lineage consuming query lazily: the builder receives the
+        output row (as a dict) and returns a plan over base relations."""
+        out = self.output
+        row = {name: out.column(name)[out_rid] for name in out.schema.names}
+        plan = consuming_plan_builder(row)
+        return self.database.execute(plan, params=self.params).table

@@ -1,0 +1,17 @@
+"""Benchmark harness: per-figure experiment modules, technique registry,
+timing/report utilities, and a CLI runner (python -m repro.bench.run)."""
+
+from .harness import Report, fmt_ms, fmt_ratio, scale, scaled, time_median, time_once
+from .techniques import CAPTURE_TECHNIQUES, CaptureRun
+
+__all__ = [
+    "CAPTURE_TECHNIQUES",
+    "CaptureRun",
+    "Report",
+    "fmt_ms",
+    "fmt_ratio",
+    "scale",
+    "scaled",
+    "time_median",
+    "time_once",
+]

@@ -1,0 +1,36 @@
+"""Experiment registry: one module per paper figure."""
+
+from . import (
+    fig05_groupby,
+    fig06_pkfk,
+    fig07_mn,
+    fig08_tpch,
+    fig09_query,
+    fig10_skipping,
+    fig11_aggpush,
+    fig12_overhead,
+    fig13_crossfilter,
+    fig15_profiling,
+    fig21_selection,
+    fig22_pruning,
+    fig23_selpush,
+)
+
+REGISTRY = {
+    module.NAME: module
+    for module in (
+        fig05_groupby,
+        fig06_pkfk,
+        fig07_mn,
+        fig08_tpch,
+        fig09_query,
+        fig10_skipping,
+        fig11_aggpush,
+        fig12_overhead,
+        fig13_crossfilter,
+        fig15_profiling,
+        fig21_selection,
+        fig22_pruning,
+        fig23_selpush,
+    )
+}

@@ -1,0 +1,90 @@
+"""Figure 5: single-operator group-by aggregation capture latency.
+
+Sweeps relation cardinality × number of distinct groups over the paper's
+microbenchmark query
+
+    SELECT z, COUNT(*), SUM(v), SUM(v*v), SUM(sqrt(v)), MIN(v), MAX(v)
+    FROM zipf GROUP BY z            -- z zipfian, θ = 1
+
+for every capture technique of Table 1.  Expected shape (paper §6.1.1):
+Smoke-I/Smoke-D closest to Baseline; Logic-* an order of magnitude worse
+(denormalized graph materialization); Phys-Mem worse still (per-edge
+calls); Phys-Bdb worst by far (external subsystem).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...api import Database
+from ...datagen import make_zipf_table
+from ...plan.logical import AggCall, GroupBy, LogicalPlan, Scan, col
+from ...expr.ast import Func
+from ..harness import Report, fmt_ms, scaled, time_median
+from ..techniques import CAPTURE_TECHNIQUES
+
+NAME = "fig05"
+TITLE = "Figure 5: group-by aggregation lineage capture latency"
+
+TECHNIQUES = [
+    "baseline", "smoke-i", "smoke-d", "logic-rid", "logic-tup",
+    "phys-mem", "phys-bdb",
+]
+
+
+def sizes() -> List[Tuple[int, int]]:
+    return [
+        (scaled(10_000), 100),
+        (scaled(10_000), 1_000),
+        (scaled(100_000), 100),
+        (scaled(100_000), 10_000),
+    ]
+
+
+def microbenchmark_query() -> LogicalPlan:
+    v = col("v")
+    return GroupBy(
+        Scan("zipf"),
+        keys=[(col("z"), "z")],
+        aggs=[
+            AggCall("count", None, "cnt"),
+            AggCall("sum", v, "sum_v"),
+            AggCall("sum", v * v, "sum_v2"),
+            AggCall("sum", Func("sqrt", [v]), "sum_sqrt"),
+            AggCall("min", v, "min_v"),
+            AggCall("max", v, "max_v"),
+        ],
+    )
+
+
+def make_database(n: int, groups: int, theta: float = 1.0) -> Database:
+    db = Database()
+    db.create_table("zipf", make_zipf_table(n, groups, theta))
+    return db
+
+
+def run_technique(db: Database, technique: str) -> float:
+    plan = microbenchmark_query()
+    return CAPTURE_TECHNIQUES[technique](db, plan).seconds
+
+
+def run_report(repeats: int = 3) -> Report:
+    report = Report(
+        TITLE,
+        ["tuples", "groups", "technique", "latency", "overhead vs baseline"],
+    )
+    for n, groups in sizes():
+        db = make_database(n, groups)
+        base = time_median(lambda: run_technique(db, "baseline"), repeats)
+        for technique in TECHNIQUES:
+            secs = (
+                base
+                if technique == "baseline"
+                else time_median(lambda t=technique: run_technique(db, t), repeats)
+            )
+            overhead = secs / base - 1 if base > 0 else float("nan")
+            report.add(n, groups, technique, fmt_ms(secs), f"{overhead:+7.1%}")
+    report.note(
+        "paper shape: smoke-i/-d ≈ baseline << logic-rid/tup << phys-mem << phys-bdb"
+    )
+    return report

@@ -1,0 +1,113 @@
+"""Figure 9: lineage query latency vs data skew.
+
+Base query: the Figure 5 group-by microbenchmark over a 5000-group zipf
+table; lineage query: ``SELECT * FROM Lb(o, zipf)`` for output groups o.
+Varying θ varies the backward cardinality per group.  Compares:
+
+* **Smoke-L** — secondary index scan (probe the backward rid index, gather
+  rows); identical for Smoke-I/-D/Logic-Idx/Phys-Mem per the paper;
+* **Lazy** — full selection scan with an integer equality predicate (the
+  paper's strongest lazy case);
+* **Logic-Rid / Logic-Tup** — scans of the (wider) annotated relation;
+* **Phys-Bdb** — cursor reads from the external store + gather.
+
+Expected shape: Smoke-L wins by orders of magnitude at low selectivity;
+high-skew groups approach (or cross) the scan cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...api import Database
+from ...baselines.lazy import LazyLineageEvaluator
+from ...baselines.logical import logical_capture
+from ...baselines.physical import PhysBdbStore, physical_capture
+from ...datagen import make_zipf_table
+from ...lineage.capture import CaptureMode
+from ..harness import Report, fmt_ms, scaled, time_once
+from .fig05_groupby import microbenchmark_query
+
+NAME = "fig09"
+TITLE = "Figure 9: backward lineage query latency vs zipf skew"
+
+THETAS = (0.0, 0.4, 0.8, 1.6)
+GROUPS = 5_000
+
+
+def make_context(theta: float, n: int = None) -> Dict:
+    n = n or scaled(200_000)
+    db = Database()
+    db.create_table("zipf", make_zipf_table(n, GROUPS, theta))
+    plan = microbenchmark_query()
+    smoke = db.execute(plan, capture=CaptureMode.INJECT)
+    lazy = LazyLineageEvaluator(db, plan)
+    lazy.output  # materialize the base query now; queries time scans only
+    logic_rid = logical_capture(db.catalog, plan, "rid")
+    logic_tup = logical_capture(db.catalog, plan, "tuple")
+    bdb = physical_capture(db, plan, "zipf", store_cls=PhysBdbStore).store
+    return {
+        "db": db,
+        "table": db.table("zipf"),
+        "smoke": smoke,
+        "lazy": lazy,
+        "logic_rid": logic_rid,
+        "logic_tup": logic_tup,
+        "bdb": bdb,
+        "num_groups": len(smoke.table),
+    }
+
+
+def query_smoke(ctx: Dict, out_rid: int) -> int:
+    rids = ctx["smoke"].lineage.backward_index("zipf").lookup(out_rid)
+    return len(ctx["table"].take(rids))
+
+
+def query_lazy(ctx: Dict, out_rid: int) -> int:
+    rids = ctx["lazy"].backward(out_rid)
+    return len(ctx["table"].take(rids))
+
+
+def query_logic(ctx: Dict, which: str, out_rid: int) -> int:
+    rids = ctx[which].backward_scan(out_rid, "zipf")
+    return len(ctx["table"].take(rids))
+
+
+def query_bdb(ctx: Dict, out_rid: int) -> int:
+    rids = np.fromiter(ctx["bdb"].backward_cursor(out_rid), dtype=np.int64)
+    return len(ctx["table"].take(rids))
+
+
+TECHNIQUE_FNS = {
+    "smoke-l": query_smoke,
+    "lazy": query_lazy,
+    "logic-rid": lambda ctx, o: query_logic(ctx, "logic_rid", o),
+    "logic-tup": lambda ctx, o: query_logic(ctx, "logic_tup", o),
+    "phys-bdb": query_bdb,
+}
+
+
+def run_report(sample_groups: int = 50) -> Report:
+    report = Report(
+        TITLE,
+        ["theta", "technique", "mean latency", "p95 latency", "max lineage size"],
+    )
+    for theta in THETAS:
+        ctx = make_context(theta)
+        rng = np.random.default_rng(0)
+        outs = rng.choice(ctx["num_groups"], size=min(sample_groups, ctx["num_groups"]), replace=False)
+        max_card = int(ctx["smoke"].lineage.backward_index("zipf").counts().max())
+        for name, fn in TECHNIQUE_FNS.items():
+            times = [time_once(lambda o=o: fn(ctx, int(o))) for o in outs]
+            report.add(
+                theta,
+                name,
+                fmt_ms(float(np.mean(times))),
+                fmt_ms(float(np.percentile(times, 95))),
+                max_card,
+            )
+    report.note("paper shape: smoke-l wins up to 5 orders of magnitude at low "
+                "selectivity; skewed groups approach the scan cost")
+    return report

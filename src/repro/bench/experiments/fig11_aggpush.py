@@ -1,0 +1,131 @@
+"""Figure 11: aggregation push-down for lineage consuming queries.
+
+Consuming query Q1c drills into a Q1 bar with the Q1b parameter filters
+and groups by ``l_tax``.  Strategies:
+
+* **Lazy** — table-scan rewrite with every predicate folded back in,
+* **No push-down** — backward index scan + filter + group-by,
+* **Push-down** — the partial cube materialized during capture already
+  holds the per-(bar, shipmode, shipinstruct, tax) aggregates; the
+  consuming query reads materialized rows (≈0ms in the paper, not even
+  plotted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+from ...api import Database
+from ...datagen import load_tpch
+from ...plan.logical import AggCall, col
+from ...tpch import q1
+from ...workload import (
+    AggPushdownSpec,
+    BackwardSpec,
+    SkippingSpec,
+    Workload,
+    execute_with_workload,
+)
+from ..harness import Report, fmt_ms, scale, time_once
+
+NAME = "fig11"
+TITLE = "Figure 11: lineage consuming query latency (aggregation push-down)"
+
+CUBE_KEYS = ("l_shipmode", "l_shipinstruct", "l_tax")
+SKIP_ATTRS = ("l_shipmode", "l_shipinstruct")
+
+
+def cube_aggs() -> Tuple[AggCall, ...]:
+    return (
+        AggCall("count", None, "count_order"),
+        AggCall("sum", col("l_quantity"), "sum_qty"),
+        AggCall("avg", col("l_extendedprice"), "avg_price"),
+    )
+
+
+def make_context() -> Dict:
+    db = Database()
+    load_tpch(db, scale_factor=0.1 * scale())
+    workload = Workload(
+        [
+            BackwardSpec("lineitem"),
+            SkippingSpec("lineitem", SKIP_ATTRS),
+            AggPushdownSpec("lineitem", CUBE_KEYS, cube_aggs()),
+        ]
+    )
+    optimized = execute_with_workload(db, q1(), workload)
+    return {"db": db, "opt": optimized, "lineitem": db.table("lineitem")}
+
+
+def consuming_lazy(ctx: Dict, bar: int, p1: str, p2: str) -> int:
+    """Q1c as a selection scan: Q1's cutoff + the bar's keys + the Q1b
+    parameters folded into WHERE, grouped by l_tax."""
+    from ...datagen.dates import date_int
+    from ...plan.logical import GroupBy, Scan, Select
+
+    opt = ctx["opt"]
+    flag = opt.table.column("l_returnflag")[bar]
+    status = opt.table.column("l_linestatus")[bar]
+    predicate = (
+        (col("l_shipdate") < date_int("1998-12-01"))
+        .and_(col("l_returnflag").eq(flag))
+        .and_(col("l_linestatus").eq(status))
+        .and_(col("l_shipmode").eq(p1))
+        .and_(col("l_shipinstruct").eq(p2))
+    )
+    plan = GroupBy(
+        Select(Scan("lineitem"), predicate),
+        keys=[(col("l_tax"), "l_tax")],
+        aggs=list(cube_aggs()),
+    )
+    return len(ctx["db"].execute(plan))
+
+
+def consuming_noagg(ctx: Dict, bar: int, p1: str, p2: str) -> int:
+    opt, lineitem = ctx["opt"], ctx["lineitem"]
+    rids = opt.skip_backward(bar, "lineitem", SKIP_ATTRS, (p1, p2))
+    subset = lineitem.take(rids)
+    db = ctx["db"]
+    db.create_table("__q1c_subset", subset, replace=True)
+    from ...plan.logical import GroupBy, Scan
+
+    plan = GroupBy(
+        Scan("__q1c_subset"), keys=[(col("l_tax"), "l_tax")], aggs=list(cube_aggs())
+    )
+    return len(db.execute(plan))
+
+
+def consuming_pushdown(ctx: Dict, bar: int, p1: str, p2: str) -> int:
+    cells = ctx["opt"].cube_table(bar, "lineitem", CUBE_KEYS)
+    mask = (cells.column("l_shipmode") == p1) & (
+        cells.column("l_shipinstruct") == p2
+    )
+    return int(mask.sum())
+
+
+STRATEGIES = {
+    "lazy": consuming_lazy,
+    "no-agg-pushdown": consuming_noagg,
+    "agg-pushdown": consuming_pushdown,
+}
+
+
+def run_report() -> Report:
+    ctx = make_context()
+    opt = ctx["opt"]
+    from .fig10_skipping import parameter_combinations
+
+    report = Report(TITLE, ["bar", "p1", "p2", "strategy", "latency", "groups"])
+    for bar in range(len(opt.table)):
+        for p1, p2 in parameter_combinations(2):
+            for name, fn in STRATEGIES.items():
+                groups = [0]
+
+                def run(name=name, fn=fn):
+                    groups[0] = fn(ctx, bar, p1, p2)
+
+                secs = time_once(run)
+                report.add(bar, p1, p2, name, fmt_ms(secs), groups[0])
+    report.note("paper shape: pushdown ~0ms << no-pushdown (10-100ms) << lazy (s)")
+    return report

@@ -1,0 +1,81 @@
+"""Figures 13 & 14: crossfilter on the Ontime-sim dataset.
+
+Figure 13 reports the *cumulative* time per technique: building the four
+views (with capture / cube construction) plus executing every 1-D brushing
+interaction.  Figure 14 reports per-interaction latencies per view against
+the 150ms interactive threshold.  Expected shape: BT+FT completes the
+whole benchmark before the partial cube even finishes building, and all
+but the very largest-lineage bars respond under 150ms; the cube answers
+instantaneously once built; Lazy is slowest per interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+from ...apps.crossfilter import CrossfilterSession
+from ...datagen import VIEW_DIMENSIONS, make_ontime_table
+from ..harness import Report, fmt_ms, scaled
+
+NAME = "fig13"
+TITLE = "Figure 13/14: crossfilter cumulative and per-interaction latency"
+
+TECHNIQUES = ("lazy", "bt", "bt+ft", "cube")
+INTERACTIVE_THRESHOLD = 0.150
+
+
+def make_table(n: int = None):
+    return make_ontime_table(n or scaled(200_000))
+
+
+def run_session(table, technique: str, max_per_view: int = 200) -> Dict:
+    session = CrossfilterSession(table, VIEW_DIMENSIONS, technique)
+    latencies = session.run_all_interactions(max_per_view=max_per_view)
+    flat = [t for times in latencies.values() for t in times]
+    return {
+        "technique": technique,
+        "build": session.build_seconds,
+        "per_view": latencies,
+        "total": session.build_seconds + sum(flat),
+        "interactions": len(flat),
+        "over_threshold": sum(1 for t in flat if t > INTERACTIVE_THRESHOLD),
+    }
+
+
+def run_report(max_per_view: int = 100) -> Report:
+    table = make_table()
+    report = Report(
+        TITLE,
+        [
+            "technique", "build", "interactions", "cumulative",
+            ">150ms", "max latency",
+        ],
+    )
+    details: List[Dict] = []
+    for technique in TECHNIQUES:
+        stats = run_session(table, technique, max_per_view)
+        details.append(stats)
+        flat = [t for times in stats["per_view"].values() for t in times]
+        report.add(
+            technique,
+            fmt_ms(stats["build"]),
+            stats["interactions"],
+            fmt_ms(stats["total"]),
+            stats["over_threshold"],
+            fmt_ms(max(flat)),
+        )
+    report.note("paper shape: bt+ft finishes before the cube is even built; "
+                "all but a handful of bars respond <150ms")
+    # Figure 14 detail: per-view mean latencies.
+    for stats in details:
+        for dim, times in stats["per_view"].items():
+            report.add(
+                f"  {stats['technique']}/{dim}",
+                "--",
+                len(times),
+                fmt_ms(sum(times)),
+                sum(1 for t in times if t > INTERACTIVE_THRESHOLD),
+                fmt_ms(max(times)),
+            )
+    return report

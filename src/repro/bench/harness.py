@@ -1,0 +1,86 @@
+"""Benchmark harness utilities: timing, scaling, and report tables.
+
+Every experiment module in :mod:`repro.bench.experiments` regenerates one
+figure/table of the paper as a text report.  Dataset sizes default to a
+laptop-friendly fraction of the paper's (the paper used up to 123.5M-row
+datasets); set the ``REPRO_SCALE`` environment variable to scale all
+experiment sizes multiplicatively.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+
+def scale() -> float:
+    """Global dataset-size multiplier from ``REPRO_SCALE`` (default 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled(n: int, minimum: int = 100) -> int:
+    return max(minimum, int(n * scale()))
+
+
+def time_once(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_median(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> float:
+    """Median wall-clock seconds over ``repeats`` runs after ``warmup``."""
+    for _ in range(warmup):
+        fn()
+    times = sorted(time_once(fn) for _ in range(repeats))
+    return times[len(times) // 2]
+
+
+def fmt_ms(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.2f}s "
+    return f"{seconds * 1000:8.2f}ms"
+
+
+def fmt_ratio(value: float) -> str:
+    return f"{value:6.2f}x"
+
+
+@dataclass
+class Report:
+    """A figure-shaped text report: header, rows, and notes."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cols = [str(c) for c in self.columns]
+        widths = [
+            max([len(cols[i])] + [len(r[i]) for r in self.rows])
+            for i in range(len(cols))
+        ]
+        lines = ["= " + self.title + " ="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+        print()

@@ -1,0 +1,39 @@
+"""CLI: regenerate the paper's figures as text reports.
+
+Usage::
+
+    python -m repro.bench.run            # list experiments
+    python -m repro.bench.run fig05      # one experiment
+    python -m repro.bench.run all        # everything (slow)
+
+Set ``REPRO_SCALE`` to scale dataset sizes (default 1.0).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import REGISTRY
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("available experiments:")
+        for name, module in sorted(REGISTRY.items()):
+            print(f"  {name}: {module.TITLE}")
+        print("usage: python -m repro.bench.run <figNN|all>")
+        return 0
+    names = sorted(REGISTRY) if argv[0] == "all" else argv
+    for name in names:
+        if name not in REGISTRY:
+            print(f"unknown experiment {name!r}; known: {sorted(REGISTRY)}")
+            return 2
+        report = REGISTRY[name].run_report()
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Dataset generators: microbenchmark zipf tables, TPC-H subset,
+Ontime-sim, and Physician-sim."""
+
+from .dates import add_days, date_int, date_range_ints
+from .ontime import VIEW_DIMENSIONS, make_ontime_table
+from .physician import FDS, PhysicianData, make_physician_table
+from .tpch import generate_tpch, load_tpch
+from .zipf_table import make_gids_table, make_zipf_table
+
+__all__ = [
+    "FDS",
+    "PhysicianData",
+    "VIEW_DIMENSIONS",
+    "add_days",
+    "date_int",
+    "date_range_ints",
+    "generate_tpch",
+    "load_tpch",
+    "make_gids_table",
+    "make_ontime_table",
+    "make_physician_table",
+    "make_zipf_table",
+]

@@ -1,0 +1,52 @@
+"""Date handling for generated datasets.
+
+The engine stores dates as ``YYYYMMDD`` int64 values: they compare
+correctly with ``<``/``>=``, and ``extract(year|month from d)`` is integer
+arithmetic (see :mod:`repro.expr.ast`).  This module converts between that
+encoding and day offsets so generators can do uniform-date arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def date_range_ints(start: str, end: str) -> np.ndarray:
+    """All calendar dates in ``[start, end]`` as YYYYMMDD ints.
+
+    ``start``/``end`` are ISO strings (``"1992-01-01"``).
+    """
+    days = np.arange(
+        np.datetime64(start, "D"), np.datetime64(end, "D") + np.timedelta64(1, "D")
+    )
+    return _datetime64_to_int(days)
+
+
+def _datetime64_to_int(days: np.ndarray) -> np.ndarray:
+    ymd = days.astype("datetime64[D]")
+    years = ymd.astype("datetime64[Y]").astype(np.int64) + 1970
+    months = ymd.astype("datetime64[M]").astype(np.int64) % 12 + 1
+    day_of_month = (ymd - ymd.astype("datetime64[M]")).astype(np.int64) + 1
+    return (years * 10000 + months * 100 + day_of_month).astype(np.int64)
+
+
+def add_days(date_ints: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """YYYYMMDD ints shifted by per-element day offsets."""
+    iso = int_to_datetime64(date_ints)
+    shifted = iso + offsets.astype("timedelta64[D]")
+    return _datetime64_to_int(shifted)
+
+
+def int_to_datetime64(date_ints: np.ndarray) -> np.ndarray:
+    years = date_ints // 10000
+    months = (date_ints // 100) % 100
+    days = date_ints % 100
+    return (
+        (years - 1970).astype("datetime64[Y]").astype("datetime64[M]")
+        + (months - 1).astype("timedelta64[M]")
+    ).astype("datetime64[D]") + (days - 1).astype("timedelta64[D]")
+
+
+def date_int(text: str) -> int:
+    """One ISO date string as a YYYYMMDD int (e.g. '1998-12-01' → 19981201)."""
+    return int(text.replace("-", ""))

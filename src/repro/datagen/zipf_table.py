@@ -1,0 +1,45 @@
+"""Microbenchmark tables ``zipf(id, z, v)`` (paper Section 5, Data).
+
+``z`` is an integer drawn from a bounded zipfian over ``groups`` distinct
+values with skew ``theta``; ``v`` is uniform in ``[0, 100]``.  Tuples are
+deliberately narrow to emphasize worst-case lineage capture overhead, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import Table
+from ..substrate.zipf import sample_zipf
+
+
+def make_zipf_table(
+    n: int,
+    groups: int,
+    theta: float = 1.0,
+    seed: int = 0,
+) -> Table:
+    """The microbenchmark relation: ``zipf_theta,n,g(id, z, v)``."""
+    rng = np.random.default_rng(seed)
+    z = sample_zipf(n, groups, theta, rng)
+    v = rng.random(n) * 100.0
+    return Table(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "z": z.astype(np.int64),
+            "v": v,
+        }
+    )
+
+
+def make_gids_table(groups: int, seed: int = 0) -> Table:
+    """Dimension table ``gids(id, payload)`` for pk-fk join benchmarks;
+    ``gids.id`` is the primary key referenced by ``zipf.z``."""
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "id": np.arange(groups, dtype=np.int64),
+            "payload": rng.random(groups) * 100.0,
+        }
+    )

@@ -1,0 +1,48 @@
+"""Exception taxonomy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table or expression referenced a column or type incorrectly."""
+
+
+class CatalogError(ReproError):
+    """A database-level naming problem (unknown/duplicate table or view)."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed or unsupported."""
+
+
+class SqlError(ReproError):
+    """The SQL front end rejected a statement."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class LineageError(ReproError):
+    """A lineage query or capture request is invalid.
+
+    Examples: tracing to a relation that was pruned from capture, asking for
+    forward lineage when only backward was captured, or probing an index
+    with out-of-range rids.
+    """
+
+
+class CaptureDisabledError(LineageError):
+    """Lineage was requested but capture was disabled (or pruned away)."""
+
+
+class WorkloadError(ReproError):
+    """A lineage-consuming workload declaration is inconsistent."""

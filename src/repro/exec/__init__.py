@@ -1,0 +1,1 @@
+"""Execution backends: vectorized (performance) and compiled (reference)."""

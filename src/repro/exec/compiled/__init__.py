@@ -1,0 +1,5 @@
+"""Compiled (produce/consume code generation) reference backend."""
+
+from .executor import CompiledExecutor
+
+__all__ = ["CompiledExecutor"]

@@ -1,0 +1,343 @@
+"""The compiled (produce/consume) execution engine.
+
+This backend is the faithful, reference realization of the paper's
+architecture (Figure 2): every query block becomes generated Python whose
+loops interleave relational work and lineage writes exactly as the
+Section 3.2 / Appendix F listings do.  Plans are split into *blocks* at
+pipeline breakers — group-by, distinct projection, and set operations —
+and each block's local lineage is composed with its children's end-to-end
+lineage (Section 3.3 propagation), so only output↔base indexes survive.
+
+Capture here is always Inject-shaped; Defer is a scheduling optimization,
+not a semantic one, so the vector backend owns that distinction.  Results
+(tables and lineage query answers) are bit-identical to the vector
+backend — invariant I3, enforced by the property test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...errors import PlanError
+from ...lineage.capture import CaptureConfig
+from ...lineage.composer import NodeLineage, _compose_entry, compose_node
+from ...lineage.indexes import NO_MATCH, RidArray, RidIndex, invert_rid_array
+from ...plan.logical import (
+    CrossProduct,
+    GroupBy,
+    HashJoin,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    SetOp,
+    Sort,
+    ThetaJoin,
+)
+from ...plan.schema import infer_schema, join_output_fields
+from ...storage.catalog import Catalog
+from ...storage.table import ColumnType, Schema, Table
+from ..vector.executor import ExecResult
+from .codegen import (
+    CodeContext,
+    CollectNode,
+    Emitter,
+    GroupByNode,
+    HashJoinNode,
+    NestedLoopJoinNode,
+    ProjectNode,
+    SelectNode,
+    SourceNode,
+    compile_source,
+)
+from .setops_ref import reference_setop
+
+_PER_ROW = (Scan, Select, HashJoin, ThetaJoin, CrossProduct)
+
+
+def _is_per_row(plan: LogicalPlan) -> bool:
+    if isinstance(plan, Project):
+        return not plan.distinct
+    return isinstance(plan, _PER_ROW)
+
+
+class CompiledExecutor:
+    """Executes logical plans via produce/consume Python code generation."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.last_source: Optional[str] = None  # generated code, for tests/docs
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        capture: Optional[CaptureConfig] = None,
+        params: Optional[dict] = None,
+    ) -> ExecResult:
+        config = capture or CaptureConfig.none()
+        start = time.perf_counter()
+        state = _ExecState(self, config, params)
+        table, node = state.run(plan)
+        elapsed = time.perf_counter() - start
+        lineage = node.to_query_lineage() if config.enabled else None
+        return ExecResult(table, lineage, {"execute": elapsed})
+
+
+class _ExecState:
+    def __init__(self, executor: CompiledExecutor, config: CaptureConfig, params):
+        self.executor = executor
+        self.catalog = executor.catalog
+        self.config = config
+        self.params = params
+        self.scan_keys = self._assign_scan_keys_root = None
+        self._scan_counter = 0
+        self._tmp_counter = 0
+        self.scan_keys = None
+
+    # -- key assignment (must match the vector executor's pre-order scheme) --
+
+    def _scan_key(self, table_name: str) -> str:
+        key = self.scan_keys[self._scan_counter]
+        self._scan_counter += 1
+        return key
+
+    def run(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
+        from ..vector.executor import VectorExecutor
+
+        self.scan_keys = VectorExecutor(self.catalog)._assign_scan_keys(plan)
+        return self._exec(plan)
+
+    # -- recursive block execution ---------------------------------------------
+
+    def _exec(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
+        if isinstance(plan, SetOp):
+            left_t, left_n = self._exec(plan.left)
+            right_t, right_n = self._exec(plan.right)
+            out, (l_bw, l_fw, r_bw, r_fw) = reference_setop(
+                plan.op, plan.all, left_t, right_t, self.config
+            )
+            node = NodeLineage(output_size=out.num_rows)
+            for side, bw, fw in ((left_n, l_bw, l_fw), (right_n, r_bw, r_fw)):
+                # Difference captures nothing for B (paper F.5, both bag
+                # and set): drop the right side rather than letting its
+                # absent locals read as identity maps.
+                keep = not (plan.op == "except" and side is right_n)
+                node.names.update(side.names)
+                node.base_sizes.update(side.base_sizes)
+                if not keep:
+                    continue
+                for key, entry in side.backward.items():
+                    node.backward[key] = _compose_entry(bw, entry)
+                for key, entry in side.forward.items():
+                    node.forward[key] = _compose_entry(entry, fw)
+            return out, node
+
+        if isinstance(plan, Sort):
+            child_table, child_node = self._exec(plan.child)
+            from ..vector.sort import execute_sort
+
+            out, local_bw, local_fw = execute_sort(child_table, plan, self.config)
+            return out, compose_node(out.num_rows, child_node, local_bw, local_fw)
+
+        if isinstance(plan, GroupBy):
+            return self._exec_groupby_block(plan, plan.child, plan.keys, plan.aggs, plan.having)
+
+        if isinstance(plan, Project) and plan.distinct:
+            return self._exec_groupby_block(plan, plan.child, plan.exprs, (), None)
+
+        if _is_per_row(plan):
+            return self._exec_per_row_block(plan)
+
+        raise PlanError(f"compiled backend cannot execute {plan!r}")
+
+    # -- per-row block -------------------------------------------------------------
+
+    def _exec_per_row_block(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
+        ctx = CodeContext()
+        sources: Dict[str, Dict[str, np.ndarray]] = {}
+        child_lineage: Dict[str, NodeLineage] = {}
+        emitter, out_schema = self._build_emitter(plan, ctx, sources, child_lineage)
+        collect = CollectNode(out_schema.names, sorted(child_lineage))
+        collect.setup(ctx)
+        _link(emitter, collect)
+        emitter.produce(ctx)
+        source = ctx.render()
+        self.executor.last_source = source
+        fn = compile_source(source)
+        cols, lins = fn(sources, self.params)
+        table = _lists_to_table(cols, out_schema)
+        node = self._assemble(table.num_rows, lins, child_lineage, per_row=True)
+        return table, node
+
+    def _exec_groupby_block(
+        self, plan: LogicalPlan, child: LogicalPlan, keys, aggs, having
+    ) -> Tuple[Table, NodeLineage]:
+        ctx = CodeContext()
+        sources: Dict[str, Dict[str, np.ndarray]] = {}
+        child_lineage: Dict[str, NodeLineage] = {}
+        emitter, _ = self._build_emitter(child, ctx, sources, child_lineage)
+        root = GroupByNode(keys, aggs, sorted(child_lineage), self.params)
+        root.setup(ctx)
+        _link(emitter, root)
+        emitter.produce(ctx)
+        source = ctx.render()
+        self.executor.last_source = source
+        fn = compile_source(source)
+        out_schema = infer_schema(plan, self.catalog)
+        cols, buckets = fn(sources, self.params)
+        table = _lists_to_table(cols, out_schema)
+        node = self._assemble(table.num_rows, buckets, child_lineage, per_row=False)
+        if having is not None:
+            from ...expr.ast import evaluate
+
+            keep = np.asarray(evaluate(having, table, self.params), dtype=bool)
+            kept = np.nonzero(keep)[0].astype(np.int64)
+            remap = np.full(keep.shape[0], NO_MATCH, dtype=np.int64)
+            remap[kept] = np.arange(kept.shape[0], dtype=np.int64)
+            table = table.take(kept)
+            node = compose_node(
+                table.num_rows, node, RidArray(kept), RidArray(remap)
+            ) if self.config.enabled else NodeLineage(output_size=table.num_rows)
+        return table, node
+
+    # -- emitter construction ---------------------------------------------------------
+
+    def _build_emitter(
+        self,
+        plan: LogicalPlan,
+        ctx: CodeContext,
+        sources: Dict[str, Dict[str, np.ndarray]],
+        child_lineage: Dict[str, NodeLineage],
+    ) -> Tuple[Emitter, Schema]:
+        """Build the per-row emitter tree for ``plan``; breaker children are
+        materialized recursively and become block sources."""
+        if isinstance(plan, Scan):
+            key = self._scan_key(plan.table)
+            table = self.catalog.get(plan.table)
+            src_name = key
+            sources[src_name] = table.columns()
+            captured = self.config.captures_relation(key, plan.table)
+            lineage_key = src_name if (self.config.enabled and captured) else None
+            if lineage_key:
+                child_lineage[src_name] = NodeLineage.for_scan(
+                    key,
+                    plan.table,
+                    table.num_rows,
+                    backward=self.config.backward,
+                    forward=self.config.forward,
+                )
+            return SourceNode(src_name, table.schema.names, lineage_key), table.schema
+
+        if isinstance(plan, Select):
+            child, schema = self._build_emitter(plan.child, ctx, sources, child_lineage)
+            node = SelectNode(plan.predicate, self.params)
+            _link(child, node)
+            node.child = child
+            return node, schema
+
+        if isinstance(plan, Project) and not plan.distinct:
+            child, schema = self._build_emitter(plan.child, ctx, sources, child_lineage)
+            node = ProjectNode(plan.exprs, self.params)
+            _link(child, node)
+            node.child = child
+            out_schema = infer_schema(plan, self.catalog) if isinstance(plan.child, Scan) else None
+            # infer via expression types against child schema:
+            from ...plan.schema import infer_expr_type
+
+            out_schema = Schema(
+                [(alias, infer_expr_type(e, schema)) for e, alias in plan.exprs]
+            )
+            return node, out_schema
+
+        if isinstance(plan, (HashJoin, ThetaJoin, CrossProduct)):
+            left, left_schema = self._build_emitter(plan.left, ctx, sources, child_lineage)
+            right, right_schema = self._build_emitter(plan.right, ctx, sources, child_lineage)
+            fields = join_output_fields(left_schema, right_schema)
+            out_schema = Schema([(n, t) for n, t, _ in fields])
+            rename = {
+                out_name: src
+                for (out_name, _, side), src in zip(
+                    fields, left_schema.names + right_schema.names
+                )
+                if side == "right"
+            }
+            if isinstance(plan, HashJoin):
+                node = HashJoinNode(plan.left_keys, plan.right_keys, plan.pkfk, rename)
+            else:
+                predicate = plan.predicate if isinstance(plan, ThetaJoin) else None
+                node = NestedLoopJoinNode(predicate, rename, self.params)
+            node.left = left
+            node.right = right
+            _link(left, node)
+            _link(right, node)
+            return node, out_schema
+
+        # Breaker child: materialize and register as an intermediate source.
+        table, node_lineage = self._exec(plan)
+        src_name = f"__tmp{self._tmp_counter}"
+        self._tmp_counter += 1
+        sources[src_name] = table.columns()
+        has_lineage = self.config.enabled and (
+            node_lineage.backward or node_lineage.forward
+        )
+        if has_lineage:
+            child_lineage[src_name] = node_lineage
+        return (
+            SourceNode(src_name, table.schema.names, src_name if has_lineage else None),
+            table.schema,
+        )
+
+    # -- lineage assembly ---------------------------------------------------------------
+
+    def _assemble(
+        self,
+        n_out: int,
+        lins: Dict[str, list],
+        child_lineage: Dict[str, NodeLineage],
+        per_row: bool,
+    ) -> NodeLineage:
+        node = NodeLineage(output_size=n_out)
+        if not self.config.enabled:
+            return node
+        for src_name, child in child_lineage.items():
+            if per_row:
+                values = np.asarray(lins[src_name], dtype=np.int64)
+                local_bw = RidArray(values)
+                local_fw = invert_rid_array(local_bw, child.output_size)
+            else:
+                buckets = lins[src_name]
+                local_bw = RidIndex.from_buckets(
+                    [np.asarray(b, dtype=np.int64) for b in buckets]
+                )
+                fw_vals = np.full(child.output_size, NO_MATCH, dtype=np.int64)
+                for oid, bucket in enumerate(buckets):
+                    if bucket:
+                        fw_vals[np.asarray(bucket, dtype=np.int64)] = oid
+                local_fw = RidArray(fw_vals)
+            node.names.update(child.names)
+            node.base_sizes.update(child.base_sizes)
+            for key, entry in child.backward.items():
+                node.backward[key] = _compose_entry(local_bw, entry)
+            for key, entry in child.forward.items():
+                node.forward[key] = _compose_entry(entry, local_fw)
+        return node
+
+
+def _link(child: Emitter, parent: Emitter) -> None:
+    child.parent = parent
+
+
+def _lists_to_table(cols: Dict[str, list], schema: Schema) -> Table:
+    arrays = {}
+    for name, ctype in schema.fields:
+        values = cols[name]
+        if ctype is ColumnType.STR:
+            arr = np.empty(len(values), dtype=object)
+            arr[:] = values
+        else:
+            arr = np.asarray(values, dtype=ctype.numpy_dtype)
+        arrays[name] = arr
+    return Table(arrays, schema)

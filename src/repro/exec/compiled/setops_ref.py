@@ -1,0 +1,217 @@
+"""Reference set/bag operations following the Appendix F listings.
+
+These are deliberate, line-by-line Python transcriptions of the paper's
+Inject pseudocode (Listings 2, 4, and the bag variants): build a hash
+table over the left relation's rows, probe/append with the right relation,
+scan the table to emit output plus lineage.  They serve as the semantic
+ground truth the vectorized implementations are property-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import PlanError
+from ...lineage.capture import CaptureConfig
+from ...lineage.indexes import NO_MATCH, RidArray, RidIndex, invert_rid_array
+from ...storage.table import Table, concat_tables
+
+Locals = Tuple[object, object, object, object]
+
+
+def _rows(table: Table) -> List[tuple]:
+    return table.to_rows()
+
+
+def _emit(left: Table, rows: List[tuple]) -> Table:
+    return Table.from_rows(left.schema, rows)
+
+
+def reference_setop(
+    op: str, all_: bool, left: Table, right: Table, config: CaptureConfig
+) -> Tuple[Table, Locals]:
+    if op == "union":
+        return (_bag_union if all_ else _set_union)(left, right, config)
+    if op == "intersect":
+        return (_bag_intersect if all_ else _set_intersect)(left, right, config)
+    if op == "except":
+        return (_bag_except if all_ else _set_except)(left, right, config)
+    raise PlanError(f"unknown set operation {op!r}")
+
+
+def _locals_from_forward(
+    fw_vals: List[int], n_out: int, config: CaptureConfig
+) -> Tuple[Optional[RidIndex], Optional[RidArray]]:
+    arr = RidArray(np.asarray(fw_vals, dtype=np.int64))
+    bw = invert_rid_array(arr, n_out) if config.backward else None
+    fw = arr if config.forward else None
+    return bw, fw
+
+
+def _set_union(left: Table, right: Table, config: CaptureConfig):
+    ht: Dict[tuple, list] = {}
+    for i, row in enumerate(_rows(left)):          # ∪ht: build phase
+        entry = ht.get(row)
+        if entry is None:
+            entry = ht[row] = [[], []]
+        entry[0].append(i)
+    for i, row in enumerate(_rows(right)):         # ∪p: probe/append
+        entry = ht.get(row)
+        if entry is None:
+            entry = ht[row] = [[], []]
+        entry[1].append(i)
+    out_rows = list(ht.keys())                     # ∪scan
+    output = _emit(left, out_rows)
+    if not config.enabled:
+        return output, (None, None, None, None)
+    a_fw = [NO_MATCH] * left.num_rows
+    b_fw = [NO_MATCH] * right.num_rows
+    for oid, (a_rids, b_rids) in enumerate(ht.values()):
+        for r in a_rids:
+            a_fw[r] = oid
+        for r in b_rids:
+            b_fw[r] = oid
+    l_bw, l_fw = _locals_from_forward(a_fw, output.num_rows, config)
+    r_bw, r_fw = _locals_from_forward(b_fw, output.num_rows, config)
+    return output, (l_bw, l_fw, r_bw, r_fw)
+
+
+def _bag_union(left: Table, right: Table, config: CaptureConfig):
+    output = concat_tables(
+        [left, right.rename(dict(zip(right.schema.names, left.schema.names)))]
+    )
+    if not config.enabled:
+        return output, (None, None, None, None)
+    n_left, n_right = left.num_rows, right.num_rows
+    l_bw = RidArray(
+        np.concatenate([np.arange(n_left), np.full(n_right, NO_MATCH)]).astype(np.int64)
+    ) if config.backward else None
+    r_bw = RidArray(
+        np.concatenate([np.full(n_left, NO_MATCH), np.arange(n_right)]).astype(np.int64)
+    ) if config.backward else None
+    l_fw = RidArray(np.arange(n_left, dtype=np.int64)) if config.forward else None
+    r_fw = (
+        RidArray(np.arange(n_right, dtype=np.int64) + n_left)
+        if config.forward
+        else None
+    )
+    return output, (l_bw, l_fw, r_bw, r_fw)
+
+
+def _set_intersect(left: Table, right: Table, config: CaptureConfig):
+    ht: Dict[tuple, list] = {}
+    for i, row in enumerate(_rows(left)):          # ∩ht: build on A
+        entry = ht.get(row)
+        if entry is None:
+            entry = ht[row] = [[], []]
+        entry[0].append(i)
+    for i, row in enumerate(_rows(right)):         # ∩p: probe only
+        entry = ht.get(row)
+        if entry is not None:
+            entry[1].append(i)
+    out_rows = [row for row, e in ht.items() if e[1]]   # ∩scan
+    output = _emit(left, out_rows)
+    if not config.enabled:
+        return output, (None, None, None, None)
+    a_fw = [NO_MATCH] * left.num_rows
+    b_fw = [NO_MATCH] * right.num_rows
+    oid = -1
+    for row, (a_rids, b_rids) in ht.items():
+        if not b_rids:
+            continue
+        oid += 1
+        for r in a_rids:
+            a_fw[r] = oid
+        for r in b_rids:
+            b_fw[r] = oid
+    l_bw, l_fw = _locals_from_forward(a_fw, output.num_rows, config)
+    r_bw, r_fw = _locals_from_forward(b_fw, output.num_rows, config)
+    return output, (l_bw, l_fw, r_bw, r_fw)
+
+
+def _bag_intersect(left: Table, right: Table, config: CaptureConfig):
+    """Product-multiplicity bag intersection (Appendix F.4)."""
+    ht: Dict[tuple, list] = {}
+    for i, row in enumerate(_rows(left)):
+        entry = ht.get(row)
+        if entry is None:
+            entry = ht[row] = [[], []]
+        entry[0].append(i)
+    for i, row in enumerate(_rows(right)):
+        entry = ht.get(row)
+        if entry is not None:
+            entry[1].append(i)
+    out_rows: List[tuple] = []
+    out_a: List[int] = []
+    out_b: List[int] = []
+    for row, (a_rids, b_rids) in ht.items():
+        for a in a_rids:                            # a-major pair order
+            for b in b_rids:
+                out_rows.append(row)
+                out_a.append(a)
+                out_b.append(b)
+    output = _emit(left, out_rows)
+    if not config.enabled:
+        return output, (None, None, None, None)
+    a_arr = RidArray(np.asarray(out_a, dtype=np.int64))
+    b_arr = RidArray(np.asarray(out_b, dtype=np.int64))
+    l_bw = a_arr if config.backward else None
+    r_bw = b_arr if config.backward else None
+    l_fw = invert_rid_array(a_arr, left.num_rows) if config.forward else None
+    r_fw = invert_rid_array(b_arr, right.num_rows) if config.forward else None
+    return output, (l_bw, l_fw, r_bw, r_fw)
+
+
+def _set_except(left: Table, right: Table, config: CaptureConfig):
+    ht: Dict[tuple, list] = {}
+    for i, row in enumerate(_rows(left)):          # build with b_bit = 1
+        entry = ht.get(row)
+        if entry is None:
+            entry = ht[row] = [[], True]
+        entry[0].append(i)
+    for row in _rows(right):                        # probe clears the bit
+        entry = ht.get(row)
+        if entry is not None:
+            entry[1] = False
+    out_rows = [row for row, e in ht.items() if e[1]]
+    output = _emit(left, out_rows)
+    if not config.enabled:
+        return output, (None, None, None, None)
+    a_fw = [NO_MATCH] * left.num_rows
+    oid = -1
+    for row, (a_rids, survives) in ht.items():
+        if not survives:
+            continue
+        oid += 1
+        for r in a_rids:
+            a_fw[r] = oid
+    l_bw, l_fw = _locals_from_forward(a_fw, output.num_rows, config)
+    return output, (l_bw, l_fw, None, None)
+
+
+def _bag_except(left: Table, right: Table, config: CaptureConfig):
+    ht: Dict[tuple, list] = {}
+    for i, row in enumerate(_rows(left)):
+        entry = ht.get(row)
+        if entry is None:
+            entry = ht[row] = [[], 0]
+        entry[0].append(i)
+    for row in _rows(right):
+        entry = ht.get(row)
+        if entry is not None:
+            entry[1] += 1
+    out_rows: List[tuple] = []
+    out_a: List[int] = []
+    for row, (a_rids, b_count) in ht.items():
+        for a in a_rids[: max(0, len(a_rids) - b_count)]:
+            out_rows.append(row)
+            out_a.append(a)
+    output = _emit(left, out_rows)
+    if not config.enabled:
+        return output, (None, None, None, None)
+    arr = RidArray(np.asarray(out_a, dtype=np.int64))
+    l_bw = arr if config.backward else None
+    l_fw = invert_rid_array(arr, left.num_rows) if config.forward else None
+    return output, (l_bw, l_fw, None, None)

@@ -1,0 +1,5 @@
+"""Vectorized execution backend with integrated lineage capture."""
+
+from .executor import ExecResult, VectorExecutor
+
+__all__ = ["ExecResult", "VectorExecutor"]

@@ -1,0 +1,316 @@
+"""The vectorized execution engine with integrated lineage capture.
+
+``VectorExecutor.execute`` walks a logical plan bottom-up.  Every operator
+computes its output *and* its local lineage in the same pass (tight
+integration, principle P1) and immediately rewrites that local lineage in
+terms of base-relation rids via :mod:`repro.lineage.composer` (Section 3.3
+propagation) — intermediate indexes are never retained.
+
+The result is an :class:`ExecResult`: the output table, a
+:class:`~repro.lineage.capture.QueryLineage` handle (unless capture was
+off), and a timing breakdown separating base-query time from deferred
+finalization time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import PlanError
+from ...lineage.capture import CaptureConfig, CaptureMode, QueryLineage
+from ...lineage.composer import NodeLineage, compose_node, merge_binary
+from ...lineage.indexes import RidArray, RidIndex
+from ...plan.logical import (
+    CrossProduct,
+    GroupBy,
+    HashJoin,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    SetOp,
+    Sort,
+    ThetaJoin,
+)
+from ...plan.schema import infer_schema, join_output_fields
+from ...storage.catalog import Catalog
+from ...storage.table import Table
+from .groupby import execute_groupby
+from .join import compute_matches, join_lineage_locals, materialize_join_output
+from .kernels import factorize
+from .nested import cross_product_lineage, theta_lineage_locals, theta_matches
+from .select import execute_select
+from .setops import execute_setop
+from .sort import execute_sort
+
+
+@dataclass
+class ExecResult:
+    """Output of one instrumented query execution."""
+
+    table: Table
+    lineage: Optional[QueryLineage]
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def execute_seconds(self) -> float:
+        """Wall time of the (instrumented) base query."""
+        return self.timings.get("execute", 0.0)
+
+    @property
+    def finalize_seconds(self) -> float:
+        """Deferred-capture time spent so far (Defer mode only)."""
+        return self.lineage.finalize_seconds if self.lineage else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Base query + (so far) finalized deferred capture."""
+        return self.execute_seconds + self.finalize_seconds
+
+
+class VectorExecutor:
+    """Executes logical plans over a catalog with configurable capture."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- public API --------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        capture: Optional[CaptureConfig] = None,
+        params: Optional[dict] = None,
+    ) -> ExecResult:
+        config = capture or CaptureConfig.none()
+        start = time.perf_counter()
+        scan_keys = self._assign_scan_keys(plan)
+        table, node = self._run(plan, config, params, scan_keys, counter=[0])
+        elapsed = time.perf_counter() - start
+        lineage = node.to_query_lineage() if config.enabled else None
+        return ExecResult(table, lineage, {"execute": elapsed})
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _assign_scan_keys(self, plan: LogicalPlan) -> List[str]:
+        """Occurrence key per Scan in pre-order: plain table name when a
+        table is scanned once, ``name#i`` when scanned multiple times."""
+        scans = [n.table for n in _preorder_scans(plan)]
+        seen: Dict[str, int] = {}
+        counts: Dict[str, int] = {}
+        for name in scans:
+            counts[name] = counts.get(name, 0) + 1
+        keys = []
+        for name in scans:
+            if counts[name] == 1:
+                keys.append(name)
+            else:
+                idx = seen.get(name, 0)
+                seen[name] = idx + 1
+                keys.append(f"{name}#{idx}")
+        return keys
+
+    def _run(
+        self,
+        plan: LogicalPlan,
+        config: CaptureConfig,
+        params: Optional[dict],
+        scan_keys: List[str],
+        counter: List[int],
+    ) -> Tuple[Table, NodeLineage]:
+        if isinstance(plan, Scan):
+            key = scan_keys[counter[0]]
+            counter[0] += 1
+            table = self.catalog.get(plan.table)
+            captured = config.captures_relation(key, plan.table)
+            node = NodeLineage.for_scan(
+                key,
+                plan.table,
+                table.num_rows,
+                backward=config.backward and captured,
+                forward=config.forward and captured,
+            )
+            return table, node
+
+        if isinstance(plan, Select):
+            child_table, child_node = self._run(
+                plan.child, config, params, scan_keys, counter
+            )
+            out, local_bw, local_fw = execute_select(
+                child_table, plan.predicate, config, params
+            )
+            node = compose_node(out.num_rows, child_node, local_bw, local_fw)
+            return out, node
+
+        if isinstance(plan, Sort):
+            child_table, child_node = self._run(
+                plan.child, config, params, scan_keys, counter
+            )
+            out, local_bw, local_fw = execute_sort(child_table, plan, config)
+            node = compose_node(out.num_rows, child_node, local_bw, local_fw)
+            return out, node
+
+        if isinstance(plan, Project):
+            child_table, child_node = self._run(
+                plan.child, config, params, scan_keys, counter
+            )
+            return self._project(plan, child_table, child_node, config, params)
+
+        if isinstance(plan, GroupBy):
+            child_table, child_node = self._run(
+                plan.child, config, params, scan_keys, counter
+            )
+            schema = infer_schema(plan, self.catalog)
+            out, local_bw, local_fw = execute_groupby(
+                child_table, plan, config, params, schema
+            )
+            node = compose_node(out.num_rows, child_node, local_bw, local_fw)
+            return out, node
+
+        if isinstance(plan, HashJoin):
+            left_table, left_node = self._run(
+                plan.left, config, params, scan_keys, counter
+            )
+            right_table, right_node = self._run(
+                plan.right, config, params, scan_keys, counter
+            )
+            matches = compute_matches(
+                left_table, right_table, plan.left_keys, plan.right_keys, plan.pkfk
+            )
+            fields = join_output_fields(left_table.schema, right_table.schema)
+            src_names = left_table.schema.names + right_table.schema.names
+            out = materialize_join_output(
+                left_table,
+                right_table,
+                matches,
+                [(n, s) for (n, _, _), s in zip(fields, src_names)],
+            )
+            l_bw, l_fw, r_bw, r_fw = join_lineage_locals(matches, config, plan.pkfk)
+            node = merge_binary(
+                out.num_rows, left_node, right_node, l_bw, l_fw, r_bw, r_fw
+            )
+            return out, node
+
+        if isinstance(plan, ThetaJoin):
+            left_table, left_node = self._run(
+                plan.left, config, params, scan_keys, counter
+            )
+            right_table, right_node = self._run(
+                plan.right, config, params, scan_keys, counter
+            )
+            fields = join_output_fields(left_table.schema, right_table.schema)
+            src_names = left_table.schema.names + right_table.schema.names
+            combined_names = [(n, s) for (n, _, _), s in zip(fields, src_names)]
+            matches = theta_matches(
+                left_table, right_table, plan.predicate, combined_names, params
+            )
+            out = materialize_join_output(
+                left_table, right_table, matches, combined_names
+            )
+            l_bw, l_fw, r_bw, r_fw = theta_lineage_locals(matches, config)
+            node = merge_binary(
+                out.num_rows, left_node, right_node, l_bw, l_fw, r_bw, r_fw
+            )
+            return out, node
+
+        if isinstance(plan, CrossProduct):
+            left_table, left_node = self._run(
+                plan.left, config, params, scan_keys, counter
+            )
+            right_table, right_node = self._run(
+                plan.right, config, params, scan_keys, counter
+            )
+            n_left, n_right = left_table.num_rows, right_table.num_rows
+            fields = join_output_fields(left_table.schema, right_table.schema)
+            src_names = left_table.schema.names + right_table.schema.names
+            columns = {}
+            for i, ((out_name, _, _), src) in enumerate(zip(fields, src_names)):
+                if i < len(left_table.schema.names):
+                    columns[out_name] = np.repeat(left_table.column(src), n_right)
+                else:
+                    columns[out_name] = np.tile(right_table.column(src), n_left)
+            out = Table(columns)
+            l_bw, l_fw, r_bw, r_fw = cross_product_lineage(n_left, n_right, config)
+            node = merge_binary(
+                out.num_rows, left_node, right_node, l_bw, l_fw, r_bw, r_fw
+            )
+            return out, node
+
+        if isinstance(plan, SetOp):
+            left_table, left_node = self._run(
+                plan.left, config, params, scan_keys, counter
+            )
+            right_table, right_node = self._run(
+                plan.right, config, params, scan_keys, counter
+            )
+            out, (l_bw, l_fw, r_bw, r_fw) = execute_setop(
+                plan.op, plan.all, left_table, right_table, config
+            )
+            node = merge_binary(
+                out.num_rows, left_node, right_node, l_bw, l_fw, r_bw, r_fw
+            )
+            if plan.op == "except":
+                # No lineage for B (paper F.5): every output depends on all
+                # of B, so Smoke answers those queries with a scan instead.
+                # Dropping the entries here also prevents the binary-merge
+                # step from mistaking the "absent" locals for identity maps.
+                for key in list(node.backward):
+                    if key in right_node.backward and key not in left_node.backward:
+                        del node.backward[key]
+                for key in list(node.forward):
+                    if key in right_node.forward and key not in left_node.forward:
+                        del node.forward[key]
+            return out, node
+
+        raise PlanError(f"vector backend cannot execute {plan!r}")
+
+    def _project(
+        self,
+        plan: Project,
+        child_table: Table,
+        child_node: NodeLineage,
+        config: CaptureConfig,
+        params: Optional[dict],
+    ) -> Tuple[Table, NodeLineage]:
+        from ...expr.ast import evaluate
+
+        schema = infer_schema(plan, self.catalog)
+        columns = {
+            alias: np.asarray(evaluate(expr, child_table, params))
+            for expr, alias in plan.exprs
+        }
+        projected = Table(columns, schema)
+        if not plan.distinct:
+            # Bag projection needs no capture: rids are unchanged (3.2.1).
+            node = compose_node(projected.num_rows, child_node, None, None)
+            return projected, node
+        if projected.num_rows == 0:
+            node = compose_node(0, child_node, RidIndex.empty(0), RidArray.full_no_match(0))
+            return projected, node
+        group_ids, num_groups, representatives = factorize(
+            [projected.column(n) for n in schema.names]
+        )
+        output = projected.take(representatives)
+        local_bw = None
+        local_fw = None
+        if config.enabled:
+            if config.backward:
+                if config.mode is CaptureMode.DEFER:
+                    local_bw = lambda g=group_ids, n=num_groups: RidIndex.from_group_ids(g, n)
+                else:
+                    local_bw = RidIndex.from_group_ids(group_ids, num_groups)
+            if config.forward:
+                local_fw = RidArray(group_ids.copy())
+        node = compose_node(output.num_rows, child_node, local_bw, local_fw)
+        return output, node
+
+
+def _preorder_scans(plan: LogicalPlan):
+    if isinstance(plan, Scan):
+        yield plan
+    for child in plan.children:
+        yield from _preorder_scans(child)

@@ -1,0 +1,161 @@
+"""Vectorized building blocks shared by the operators of this backend.
+
+The vector backend plays the role of the paper's compiled query engine:
+each kernel makes a small, fixed number of passes over columnar data, so
+per-tuple interpretation cost — which would drown the instrumentation
+overhead Smoke is about — never appears (see DESIGN.md, substitution 1).
+
+``factorize`` deserves a note: it assigns dense group ids in *first
+occurrence* order, which is the order a hash table's insertion scan would
+produce.  The compiled backend builds groups with a Python dict (insertion
+ordered), so both backends emit groups in the same order and results can be
+compared exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import PlanError
+from ...expr.ast import evaluate
+from ...plan.logical import AggCall
+from ...storage.table import Table
+
+
+def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Dense group ids for composite keys, in first-occurrence order.
+
+    Returns ``(group_ids, num_groups, representative_rids)`` where
+    ``representative_rids[g]`` is the first input rid of group ``g``.
+    """
+    if not arrays:
+        raise PlanError("factorize requires at least one key array")
+    n = arrays[0].shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64)
+    combined: Optional[np.ndarray] = None
+    for arr in arrays:
+        codes, domain = _codes_for(arr)
+        if combined is None:
+            combined, width = codes, domain
+        else:
+            combined = combined * domain + codes
+            width *= domain
+    uniq, first_idx, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    # np.unique sorts by value; re-rank so group 0 is the first seen.
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(order.shape[0], dtype=np.int64)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    group_ids = rank[inverse.reshape(-1)]
+    representatives = first_idx[order].astype(np.int64)
+    return group_ids, int(uniq.shape[0]), representatives
+
+
+def _codes_for(arr: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Dense integer codes for one key column plus its domain size."""
+    if arr.dtype == object or arr.dtype.kind in "US":
+        # Dictionary-encode via a hash table rather than np.unique: sorting
+        # object arrays runs Python comparisons and is ~5x slower than one
+        # dict-building pass.  Codes come out in first-occurrence order.
+        mapping: dict = {}
+        out = np.empty(arr.shape[0], dtype=np.int64)
+        next_code = 0
+        get = mapping.get
+        for i, value in enumerate(arr):
+            code = get(value)
+            if code is None:
+                code = mapping[value] = next_code
+                next_code += 1
+            out[i] = code
+        return out, next_code
+    if arr.dtype.kind == "f":
+        uniq, inverse = np.unique(arr, return_inverse=True)
+        return inverse.reshape(-1).astype(np.int64), int(uniq.shape[0])
+    values = arr.astype(np.int64)
+    lo = int(values.min())
+    hi = int(values.max())
+    span = hi - lo + 1
+    if span <= 2 * values.shape[0] + 16:
+        return values - lo, span
+    uniq, inverse = np.unique(values, return_inverse=True)
+    return inverse.reshape(-1).astype(np.int64), int(uniq.shape[0])
+
+
+class GroupLayout:
+    """Sorted layout of rows by group: the substrate for exact aggregation.
+
+    ``order`` is a stable argsort of the group ids; ``offsets`` delimit each
+    group's segment.  Shared by all aggregates of one GROUP BY so the sort
+    happens once (this is also precisely the backward rid index layout —
+    the reuse principle P4 at work).
+    """
+
+    __slots__ = ("order", "offsets", "group_ids", "num_groups")
+
+    def __init__(self, group_ids: np.ndarray, num_groups: int):
+        self.group_ids = group_ids
+        self.num_groups = num_groups
+        self.order = np.argsort(group_ids, kind="stable").astype(np.int64)
+        counts = np.bincount(group_ids, minlength=num_groups)
+        self.offsets = np.empty(num_groups + 1, dtype=np.int64)
+        self.offsets[0] = 0
+        np.cumsum(counts, out=self.offsets[1:])
+
+    def counts(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+
+def compute_aggregate(
+    agg: AggCall,
+    layout: GroupLayout,
+    child: Table,
+    params: Optional[dict] = None,
+) -> np.ndarray:
+    """Evaluate one aggregate over every group."""
+    n_groups = layout.num_groups
+    if agg.func == "count" and agg.arg is None:
+        return layout.counts().astype(np.int64)
+    values = evaluate(agg.arg, child, params) if agg.arg is not None else None
+    if n_groups == 0:
+        dtype = np.float64 if agg.func == "avg" else (
+            values.dtype if values is not None else np.int64
+        )
+        return np.empty(0, dtype=dtype)
+    if agg.func == "count":
+        return layout.counts().astype(np.int64)
+    if agg.func == "count_distinct":
+        codes, domain = _codes_for(values)
+        combined = layout.group_ids.astype(np.int64) * domain + codes
+        uniq = np.unique(combined)
+        return np.bincount(uniq // domain, minlength=n_groups).astype(np.int64)
+    sorted_vals = values[layout.order]
+    if sorted_vals.dtype == bool:
+        # Boolean predicates aggregate as 0/1 counts (e.g. TPC-H Q12's
+        # CASE-like sums); reduceat over bool would compute logical OR.
+        sorted_vals = sorted_vals.astype(np.int64)
+    starts = layout.offsets[:-1]
+    if agg.func == "sum":
+        out = np.add.reduceat(sorted_vals, starts)
+        return out
+    if agg.func == "avg":
+        sums = np.add.reduceat(sorted_vals.astype(np.float64), starts)
+        return sums / layout.counts()
+    if agg.func == "min":
+        return np.minimum.reduceat(sorted_vals, starts)
+    if agg.func == "max":
+        return np.maximum.reduceat(sorted_vals, starts)
+    raise PlanError(f"unknown aggregate {agg.func!r}")
+
+
+def chunk_ranges(n: int, chunk_size: int):
+    """Yield ``(lo, hi)`` covering ``[0, n)`` in chunks (Inject's unit of
+    appending work)."""
+    lo = 0
+    while lo < n:
+        hi = min(n, lo + chunk_size)
+        yield lo, hi
+        lo = hi

@@ -1,0 +1,107 @@
+"""Nested-loop θ-joins and cross products (Appendix F.6-F.7).
+
+θ-joins evaluate an arbitrary predicate over the (chunked) cross space.
+Output order matches the paper's doubly-nested loop: left-major, then
+right.  Backward lineage is two rid arrays written serially with the
+output; the left forward index can be condensed because outputs for one
+left row are contiguous.
+
+Cross products need no stored lineage at all — the paper observes that
+lineage is *computable* from the operand cardinalities (output ``k`` comes
+from left ``k // |B|`` and right ``k % |B|``).  We expose that closed form
+as materialized rid arrays/indexes only when capture is requested, and the
+construction is a pair of ``arange``/``repeat`` calls rather than per-tuple
+work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...expr.ast import Expr, evaluate
+from ...lineage.capture import CaptureConfig
+from ...lineage.indexes import RidArray, RidIndex
+from ...storage.table import Table
+from .join import JoinMatches, join_lineage_locals
+from .kernels import chunk_ranges
+
+
+def theta_matches(
+    left: Table,
+    right: Table,
+    predicate: Expr,
+    combined_names: List[Tuple[str, str]],
+    params: Optional[dict],
+    chunk_rows: int = 1 << 14,
+) -> JoinMatches:
+    """Evaluate the predicate over the cross space in left-row chunks."""
+    n_left, n_right = left.num_rows, right.num_rows
+    out_left_parts = []
+    out_right_parts = []
+    if n_left and n_right:
+        chunk = max(1, chunk_rows // max(1, n_right))
+        right_tiled_cols = {}
+        n_left_cols = len(left.schema.names)
+        for lo, hi in chunk_ranges(n_left, chunk):
+            block = hi - lo
+            columns = {}
+            for i, (out_name, src_name) in enumerate(combined_names):
+                if i < n_left_cols:
+                    columns[out_name] = np.repeat(
+                        left.column(src_name)[lo:hi], n_right
+                    )
+                else:
+                    if src_name not in right_tiled_cols:
+                        right_tiled_cols[src_name] = right.column(src_name)
+                    columns[out_name] = np.tile(right_tiled_cols[src_name], block)
+            cross = Table(columns)
+            mask = np.asarray(evaluate(predicate, cross, params), dtype=bool)
+            hits = np.nonzero(mask)[0]
+            out_left_parts.append(hits // n_right + lo)
+            out_right_parts.append(hits % n_right)
+    out_left = (
+        np.concatenate(out_left_parts) if out_left_parts else np.empty(0, np.int64)
+    )
+    out_right = (
+        np.concatenate(out_right_parts) if out_right_parts else np.empty(0, np.int64)
+    )
+    return JoinMatches(out_left, out_right, n_left, n_right)
+
+
+def theta_lineage_locals(matches: JoinMatches, config: CaptureConfig):
+    """θ-join lineage: same shapes as an m:n hash join, but the probe-side
+    contiguity trick applies to the *left* relation here (left-major
+    output order), so we reuse the join machinery with sides flipped."""
+    if not config.enabled:
+        return None, None, None, None
+    flipped = JoinMatches(
+        matches.out_right, matches.out_left, matches.num_right, matches.num_left
+    )
+    r_bw, r_fw, l_bw, l_fw = join_lineage_locals(flipped, config, pkfk=False)
+    return l_bw, l_fw, r_bw, r_fw
+
+
+def cross_product_lineage(
+    n_left: int, n_right: int, config: CaptureConfig
+):
+    """Closed-form cross product lineage (paper F.7)."""
+    if not config.enabled:
+        return None, None, None, None
+    n_out = n_left * n_right
+    l_bw = r_bw = l_fw = r_fw = None
+    if config.backward:
+        l_bw = RidArray(np.repeat(np.arange(n_left, dtype=np.int64), n_right))
+        r_bw = RidArray(np.tile(np.arange(n_right, dtype=np.int64), n_left))
+    if config.forward:
+        offsets = np.arange(n_left + 1, dtype=np.int64) * n_right
+        l_fw = RidIndex(offsets, np.arange(n_out, dtype=np.int64))
+        if n_right:
+            base = np.arange(n_out, dtype=np.int64).reshape(n_left, n_right)
+            r_values = base.T.reshape(-1)
+        else:
+            r_values = np.empty(0, dtype=np.int64)
+        r_offsets = np.arange(n_right + 1, dtype=np.int64) * n_left
+        r_fw = RidIndex(r_offsets, r_values)
+    return l_bw, l_fw, r_bw, r_fw

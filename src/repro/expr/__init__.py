@@ -1,0 +1,31 @@
+"""Scalar expressions: AST, vectorized evaluation, source compilation."""
+
+from .ast import (
+    BinOp,
+    Col,
+    Const,
+    Expr,
+    Func,
+    InList,
+    Not,
+    Param,
+    bind_params,
+    collect_params,
+    evaluate,
+)
+from .compile import to_source
+
+__all__ = [
+    "BinOp",
+    "Col",
+    "Const",
+    "Expr",
+    "Func",
+    "InList",
+    "Not",
+    "Param",
+    "bind_params",
+    "collect_params",
+    "evaluate",
+    "to_source",
+]

@@ -1,0 +1,69 @@
+"""Render expressions to Python source fragments.
+
+The compiled backend (:mod:`repro.exec.compiled`) emits one Python function
+per pipeline, following the produce/consume model of Appendix A.  This
+module turns an :class:`~repro.expr.ast.Expr` into an inline Python
+expression over the loop's current row variables, so predicates and
+projections evaluate with zero interpreter dispatch beyond the generated
+code itself — the Python analogue of the paper's "tight integration"
+principle P1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import PlanError
+from .ast import BinOp, Col, Const, Expr, Func, InList, Not, Param
+
+_PY_OPS = {
+    "+": "+", "-": "-", "*": "*", "/": "/",
+    "=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "and": "and", "or": "or",
+}
+
+_FUNC_TEMPLATES: Dict[str, str] = {
+    "sqrt": "_sqrt({0})",
+    "abs": "abs({0})",
+    "floor": "_floor({0})",
+    "year": "({0} // 10000)",
+    "month": "(({0} // 100) % 100)",
+}
+
+
+def to_source(
+    expr: Expr,
+    column_ref: Callable[[str], str],
+    params: Optional[dict] = None,
+) -> str:
+    """Render ``expr`` as a Python source fragment.
+
+    ``column_ref`` maps a column name to the source text that reads it in
+    the generated loop (e.g. ``lambda c: f"a_{c}[i]"``).  Params must be
+    bound before code generation: generated code is cached per plan, not
+    per parameter binding.
+    """
+    if isinstance(expr, Col):
+        return column_ref(expr.name)
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Param):
+        if params is None or expr.name not in params:
+            raise PlanError(f"cannot compile unbound parameter :{expr.name}")
+        return repr(params[expr.name])
+    if isinstance(expr, BinOp):
+        left = to_source(expr.left, column_ref, params)
+        right = to_source(expr.right, column_ref, params)
+        return f"({left} {_PY_OPS[expr.op]} {right})"
+    if isinstance(expr, Not):
+        return f"(not {to_source(expr.operand, column_ref, params)})"
+    if isinstance(expr, Func):
+        args = [to_source(a, column_ref, params) for a in expr.args]
+        try:
+            return _FUNC_TEMPLATES[expr.name].format(*args)
+        except KeyError:
+            raise PlanError(f"cannot compile function {expr.name!r}") from None
+    if isinstance(expr, InList):
+        operand = to_source(expr.operand, column_ref, params)
+        return f"({operand} in {expr.choices!r})"
+    raise PlanError(f"cannot compile expression {expr!r}")

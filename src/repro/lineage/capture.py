@@ -1,0 +1,221 @@
+"""Lineage capture configuration and the per-query lineage handle.
+
+Capture behaviour is configured per execution with :class:`CaptureConfig`:
+
+* ``mode`` selects the paper's instrumentation paradigm — ``NONE`` (the
+  un-instrumented Baseline), ``INJECT`` (full capture cost paid inside the
+  operators, Section 3.2), or ``DEFER`` (operators record the minimal state
+  needed — pinned hash-table/group-id information and cardinality
+  statistics — and index construction runs after the base query returns).
+* ``backward`` / ``forward`` and ``relations`` implement instrumentation
+  pruning (Section 4.1): lineage that the declared workload will never
+  query is simply not captured.
+* ``hints`` carries cardinality knowledge (Smoke-I-TC / Smoke-I-EC).
+
+:class:`QueryLineage` is what a query result exposes: end-to-end backward
+and forward indexes between the query output and every captured base
+relation, with Defer thunks finalized transparently on first access.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Union
+
+import numpy as np
+
+from ..errors import CaptureDisabledError, LineageError
+from ..substrate.stats import CardinalityHints
+from .indexes import LineageIndex
+
+
+class CaptureMode(enum.Enum):
+    """Which instrumentation paradigm the executor applies."""
+
+    NONE = "none"
+    INJECT = "inject"
+    DEFER = "defer"
+
+
+@dataclass
+class CaptureConfig:
+    """Per-execution lineage capture settings.
+
+    Attributes
+    ----------
+    mode:
+        Instrumentation paradigm (Baseline / Smoke-I / Smoke-D).
+    backward, forward:
+        Direction pruning (Section 4.1); disabling a direction skips
+        building its indexes entirely.
+    relations:
+        If not ``None``, capture lineage only for these base relation keys
+        (input-relation pruning, Section 4.1).
+    hints:
+        Cardinality knowledge for index pre-allocation.
+    defer_forward_only:
+        Smoke-D-DeferForw (Section 6.1.3): defer only the left-relation
+        forward index of an m:n join, populate everything else inline.
+    chunk_size:
+        Rows per processing chunk for chunked Inject appends.
+    emulate_tuple_appends:
+        When True, group-by Inject builds its backward index through the
+        growable-bucket append path (10-element / 1.5x growth) instead of
+        reusing the aggregation's sorted layout.  The reuse path is the
+        vectorized analogue of the paper's P4 principle (γ'_ht reuses the
+        hash table) and is the default; the append path exists to expose
+        the rid-array resizing behaviour the paper analyzes (used by the
+        resizing ablation benchmark and the Smoke-I-TC tests).
+    """
+
+    mode: CaptureMode = CaptureMode.INJECT
+    backward: bool = True
+    forward: bool = True
+    relations: Optional[Set[str]] = None
+    hints: Optional[CardinalityHints] = None
+    defer_forward_only: bool = False
+    chunk_size: int = 1 << 16
+    emulate_tuple_appends: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode is not CaptureMode.NONE and (self.backward or self.forward)
+
+    def captures_relation(self, key: str, name: str) -> bool:
+        """Should lineage for base-relation occurrence ``key`` (table
+        ``name``) be captured?  ``relations`` may list either form."""
+        if not self.enabled:
+            return False
+        if self.relations is None:
+            return True
+        return key in self.relations or name in self.relations
+
+    @classmethod
+    def none(cls) -> "CaptureConfig":
+        return cls(mode=CaptureMode.NONE)
+
+    @classmethod
+    def inject(cls, **kwargs) -> "CaptureConfig":
+        return cls(mode=CaptureMode.INJECT, **kwargs)
+
+    @classmethod
+    def defer(cls, **kwargs) -> "CaptureConfig":
+        return cls(mode=CaptureMode.DEFER, **kwargs)
+
+
+#: A deferred index construction: returns the finished index when invoked.
+DeferThunk = Callable[[], LineageIndex]
+
+IndexOrThunk = Union[LineageIndex, DeferThunk]
+
+
+class QueryLineage:
+    """End-to-end lineage between one query's output and its base relations.
+
+    Indexes may be stored directly (Inject) or as thunks (Defer); thunks are
+    finalized on first access and the time spent is accumulated in
+    ``finalize_seconds`` so benchmarks can report the Defer trade-off: a
+    faster base query in exchange for post-hoc construction work.
+    """
+
+    def __init__(self, output_size: int):
+        self.output_size = output_size
+        self._backward: Dict[str, IndexOrThunk] = {}
+        self._forward: Dict[str, IndexOrThunk] = {}
+        self._aliases: Dict[str, List[str]] = {}
+        self.finalize_seconds = 0.0
+
+    # -- population (used by executors) ----------------------------------------
+
+    def put_backward(self, key: str, index: IndexOrThunk) -> None:
+        self._backward[key] = index
+
+    def put_forward(self, key: str, index: IndexOrThunk) -> None:
+        self._forward[key] = index
+
+    def register_alias(self, name: str, key: str) -> None:
+        self._aliases.setdefault(name, [])
+        if key not in self._aliases[name]:
+            self._aliases[name].append(key)
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def relations(self) -> List[str]:
+        keys = set(self._backward) | set(self._forward)
+        return sorted(keys)
+
+    def _resolve_key(self, relation: str, table: Dict[str, IndexOrThunk]) -> str:
+        if relation in table:
+            return relation
+        keys = [k for k in self._aliases.get(relation, []) if k in table]
+        if len(keys) == 1:
+            return keys[0]
+        if len(keys) > 1:
+            raise LineageError(
+                f"relation {relation!r} is scanned multiple times; "
+                f"qualify one of {keys}"
+            )
+        raise CaptureDisabledError(
+            f"no lineage captured for relation {relation!r}; "
+            f"captured: {sorted(table)}"
+        )
+
+    def _materialize(self, table: Dict[str, IndexOrThunk], key: str) -> LineageIndex:
+        entry = table[key]
+        if callable(entry):
+            start = time.perf_counter()
+            entry = entry()
+            self.finalize_seconds += time.perf_counter() - start
+            table[key] = entry
+        return entry
+
+    def backward_index(self, relation: str) -> LineageIndex:
+        """The ``output rid -> base rids`` index for ``relation``."""
+        key = self._resolve_key(relation, self._backward)
+        return self._materialize(self._backward, key)
+
+    def forward_index(self, relation: str) -> LineageIndex:
+        """The ``base rid -> output rids`` index for ``relation``."""
+        key = self._resolve_key(relation, self._forward)
+        return self._materialize(self._forward, key)
+
+    def backward(self, out_rids, relation: str) -> np.ndarray:
+        """Backward lineage query Lb(O' ⊆ O, relation) → distinct base rids."""
+        rids = self.backward_index(relation).lookup_many(out_rids)
+        return np.unique(rids)
+
+    def forward(self, relation: str, in_rids) -> np.ndarray:
+        """Forward lineage query Lf(R' ⊆ R, O) → distinct output rids."""
+        rids = self.forward_index(relation).lookup_many(in_rids)
+        return np.unique(rids)
+
+    def backward_bag(self, out_rids, relation: str) -> np.ndarray:
+        """Backward lineage with multiplicity preserved (Appendix E needs
+        duplicates to encode why/how provenance)."""
+        return self.backward_index(relation).lookup_many(out_rids)
+
+    def finalize(self) -> float:
+        """Force all deferred constructions now; returns seconds spent."""
+        before = self.finalize_seconds
+        for table in (self._backward, self._forward):
+            for key in list(table):
+                self._materialize(table, key)
+        return self.finalize_seconds - before
+
+    def memory_bytes(self) -> int:
+        """Bytes held by all finalized indexes (forces finalization)."""
+        self.finalize()
+        total = 0
+        for table in (self._backward, self._forward):
+            for entry in table.values():
+                total += entry.memory_bytes()
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryLineage(output={self.output_size}, "
+            f"backward={sorted(self._backward)}, forward={sorted(self._forward)})"
+        )

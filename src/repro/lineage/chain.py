@@ -1,0 +1,92 @@
+"""Cascading lineage consuming queries (paper §2.1, footnote 1).
+
+A lineage consuming query ``C(D ∪ {L(•)})`` can itself serve as a base
+query for further consuming queries — the drill-down chains of Section
+6.4 (Q1 → Q1a → Q1b → Q1c) are exactly this.  The subtlety is lineage
+*re-rooting*: when C runs over the materialized subset ``Lb(o, R)``, its
+captured indexes point at subset positions, but the application wants to
+trace all the way back to ``R``.  Subset position ``i`` corresponds to
+base rid ``subset_rids[i]``, i.e. the mapping is itself a rid array — so
+one composition re-roots every index (Section 3.3's propagation applied
+across query boundaries).
+
+:func:`execute_over_lineage` packages this: run a plan over a lineage
+subset and return a result whose ``backward``/``forward`` answer in terms
+of the *original* base relation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import LineageError
+from ..plan.logical import LogicalPlan
+from .capture import CaptureConfig, QueryLineage
+from .indexes import NO_MATCH, RidArray, compose
+
+
+#: Name under which the lineage subset is registered for the chained plan.
+SUBSET_RELATION = "__lineage_subset"
+
+
+def execute_over_lineage(
+    database,
+    parent,
+    out_rids,
+    relation: str,
+    plan: LogicalPlan,
+    capture: Optional[CaptureConfig] = None,
+    params: Optional[dict] = None,
+):
+    """Run ``plan`` over ``Lb(out_rids, relation)`` with re-rooted lineage.
+
+    ``plan`` must scan :data:`SUBSET_RELATION`; the returned QueryResult's
+    lineage traces to ``relation`` of the *original* database (and any
+    other relations the plan scans, unchanged).
+    """
+    if parent.lineage is None:
+        raise LineageError("parent result was executed without capture")
+    subset_rids = parent.lineage.backward(out_rids, relation)
+    base = database.table(relation)
+    subset = base.take(subset_rids)
+    database.create_table(SUBSET_RELATION, subset, replace=True)
+    config = capture or CaptureConfig.inject()
+    result = database.execute(plan, capture=config, params=params)
+    if result.lineage is not None:
+        _reroot(result.lineage, subset_rids, base.num_rows, relation)
+    return result
+
+
+def _reroot(
+    lineage: QueryLineage,
+    subset_rids: np.ndarray,
+    base_size: int,
+    relation: str,
+) -> None:
+    """Rewrite subset-relative indexes to base-relative ones in place."""
+    if relation in lineage.relations:
+        raise LineageError(
+            f"chained plan scans {relation!r} directly; re-rooting the "
+            "subset lineage would collide — scan only the subset relation"
+        )
+    position_map = RidArray(np.asarray(subset_rids, dtype=np.int64))
+    try:
+        backward = lineage.backward_index(SUBSET_RELATION)
+    except LineageError:
+        backward = None
+    if backward is not None:
+        lineage.put_backward(relation, compose(backward, position_map))
+        lineage._backward.pop(SUBSET_RELATION, None)
+    try:
+        forward = lineage.forward_index(SUBSET_RELATION)
+    except LineageError:
+        forward = None
+    if forward is not None:
+        # base rid -> subset position -> outputs.
+        inverse = np.full(base_size, NO_MATCH, dtype=np.int64)
+        inverse[subset_rids] = np.arange(subset_rids.shape[0], dtype=np.int64)
+        lineage.put_forward(relation, compose(RidArray(inverse), forward))
+        lineage._forward.pop(SUBSET_RELATION, None)
+    lineage.register_alias(relation, relation)

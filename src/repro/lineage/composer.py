@@ -1,0 +1,147 @@
+"""Multi-operator lineage propagation (paper Section 3.3).
+
+Naively, every operator in a plan would materialize its own lineage
+indexes, and a lineage query would chase pointers through all of them.
+Smoke instead propagates lineage *during* plan execution so that only one
+set of end-to-end indexes — connecting the final output to the base
+relations — is ever materialized; intermediate indexes are composed into
+the parent's and become garbage immediately.
+
+:class:`NodeLineage` is the executor-side carrier for this: each executed
+plan node returns its output table plus a ``NodeLineage`` mapping every
+(captured) base-relation occurrence to backward and forward indexes.  An
+operator computes only its *local* lineage (output ↔ its child's output)
+and calls :func:`compose_node` / :func:`merge_binary` to rewrite it in
+terms of base rids.
+
+Identity short-circuit: a ``Scan``'s lineage is the identity mapping, which
+we represent as ``None`` so that composing with it is free — per-row
+operators over base tables then propagate plain rid arrays, which is
+exactly the paper's "rids that point to R rather than the intermediate
+relation" behaviour.
+
+Defer support: entries may be thunks; composition of thunks yields a thunk,
+so deferred construction stays deferred across operator boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .capture import IndexOrThunk, QueryLineage
+from .indexes import LineageIndex, RidArray, compose
+
+#: ``None`` denotes the identity mapping (scan output == base relation).
+MaybeIndex = Optional[IndexOrThunk]
+
+
+@dataclass
+class NodeLineage:
+    """Lineage of one operator's output w.r.t. base relation occurrences.
+
+    ``backward[key]`` maps output rids to base rids of occurrence ``key``;
+    ``forward[key]`` maps base rids to output rids.  ``names`` remembers the
+    underlying table name of each occurrence key (for alias resolution) and
+    ``base_sizes`` the base relation cardinalities (needed to allocate
+    forward indexes and to validate composition).
+    """
+
+    output_size: int
+    backward: Dict[str, MaybeIndex] = field(default_factory=dict)
+    forward: Dict[str, MaybeIndex] = field(default_factory=dict)
+    names: Dict[str, str] = field(default_factory=dict)
+    base_sizes: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def for_scan(cls, key: str, name: str, size: int, backward: bool, forward: bool) -> "NodeLineage":
+        node = cls(output_size=size)
+        if backward:
+            node.backward[key] = None
+        if forward:
+            node.forward[key] = None
+        node.names[key] = name
+        node.base_sizes[key] = size
+        return node
+
+    def to_query_lineage(self) -> QueryLineage:
+        """Materialize identity entries and hand over to the public handle."""
+        out = QueryLineage(self.output_size)
+        for key, entry in self.backward.items():
+            out.put_backward(key, _resolve_identity(entry, self.base_sizes[key]))
+        for key, entry in self.forward.items():
+            out.put_forward(key, _resolve_identity(entry, self.output_size))
+        for key, name in self.names.items():
+            out.register_alias(name, key)
+        return out
+
+
+def _resolve_identity(entry: MaybeIndex, size: int) -> IndexOrThunk:
+    return RidArray.identity(size) if entry is None else entry
+
+
+def _compose_entry(first: MaybeIndex, second: MaybeIndex) -> MaybeIndex:
+    """Compose two hops ``(a→b) . (b→c)`` where either may be the identity
+    (``None``) or a thunk (deferred); the result is lazy iff any input is."""
+    if second is None:
+        return first
+    if first is None:
+        return second
+    if callable(first) or callable(second):
+        def thunk(first=first, second=second) -> LineageIndex:
+            a = first() if callable(first) else first
+            b = second() if callable(second) else second
+            return compose(a, b)
+
+        return thunk
+    return compose(first, second)
+
+
+def compose_node(
+    output_size: int,
+    child: NodeLineage,
+    local_backward: MaybeIndex,
+    local_forward: MaybeIndex,
+) -> NodeLineage:
+    """End-to-end lineage of a unary operator.
+
+    ``local_backward``: output rid → child-output rid(s).
+    ``local_forward``: child-output rid → output rid(s).
+    """
+    node = NodeLineage(output_size=output_size)
+    node.names.update(child.names)
+    node.base_sizes.update(child.base_sizes)
+    for key, entry in child.backward.items():
+        node.backward[key] = _compose_entry(local_backward, entry)
+    for key, entry in child.forward.items():
+        node.forward[key] = _compose_entry(entry, local_forward)
+    return node
+
+
+def merge_binary(
+    output_size: int,
+    left: NodeLineage,
+    right: NodeLineage,
+    left_backward: MaybeIndex,
+    left_forward: MaybeIndex,
+    right_backward: MaybeIndex,
+    right_forward: MaybeIndex,
+) -> NodeLineage:
+    """End-to-end lineage of a binary operator (join / set operation).
+
+    The local indexes connect the operator's output with each input's
+    output; each side's base-relation maps are composed independently and
+    merged (occurrence keys are globally unique, so no collisions).
+    """
+    node = NodeLineage(output_size=output_size)
+    for side, local_bw, local_fw in (
+        (left, left_backward, left_forward),
+        (right, right_backward, right_forward),
+    ):
+        node.names.update(side.names)
+        node.base_sizes.update(side.base_sizes)
+        for key, entry in side.backward.items():
+            node.backward[key] = _compose_entry(local_bw, entry)
+        for key, entry in side.forward.items():
+            node.forward[key] = _compose_entry(entry, local_fw)
+    return node

@@ -1,0 +1,353 @@
+"""Lineage index representations (paper Section 3.1, Figure 3).
+
+Smoke stores lineage as mappings between *record ids* (array positions):
+
+* :class:`RidArray` — 1-to-1 relationships (e.g. backward lineage of
+  SELECT, forward lineage of GROUP BY).  One int per key; ``-1`` means "no
+  match" (e.g. a filtered-out input row has no forward image).
+* :class:`RidIndex` — 1-to-N relationships (e.g. backward lineage of GROUP
+  BY, forward lineage of JOIN).  Stored in CSR form: an ``offsets`` array of
+  length ``num_keys + 1`` and a flat ``values`` array, so bucket ``i`` is
+  ``values[offsets[i]:offsets[i+1]]``.  CSR is the read-optimized final
+  form; during Inject capture buckets are accumulated in
+  :class:`GrowableRidIndex`, whose directory and per-bucket arrays follow
+  the paper's 10-element / 1.5x growth policy.
+
+Rids index into relations directly, so a lineage lookup is an array gather
+(``Table.take``) — this is what makes lineage queries fast (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import LineageError
+from ..storage.growable import GrowableRidVector
+
+NO_MATCH = -1
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _as_rids(rids) -> np.ndarray:
+    arr = np.asarray(rids, dtype=np.int64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    return arr
+
+
+class RidArray:
+    """A 1-to-1 lineage index: ``key rid -> single rid`` (or NO_MATCH)."""
+
+    __slots__ = ("values",)
+
+    kind = "array"
+
+    def __init__(self, values: np.ndarray):
+        self.values = np.ascontiguousarray(values, dtype=np.int64)
+
+    @classmethod
+    def identity(cls, n: int) -> "RidArray":
+        return cls(np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def full_no_match(cls, n: int) -> "RidArray":
+        return cls(np.full(n, NO_MATCH, dtype=np.int64))
+
+    @property
+    def num_keys(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(np.count_nonzero(self.values != NO_MATCH))
+
+    def lookup(self, rid: int) -> np.ndarray:
+        """Bucket view for one key (empty array when unmatched)."""
+        self._check(rid)
+        v = self.values[rid]
+        return _EMPTY if v == NO_MATCH else np.array([v], dtype=np.int64)
+
+    def lookup_many(self, rids) -> np.ndarray:
+        """All matched rids for a batch of keys, NO_MATCH entries dropped."""
+        rids = _as_rids(rids)
+        self._check_many(rids)
+        out = self.values[rids]
+        return out[out != NO_MATCH]
+
+    def as_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        matched = (self.values != NO_MATCH).astype(np.int64)
+        offsets = np.empty(self.num_keys + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(matched, out=offsets[1:])
+        return offsets, self.values[self.values != NO_MATCH]
+
+    def counts(self) -> np.ndarray:
+        return (self.values != NO_MATCH).astype(np.int64)
+
+    def memory_bytes(self) -> int:
+        return int(self.values.nbytes)
+
+    def _check(self, rid: int) -> None:
+        if not 0 <= rid < self.num_keys:
+            raise LineageError(f"rid {rid} out of range [0, {self.num_keys})")
+
+    def _check_many(self, rids: np.ndarray) -> None:
+        if rids.size and (rids.min() < 0 or rids.max() >= self.num_keys):
+            raise LineageError(
+                f"rids out of range [0, {self.num_keys}): "
+                f"min={rids.min() if rids.size else None}, max={rids.max()}"
+            )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RidArray) and np.array_equal(self.values, other.values)
+
+    def __repr__(self) -> str:
+        return f"RidArray(keys={self.num_keys}, edges={self.num_edges})"
+
+
+class RidIndex:
+    """A 1-to-N lineage index in CSR form: ``key rid -> bucket of rids``."""
+
+    __slots__ = ("offsets", "values")
+
+    kind = "index"
+
+    def __init__(self, offsets: np.ndarray, values: np.ndarray):
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.values = np.ascontiguousarray(values, dtype=np.int64)
+        if self.offsets.ndim != 1 or self.offsets.shape[0] < 1:
+            raise LineageError("offsets must be a 1-d array of length num_keys+1")
+        if int(self.offsets[-1]) != self.values.shape[0]:
+            raise LineageError(
+                f"CSR mismatch: offsets[-1]={int(self.offsets[-1])} "
+                f"!= len(values)={self.values.shape[0]}"
+            )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_group_ids(
+        cls,
+        group_ids: np.ndarray,
+        num_groups: int,
+        counts: Optional[np.ndarray] = None,
+    ) -> "RidIndex":
+        """Build ``group -> member rids`` from a dense group-id column.
+
+        This is the Defer construction: cardinalities (``counts``) are known
+        (or computed in one vectorized pass), the CSR arrays are allocated
+        exactly once, and buckets are filled with a stable counting sort —
+        no resizing ever happens.
+        """
+        group_ids = _as_rids(group_ids)
+        if counts is None:
+            counts = np.bincount(group_ids, minlength=num_groups)
+        offsets = np.empty(num_groups + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=offsets[1:])
+        # A stable sort by group id lays member rids out bucket-by-bucket in
+        # original order; counts (exact, from the same ids) delimit buckets.
+        values = np.argsort(group_ids, kind="stable").astype(np.int64)
+        return cls(offsets, values)
+
+    @classmethod
+    def from_buckets(cls, buckets: Sequence[np.ndarray]) -> "RidIndex":
+        lengths = np.fromiter((len(b) for b in buckets), dtype=np.int64, count=len(buckets))
+        offsets = np.empty(len(buckets) + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(lengths, out=offsets[1:])
+        values = (
+            np.concatenate([np.asarray(b, dtype=np.int64) for b in buckets])
+            if len(buckets)
+            else _EMPTY
+        )
+        return cls(offsets, values)
+
+    @classmethod
+    def empty(cls, num_keys: int) -> "RidIndex":
+        return cls(np.zeros(num_keys + 1, dtype=np.int64), _EMPTY)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def num_keys(self) -> int:
+        return int(self.offsets.shape[0] - 1)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.values.shape[0])
+
+    def lookup(self, rid: int) -> np.ndarray:
+        if not 0 <= rid < self.num_keys:
+            raise LineageError(f"rid {rid} out of range [0, {self.num_keys})")
+        return self.values[self.offsets[rid] : self.offsets[rid + 1]]
+
+    def lookup_many(self, rids) -> np.ndarray:
+        """Concatenated buckets for a batch of keys (bag semantics).
+
+        Vectorized gather: builds a flat position array with ``np.repeat``
+        so no per-key Python loop runs even for thousands of keys.
+        """
+        rids = _as_rids(rids)
+        if rids.size == 0:
+            return _EMPTY
+        if rids.min() < 0 or rids.max() >= self.num_keys:
+            raise LineageError(f"rids out of range [0, {self.num_keys})")
+        if rids.size == 1:
+            return self.lookup(int(rids[0])).copy()
+        starts = self.offsets[rids]
+        cnts = self.offsets[rids + 1] - starts
+        total = int(cnts.sum())
+        if total == 0:
+            return _EMPTY
+        bucket_starts = np.concatenate(([0], np.cumsum(cnts)[:-1]))
+        positions = np.repeat(starts - bucket_starts, cnts) + np.arange(
+            total, dtype=np.int64
+        )
+        return self.values[positions]
+
+    def as_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.offsets, self.values
+
+    def counts(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def memory_bytes(self) -> int:
+        return int(self.offsets.nbytes + self.values.nbytes)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RidIndex):
+            return False
+        return np.array_equal(self.offsets, other.offsets) and np.array_equal(
+            self.values, other.values
+        )
+
+    def __repr__(self) -> str:
+        return f"RidIndex(keys={self.num_keys}, edges={self.num_edges})"
+
+
+LineageIndex = Union[RidArray, RidIndex]
+
+
+class GrowableRidIndex:
+    """Write-side accumulator for a :class:`RidIndex` (Inject capture).
+
+    The directory of buckets and each bucket's rid array both follow the
+    10-element / 1.5x growth policy; ``finalize`` converts to CSR.  The
+    ``capacities`` hint reproduces Smoke-I-TC: with exact per-bucket
+    capacities no append ever resizes.
+    """
+
+    __slots__ = ("_buckets", "_capacities")
+
+    _EMPTY_BUCKET = np.empty(0, dtype=np.int64)
+
+    def __init__(self, num_keys: int = 0, capacities: Optional[np.ndarray] = None):
+        # Buckets materialize on first write: keys that never receive an
+        # edge cost nothing, as in a hash table whose entries are created
+        # by insertion.
+        self._buckets: List[Optional[GrowableRidVector]] = [None] * num_keys
+        self._capacities = capacities
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def ensure_key(self, key: int) -> GrowableRidVector:
+        while key >= len(self._buckets):
+            self._buckets.append(None)
+        bucket = self._buckets[key]
+        if bucket is None:
+            cap = (
+                int(self._capacities[key])
+                if self._capacities is not None and key < len(self._capacities)
+                else 10
+            )
+            bucket = self._buckets[key] = GrowableRidVector(cap)
+        return bucket
+
+    def append(self, key: int, rid: int) -> None:
+        self.ensure_key(key).append(rid)
+
+    def extend(self, key: int, rids: np.ndarray) -> None:
+        self.ensure_key(key).extend(rids)
+
+    def bucket(self, key: int) -> np.ndarray:
+        b = self._buckets[key]
+        return self._EMPTY_BUCKET if b is None else b.view()
+
+    @property
+    def total_resizes(self) -> int:
+        return sum(b.resize_count for b in self._buckets if b is not None)
+
+    def finalize(self) -> RidIndex:
+        return RidIndex.from_buckets(
+            [self._EMPTY_BUCKET if b is None else b.view() for b in self._buckets]
+        )
+
+
+# -- inversion and composition --------------------------------------------------
+
+
+def invert_rid_array(arr: RidArray, codomain_size: int) -> RidIndex:
+    """Invert a 1-to-1 map into ``target rid -> source rids``.
+
+    E.g. invert a group-by forward rid array (input -> group) to obtain the
+    backward rid index (group -> inputs); both directions carry the same
+    information, which is what lets Defer build one from the other.
+    """
+    matched = arr.values != NO_MATCH
+    sources = np.nonzero(matched)[0].astype(np.int64)
+    targets = arr.values[matched]
+    if targets.size and (targets.min() < 0 or targets.max() >= codomain_size):
+        raise LineageError("rid array values exceed the stated codomain size")
+    counts = np.bincount(targets, minlength=codomain_size)
+    offsets = np.empty(codomain_size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(counts, out=offsets[1:])
+    order = np.argsort(targets, kind="stable")
+    return RidIndex(offsets, sources[order])
+
+
+def invert_rid_index(idx: RidIndex, codomain_size: int) -> RidIndex:
+    """Invert a 1-to-N map into ``value rid -> key rids`` (bag-preserving)."""
+    keys = np.repeat(np.arange(idx.num_keys, dtype=np.int64), idx.counts())
+    targets = idx.values
+    if targets.size and (targets.min() < 0 or targets.max() >= codomain_size):
+        raise LineageError("rid index values exceed the stated codomain size")
+    counts = np.bincount(targets, minlength=codomain_size)
+    offsets = np.empty(codomain_size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(counts, out=offsets[1:])
+    order = np.argsort(targets, kind="stable")
+    return RidIndex(offsets, keys[order])
+
+
+def compose(first: LineageIndex, second: LineageIndex) -> LineageIndex:
+    """Compose two lineage hops: ``(a -> b) . (b -> c)  =>  a -> c``.
+
+    This implements the multi-operator propagation of Section 3.3: a parent
+    operator's lineage over an intermediate relation is rewritten to point
+    at base-relation rids by composing with the child's lineage.  Bag
+    semantics: multiplicities multiply (an output derived from 2 rows of an
+    intermediate that each derive from 3 base rows has 6 base edges).
+    """
+    if isinstance(first, RidArray) and isinstance(second, RidArray):
+        out = np.full(first.num_keys, NO_MATCH, dtype=np.int64)
+        matched = first.values != NO_MATCH
+        mid = first.values[matched]
+        out[matched] = second.values[mid]
+        return RidArray(out)
+
+    f_off, f_val = first.as_csr()
+    s_counts = second.counts()
+    edge_counts = s_counts[f_val] if f_val.size else _EMPTY
+    # Per-key composed counts: segment-sum of edge counts over first's CSR.
+    cum = np.empty(edge_counts.shape[0] + 1, dtype=np.int64)
+    cum[0] = 0
+    np.cumsum(edge_counts, out=cum[1:])
+    offsets = cum[f_off]
+    values = second.lookup_many(f_val) if f_val.size else _EMPTY
+    return RidIndex(offsets, values)

@@ -1,0 +1,163 @@
+"""Refresh and forward propagation (paper §2.1 footnote, §7 future work).
+
+Smoke's query model includes, beyond plain ``Lb``/``Lf``:
+
+* **multi-backward / multi-forward** — tracing one output subset to many
+  base relations at once, or many base-relation subsets to the output;
+* **refresh** — when base records change, use *forward* lineage to find
+  the affected output records and recompute only those, instead of
+  re-running the base query (this is exactly what the crossfilter BT+FT
+  technique does for COUNT views, generalized here to any algebraic
+  aggregate).
+
+:class:`AggregateRefresher` supports group-by views whose aggregates are
+algebraic/distributive.  COUNT/SUM/AVG are delta-updated in O(changed
+rows); MIN/MAX are recomputed per affected group through the backward
+index (a delta cannot repair a removed extremum).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LineageError, WorkloadError
+from ..expr.ast import evaluate
+from ..plan.logical import GroupBy, Scan
+from ..storage.table import Table
+from .capture import QueryLineage
+
+
+def multi_backward(
+    lineage: QueryLineage, out_rids, relations: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    """``Lb`` into several base relations in one call."""
+    return {rel: lineage.backward(out_rids, rel) for rel in relations}
+
+
+def multi_forward(
+    lineage: QueryLineage, updates: Dict[str, Iterable[int]]
+) -> np.ndarray:
+    """Output rids affected by subsets of several base relations."""
+    parts = [lineage.forward(rel, rids) for rel, rids in updates.items()]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+_DELTA_AGGS = ("count", "sum", "avg")
+_RESCAN_AGGS = ("min", "max")
+
+
+class AggregateRefresher:
+    """Incrementally maintain a captured group-by view under row updates.
+
+    Supported shape: ``GroupBy(Scan(T))`` with algebraic aggregates and
+    updates that modify aggregated *values* (group keys must not change —
+    key changes move rows between groups, which is a re-capture, not a
+    refresh).
+    """
+
+    def __init__(self, database, plan: GroupBy, result):
+        if not isinstance(plan, GroupBy) or not isinstance(plan.child, Scan):
+            raise WorkloadError(
+                "refresh supports GroupBy directly over a base scan"
+            )
+        if plan.having is not None:
+            raise WorkloadError("refresh over HAVING views is not supported")
+        for agg in plan.aggs:
+            if agg.func not in _DELTA_AGGS + _RESCAN_AGGS:
+                raise WorkloadError(
+                    f"aggregate {agg.func} is not algebraic/distributive"
+                )
+        if result.lineage is None:
+            raise WorkloadError("refresh requires a lineage-captured result")
+        self.database = database
+        self.plan = plan
+        self.relation = plan.child.table
+        self.result = result
+        self._forward = result.lineage.forward_index(self.relation)
+        self._backward = result.lineage.backward_index(self.relation)
+        self._base = database.table(self.relation)
+        self._current = result.table
+
+    @property
+    def view(self) -> Table:
+        """The maintained view (updated in place by ``refresh``)."""
+        return self._current
+
+    def refresh(self, rids, new_rows: Table) -> Tuple[Table, np.ndarray]:
+        """Apply row updates and return ``(new view, affected out rids)``.
+
+        ``new_rows`` holds the replacement values for positions ``rids``
+        of the base relation (same schema).
+        """
+        rids = np.asarray(rids, dtype=np.int64)
+        if new_rows.num_rows != rids.shape[0]:
+            raise WorkloadError("new_rows must align with rids")
+        if new_rows.schema != self._base.schema:
+            raise WorkloadError("new_rows schema must match the base relation")
+
+        old_rows = self._base.take(rids)
+        # Guard: group keys must be unchanged.
+        for key_expr, alias in self.plan.keys:
+            old_keys = np.asarray(evaluate(key_expr, old_rows))
+            new_keys = np.asarray(evaluate(key_expr, new_rows))
+            if not (old_keys == new_keys).all():
+                raise WorkloadError(
+                    f"refresh cannot move rows between groups (key {alias!r} "
+                    "changed); re-run the base query instead"
+                )
+
+        affected = np.unique(self._forward.lookup_many(rids))
+        updated_base = self._apply_update(rids, new_rows)
+        columns = {n: self._current.column(n).copy() for n in self._current.schema.names}
+
+        group_of_changed = self._dense_groups(rids)
+        for agg in self.plan.aggs:
+            col = columns[agg.alias]
+            if agg.func in _RESCAN_AGGS:
+                self._rescan(agg, col, affected, updated_base)
+            else:
+                self._delta(agg, col, rids, old_rows, new_rows, group_of_changed, columns)
+        self._base = updated_base
+        self.database.create_table(self.relation, updated_base, replace=True)
+        self._current = Table(columns, self._current.schema)
+        return self._current, affected
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _apply_update(self, rids: np.ndarray, new_rows: Table) -> Table:
+        columns = {}
+        for name in self._base.schema.names:
+            arr = self._base.column(name).copy()
+            arr[rids] = new_rows.column(name)
+            columns[name] = arr
+        return Table(columns, self._base.schema)
+
+    def _dense_groups(self, rids: np.ndarray) -> np.ndarray:
+        groups = self._forward.lookup_many(rids)
+        if groups.shape[0] != rids.shape[0]:
+            raise LineageError("forward index is not 1-to-1; cannot refresh")
+        return groups
+
+    def _delta(self, agg, col, rids, old_rows, new_rows, groups, columns) -> None:
+        if agg.func == "count":
+            return  # row updates never change counts
+        old_vals = np.asarray(evaluate(agg.arg, old_rows), dtype=np.float64)
+        new_vals = np.asarray(evaluate(agg.arg, new_rows), dtype=np.float64)
+        delta = np.bincount(groups, weights=new_vals - old_vals, minlength=col.shape[0])
+        if agg.func == "sum":
+            col += delta.astype(col.dtype)
+        else:  # avg: counts are stable, so the mean shifts by delta / n
+            counts = self._backward.counts()
+            nonzero = counts > 0
+            col[nonzero] += delta[nonzero] / counts[nonzero]
+
+    def _rescan(self, agg, col, affected: np.ndarray, updated_base: Table) -> None:
+        values = np.asarray(evaluate(agg.arg, updated_base))
+        reducer = np.min if agg.func == "min" else np.max
+        for out in affected:
+            members = self._backward.lookup(int(out))
+            col[out] = reducer(values[members])

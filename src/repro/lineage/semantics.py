@@ -1,0 +1,90 @@
+"""Alternative provenance semantics over Smoke's indexes (Appendix E).
+
+Smoke captures *transformational* lineage, but richer semantics are
+derivable as lineage consuming queries over the bag-preserving backward
+indexes:
+
+* **which-provenance** (lineage proper): the set union of each relation's
+  backward bucket;
+* **why-provenance**: the witness set — positions in the backward buckets
+  are aligned across relations for SPJA plans (every bucket entry
+  corresponds to one contributing intermediate row), so zipping buckets
+  yields the witnesses;
+* **how-provenance**: the provenance polynomial — each witness is a
+  monomial (⊗ of its tuple variables), and the output is their ⊕-sum,
+  e.g. ``a1·b1 + a1·b2`` for the paper's Appendix E example.
+
+These helpers assume positional alignment, which holds for the SPJA plans
+our executors produce (all backward buckets of one output are composed
+from the same intermediate-row order).  Tests pin the Appendix E example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LineageError
+from .capture import QueryLineage
+
+
+def which_provenance(
+    lineage: QueryLineage, out_rid: int, relations: Sequence[str]
+) -> Dict[str, np.ndarray]:
+    """Set-semantics lineage: distinct contributing rids per relation."""
+    return {
+        rel: np.unique(lineage.backward_index(rel).lookup(out_rid))
+        for rel in relations
+    }
+
+
+def why_provenance(
+    lineage: QueryLineage, out_rid: int, relations: Sequence[str]
+) -> List[Tuple[Tuple[str, int], ...]]:
+    """The witness set: one tuple of (relation, rid) pairs per derivation.
+
+    Buckets are concatenated positionally (Appendix E: "rids at the same
+    position in the backward indexes correspond to the why-provenance
+    witnesses"); duplicate witnesses are collapsed.
+    """
+    buckets = [lineage.backward_index(rel).lookup(out_rid) for rel in relations]
+    sizes = {int(b.shape[0]) for b in buckets}
+    if len(sizes) > 1:
+        raise LineageError(
+            f"backward buckets are not aligned across {list(relations)}: "
+            f"sizes {sorted(sizes)}"
+        )
+    witnesses = {
+        tuple((rel, int(b[i])) for rel, b in zip(relations, buckets))
+        for i in range(next(iter(sizes), 0))
+    }
+    return sorted(witnesses)
+
+
+def how_provenance(
+    lineage: QueryLineage, out_rid: int, relations: Sequence[str]
+) -> str:
+    """The provenance polynomial as a canonical string.
+
+    Each aligned bucket position is a ⊗-monomial over tuple variables
+    named ``<relation[0]><rid+1>`` (matching the paper's a1/b1 notation);
+    repeated witnesses gain integer coefficients.
+    """
+    buckets = [lineage.backward_index(rel).lookup(out_rid) for rel in relations]
+    sizes = {int(b.shape[0]) for b in buckets}
+    if len(sizes) > 1:
+        raise LineageError("backward buckets are not aligned; cannot derive how()")
+    monomials = Counter()
+    for i in range(next(iter(sizes), 0)):
+        term = tuple(
+            f"{rel[0].lower()}{int(b[i]) + 1}" for rel, b in zip(relations, buckets)
+        )
+        monomials[term] += 1
+    parts = []
+    for term in sorted(monomials):
+        coeff = monomials[term]
+        body = "·".join(term)
+        parts.append(body if coeff == 1 else f"{coeff}·{body}")
+    return " + ".join(parts) if parts else "0"

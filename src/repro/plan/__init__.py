@@ -1,0 +1,49 @@
+"""Logical plans and schema inference."""
+
+from .logical import (
+    AGG_FUNCS,
+    AggCall,
+    CrossProduct,
+    GroupBy,
+    HashJoin,
+    LogicalPlan,
+    Project,
+    Scan,
+    Select,
+    SetOp,
+    Sort,
+    ThetaJoin,
+    col,
+    walk,
+)
+from .schema import (
+    JOIN_RENAME_SUFFIX,
+    agg_output_type,
+    column_sources,
+    infer_expr_type,
+    infer_schema,
+    join_output_fields,
+)
+
+__all__ = [
+    "AGG_FUNCS",
+    "AggCall",
+    "CrossProduct",
+    "GroupBy",
+    "HashJoin",
+    "JOIN_RENAME_SUFFIX",
+    "LogicalPlan",
+    "Project",
+    "Scan",
+    "Select",
+    "SetOp",
+    "Sort",
+    "ThetaJoin",
+    "agg_output_type",
+    "col",
+    "column_sources",
+    "infer_expr_type",
+    "infer_schema",
+    "join_output_fields",
+    "walk",
+]

@@ -1,0 +1,275 @@
+"""Logical query plans.
+
+Plans are immutable trees of relational operators covering the paper's
+scope: scan, select, project (bag and set semantics), group-by aggregation,
+hash equi-joins (with pk-fk specialization), θ-joins and cross products via
+nested loops, and bag/set union, intersection, and difference (Appendix F).
+
+Both execution backends (:mod:`repro.exec.vector`,
+:mod:`repro.exec.compiled`) interpret/compile these trees directly; lineage
+capture behaviour is configured per execution, not baked into the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import PlanError
+from ..expr.ast import Col, Expr
+
+AGG_FUNCS = ("count", "sum", "avg", "min", "max", "count_distinct")
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """One aggregate in a GROUP BY's select list, e.g. ``SUM(v*v) AS s2``."""
+
+    func: str
+    arg: Optional[Expr]
+    alias: str
+
+    def __post_init__(self):
+        if self.func not in AGG_FUNCS:
+            raise PlanError(f"unknown aggregate {self.func!r}")
+        if self.func != "count" and self.arg is None:
+            raise PlanError(f"aggregate {self.func} requires an argument")
+
+
+class LogicalPlan:
+    """Base class; subclasses are dataclass-like nodes with ``children``."""
+
+    __slots__ = ()
+
+    @property
+    def children(self) -> Tuple["LogicalPlan", ...]:
+        return ()
+
+    def base_relations(self) -> List[str]:
+        """Names of base relations scanned by this plan, in scan order."""
+        if isinstance(self, Scan):
+            return [self.table]
+        names: List[str] = []
+        for child in self.children:
+            names.extend(child.base_relations())
+        return names
+
+    def describe(self, indent: int = 0) -> str:
+        """Multi-line plan rendering, for docs and debugging."""
+        pad = "  " * indent
+        line = pad + self._describe_line()
+        return "\n".join([line] + [c.describe(indent + 1) for c in self.children])
+
+    def _describe_line(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Scan(LogicalPlan):
+    """Scan of a named base relation registered in the catalog."""
+
+    table: str
+
+    def _describe_line(self) -> str:
+        return f"Scan({self.table})"
+
+
+@dataclass(frozen=True)
+class Select(LogicalPlan):
+    """``WHERE predicate`` filter."""
+
+    child: LogicalPlan
+    predicate: Expr
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        return f"Select({self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class Project(LogicalPlan):
+    """Projection; ``distinct=True`` uses grouping (paper Section 3.2.1)."""
+
+    child: LogicalPlan
+    exprs: Tuple[Tuple[Expr, str], ...]
+    distinct: bool = False
+
+    def __init__(self, child, exprs: Sequence[Tuple[Expr, str]], distinct: bool = False):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "exprs", tuple((e, a) for e, a in exprs))
+        object.__setattr__(self, "distinct", bool(distinct))
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        cols = ", ".join(a for _, a in self.exprs)
+        star = "DISTINCT " if self.distinct else ""
+        return f"Project({star}{cols})"
+
+
+@dataclass(frozen=True)
+class GroupBy(LogicalPlan):
+    """Hash group-by aggregation (γ_ht then γ_agg, paper Section 3.2.3)."""
+
+    child: LogicalPlan
+    keys: Tuple[Tuple[Expr, str], ...]
+    aggs: Tuple[AggCall, ...]
+    having: Optional[Expr] = None
+
+    def __init__(self, child, keys, aggs, having: Optional[Expr] = None):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple((e, a) for e, a in keys))
+        object.__setattr__(self, "aggs", tuple(aggs))
+        object.__setattr__(self, "having", having)
+        if not self.keys and not self.aggs:
+            raise PlanError("GroupBy requires keys or aggregates")
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        keys = ", ".join(a for _, a in self.keys)
+        aggs = ", ".join(f"{a.func}->{a.alias}" for a in self.aggs)
+        having = f" having={self.having!r}" if self.having is not None else ""
+        return f"GroupBy(keys=[{keys}], aggs=[{aggs}]{having})"
+
+
+@dataclass(frozen=True)
+class HashJoin(LogicalPlan):
+    """Hash equi-join; builds on the left input (paper Section 3.2.4).
+
+    ``pkfk=True`` asserts the left keys are unique (primary key) so each
+    probe matches at most one build row: i_rids degenerate to single ints,
+    the right forward index is a plain rid array, and Inject == Defer.
+    """
+
+    left: LogicalPlan
+    right: LogicalPlan
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    pkfk: bool = False
+
+    def __init__(self, left, right, left_keys, right_keys, pkfk: bool = False):
+        if len(tuple(left_keys)) != len(tuple(right_keys)) or not left_keys:
+            raise PlanError("join requires equal, non-empty key lists")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_keys", tuple(left_keys))
+        object.__setattr__(self, "right_keys", tuple(right_keys))
+        object.__setattr__(self, "pkfk", bool(pkfk))
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def _describe_line(self) -> str:
+        cond = " and ".join(
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        tag = " pkfk" if self.pkfk else ""
+        return f"HashJoin({cond}{tag})"
+
+
+@dataclass(frozen=True)
+class ThetaJoin(LogicalPlan):
+    """Nested-loop join with an arbitrary predicate (Appendix F.6)."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+    predicate: Expr
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def _describe_line(self) -> str:
+        return f"ThetaJoin({self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class CrossProduct(LogicalPlan):
+    """Cartesian product (Appendix F.7 — lineage is computed, not stored)."""
+
+    left: LogicalPlan
+    right: LogicalPlan
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Sort(LogicalPlan):
+    """Stable sort on output columns; ``limit`` keeps the first N rows.
+
+    The paper's engine is hash-based and "precludes sort operations", so
+    no benchmark uses this operator — it exists for engine completeness
+    (ORDER BY / LIMIT in the SQL layer).  Lineage is trivial: sorting is a
+    permutation (a 1-to-1 rid array in each direction) and LIMIT is a
+    prefix selection.
+    """
+
+    child: LogicalPlan
+    keys: Tuple[Tuple[str, bool], ...]  # (column, descending)
+    limit: Optional[int] = None
+
+    def __init__(self, child, keys: Sequence[Tuple[str, bool]], limit: Optional[int] = None):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple((c, bool(d)) for c, d in keys))
+        object.__setattr__(self, "limit", limit)
+        if not self.keys and limit is None:
+            raise PlanError("Sort requires sort keys or a limit")
+        if limit is not None and limit < 0:
+            raise PlanError("LIMIT must be non-negative")
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def _describe_line(self) -> str:
+        keys = ", ".join(f"{c}{' desc' if d else ''}" for c, d in self.keys)
+        suffix = f" limit={self.limit}" if self.limit is not None else ""
+        return f"Sort([{keys}]{suffix})"
+
+
+_SET_OPS = ("union", "intersect", "except")
+
+
+@dataclass(frozen=True)
+class SetOp(LogicalPlan):
+    """Bag/set union, intersection, difference (Appendix F.1-F.5)."""
+
+    op: str
+    left: LogicalPlan
+    right: LogicalPlan
+    all: bool = False  # bag semantics when True
+
+    def __post_init__(self):
+        if self.op not in _SET_OPS:
+            raise PlanError(f"unknown set operation {self.op!r}")
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def _describe_line(self) -> str:
+        kind = "ALL" if self.all else "DISTINCT"
+        return f"SetOp({self.op} {kind})"
+
+
+def col(name: str) -> Col:
+    """Shorthand column reference used throughout plans and tests."""
+    return Col(name)
+
+
+def walk(plan: LogicalPlan):
+    """Pre-order traversal of all plan nodes."""
+    yield plan
+    for child in plan.children:
+        yield from walk(child)

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, binder."""
+
+from .binder import bind, parse_sql
+from .parser import parse
+
+__all__ = ["bind", "parse", "parse_sql"]

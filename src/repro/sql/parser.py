@@ -1,0 +1,449 @@
+"""Recursive-descent SQL parser producing an unbound AST.
+
+The parser resolves nothing: column references stay as
+:class:`RawColumn` (with optional qualifier) and aggregate calls as
+:class:`RawAgg`; :mod:`repro.sql.binder` turns the AST into a logical
+plan against a concrete catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..errors import SqlError
+from .lexer import Token, tokenize
+
+# -- raw AST -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RawColumn:
+    qualifier: Optional[str]
+    name: str
+
+
+@dataclass(frozen=True)
+class RawConst:
+    value: object
+
+
+@dataclass(frozen=True)
+class RawParam:
+    name: str
+
+
+@dataclass(frozen=True)
+class RawBin:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class RawNot:
+    operand: object
+
+
+@dataclass(frozen=True)
+class RawFunc:
+    name: str
+    args: Tuple
+
+
+@dataclass(frozen=True)
+class RawIn:
+    operand: object
+    choices: Tuple
+
+
+@dataclass(frozen=True)
+class RawAgg:
+    func: str            # count / sum / avg / min / max / count_distinct
+    arg: Optional[object]  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: Optional[str]
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item: a named table or a parenthesized derived table."""
+
+    table: str                 # name, or "" for a derived table
+    alias: str
+    subquery: object = None    # SelectStatement / SetStatement for derived
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    ref: TableRef
+    conditions: Tuple[Tuple[RawColumn, RawColumn], ...]  # explicit ON a=b pairs
+    comma: bool  # True for a comma-separated FROM item
+
+
+@dataclass
+class SelectStatement:
+    items: List[SelectItem]
+    distinct: bool
+    base: TableRef
+    joins: List[JoinClause]
+    where: Optional[object]
+    group_by: List[object]
+    having: Optional[object]
+    order_by: List[tuple] = None   # [(output column name, descending)]
+    limit: Optional[int] = None
+
+
+@dataclass
+class SetStatement:
+    op: str            # union / intersect / except
+    all: bool
+    left: object
+    right: object
+
+
+Statement = Union[SelectStatement, SetStatement]
+
+
+def parse(text: str) -> Statement:
+    return _Parser(tokenize(text), text).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect_kw(self, name: str) -> Token:
+        if not self.current.is_kw(name):
+            raise SqlError(
+                f"expected {name.upper()}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.current.is_punct(value):
+            raise SqlError(
+                f"expected {value!r}, found {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept_kw(self, *names: str) -> Optional[Token]:
+        if self.current.is_kw(*names):
+            return self.advance()
+        return None
+
+    def accept_punct(self, *values: str) -> Optional[Token]:
+        if self.current.is_punct(*values):
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        stmt = self.parse_select()
+        while self.current.is_kw("union", "intersect", "except"):
+            op = self.advance().value
+            all_ = self.accept_kw("all") is not None
+            right = self.parse_select()
+            stmt = SetStatement(op=op, all=all_, left=stmt, right=right)
+        self.accept_punct(";")
+        if self.current.kind != "eof":
+            raise SqlError(
+                f"unexpected trailing input {self.current.value!r}",
+                self.current.position,
+            )
+        return stmt
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_kw("select")
+        distinct = self.accept_kw("distinct") is not None
+        items = self._select_list()
+        self.expect_kw("from")
+        base = self._table_ref()
+        joins: List[JoinClause] = []
+        while True:
+            if self.accept_punct(","):
+                joins.append(JoinClause(self._table_ref(), (), comma=True))
+                continue
+            if self.current.is_kw("join", "inner"):
+                self.accept_kw("inner")
+                self.expect_kw("join")
+                ref = self._table_ref()
+                self.expect_kw("on")
+                conditions = [self._join_condition()]
+                while self.accept_kw("and"):
+                    conditions.append(self._join_condition())
+                joins.append(JoinClause(ref, tuple(conditions), comma=False))
+                continue
+            break
+        where = self.parse_expr() if self.accept_kw("where") else None
+        group_by: List[object] = []
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expr())
+        having = self.parse_expr() if self.accept_kw("having") else None
+        order_by: List[tuple] = []
+        if self.accept_kw("order"):
+            self.expect_kw("by")
+            order_by.append(self._order_item())
+            while self.accept_punct(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_kw("limit"):
+            tok = self.advance()
+            if tok.kind != "int":
+                raise SqlError("LIMIT expects an integer", tok.position)
+            limit = int(tok.value)
+        return SelectStatement(
+            items=items,
+            distinct=distinct,
+            base=base,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _order_item(self) -> tuple:
+        tok = self.advance()
+        if tok.kind != "ident":
+            raise SqlError(
+                "ORDER BY supports output column names", tok.position
+            )
+        descending = False
+        if self.current.is_kw("asc", "desc"):
+            descending = self.advance().value == "desc"
+        return tok.value, descending
+
+    def _select_list(self) -> List[SelectItem]:
+        items = [self._select_item()]
+        while self.accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        if self.current.is_punct("*"):
+            self.advance()
+            return SelectItem(expr=None, alias=None, star=True)
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_kw("as"):
+            tok = self.advance()
+            if tok.kind not in ("ident", "keyword"):
+                raise SqlError("expected alias after AS", tok.position)
+            alias = tok.value
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _table_ref(self) -> TableRef:
+        if self.current.is_punct("("):
+            self.advance()
+            sub = self.parse_select()
+            while self.current.is_kw("union", "intersect", "except"):
+                op = self.advance().value
+                all_ = self.accept_kw("all") is not None
+                sub = SetStatement(op=op, all=all_, left=sub, right=self.parse_select())
+            self.expect_punct(")")
+            self.accept_kw("as")
+            alias_tok = self.advance()
+            if alias_tok.kind != "ident":
+                raise SqlError(
+                    "derived table requires an alias", alias_tok.position
+                )
+            return TableRef(table="", alias=alias_tok.value, subquery=sub)
+        tok = self.advance()
+        if tok.kind != "ident":
+            raise SqlError(f"expected table name, found {tok.value!r}", tok.position)
+        alias = tok.value
+        if self.accept_kw("as"):
+            alias = self.advance().value
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        return TableRef(table=tok.value, alias=alias)
+
+    def _join_condition(self) -> Tuple[RawColumn, RawColumn]:
+        left = self._qualified_column()
+        self.expect_punct("=")
+        right = self._qualified_column()
+        return left, right
+
+    def _qualified_column(self) -> RawColumn:
+        tok = self.advance()
+        if tok.kind != "ident":
+            raise SqlError(f"expected column, found {tok.value!r}", tok.position)
+        if self.accept_punct("."):
+            col = self.advance()
+            if col.kind != "ident":
+                raise SqlError("expected column after '.'", col.position)
+            return RawColumn(tok.value, col.value)
+        return RawColumn(None, tok.value)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expr(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept_kw("or"):
+            left = RawBin("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept_kw("and"):
+            left = RawBin("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept_kw("not"):
+            return RawNot(self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self):
+        left = self._add_expr()
+        tok = self.current
+        if tok.is_punct("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return RawBin(op, left, self._add_expr())
+        if tok.is_kw("between"):
+            self.advance()
+            lo = self._add_expr()
+            self.expect_kw("and")
+            hi = self._add_expr()
+            return RawBin("and", RawBin(">=", left, lo), RawBin("<=", left, hi))
+        if tok.is_kw("in"):
+            self.advance()
+            self.expect_punct("(")
+            choices = [self._literal_value()]
+            while self.accept_punct(","):
+                choices.append(self._literal_value())
+            self.expect_punct(")")
+            return RawIn(left, tuple(choices))
+        if tok.is_kw("not"):
+            # X NOT IN (...) / NOT BETWEEN
+            save = self.pos
+            self.advance()
+            if self.current.is_kw("in"):
+                self.advance()
+                self.expect_punct("(")
+                choices = [self._literal_value()]
+                while self.accept_punct(","):
+                    choices.append(self._literal_value())
+                self.expect_punct(")")
+                return RawNot(RawIn(left, tuple(choices)))
+            self.pos = save
+        return left
+
+    def _literal_value(self):
+        tok = self.advance()
+        if tok.kind == "int":
+            return int(tok.value)
+        if tok.kind == "float":
+            return float(tok.value)
+        if tok.kind == "string":
+            return tok.value
+        raise SqlError(f"expected literal, found {tok.value!r}", tok.position)
+
+    def _add_expr(self):
+        left = self._mul_expr()
+        while self.current.is_punct("+", "-"):
+            op = self.advance().value
+            left = RawBin(op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self):
+        left = self._unary()
+        while self.current.is_punct("*", "/"):
+            op = self.advance().value
+            left = RawBin(op, left, self._unary())
+        return left
+
+    def _unary(self):
+        if self.accept_punct("-"):
+            return RawBin("-", RawConst(0), self._unary())
+        return self._primary()
+
+    def _primary(self):
+        tok = self.current
+        if tok.kind in ("int", "float", "string"):
+            self.advance()
+            if tok.kind == "int":
+                return RawConst(int(tok.value))
+            if tok.kind == "float":
+                return RawConst(float(tok.value))
+            return RawConst(tok.value)
+        if tok.kind == "param":
+            self.advance()
+            return RawParam(tok.value)
+        if tok.is_punct("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if tok.is_kw("count", "sum", "avg", "min", "max"):
+            return self._aggregate()
+        if tok.is_kw("extract"):
+            return self._extract()
+        if tok.is_kw("sqrt", "abs", "floor"):
+            name = self.advance().value
+            self.expect_punct("(")
+            arg = self.parse_expr()
+            self.expect_punct(")")
+            return RawFunc(name, (arg,))
+        if tok.kind == "ident":
+            return self._qualified_column()
+        raise SqlError(f"unexpected token {tok.value!r}", tok.position)
+
+    def _aggregate(self):
+        func = self.advance().value
+        self.expect_punct("(")
+        if func == "count":
+            if self.accept_punct("*"):
+                self.expect_punct(")")
+                return RawAgg("count", None)
+            if self.accept_kw("distinct"):
+                arg = self.parse_expr()
+                self.expect_punct(")")
+                return RawAgg("count_distinct", arg)
+        arg = self.parse_expr()
+        self.expect_punct(")")
+        return RawAgg(func, arg)
+
+    def _extract(self):
+        self.advance()
+        self.expect_punct("(")
+        part = self.advance()
+        if not part.is_kw("year", "month"):
+            raise SqlError("EXTRACT supports YEAR and MONTH", part.position)
+        self.expect_kw("from")
+        arg = self.parse_expr()
+        self.expect_punct(")")
+        return RawFunc(part.value, (arg,))

@@ -1,0 +1,16 @@
+"""Storage substrate: tables, schemas, catalogs, growable rid vectors."""
+
+from .catalog import Catalog
+from .growable import GROWTH_FACTOR, INITIAL_CAPACITY, GrowableRidVector
+from .table import ColumnType, Schema, Table, concat_tables
+
+__all__ = [
+    "Catalog",
+    "ColumnType",
+    "GROWTH_FACTOR",
+    "GrowableRidVector",
+    "INITIAL_CAPACITY",
+    "Schema",
+    "Table",
+    "concat_tables",
+]

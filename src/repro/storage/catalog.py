@@ -1,0 +1,52 @@
+"""Database catalog: named base relations, views, and their statistics.
+
+The catalog is deliberately small — Smoke is an analytical engine operating
+on immutable in-memory relations — but it is the anchor that lineage
+queries trace *to*: a backward query names a base relation registered here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import CatalogError
+from .table import Table
+
+
+class Catalog:
+    """Name → table mapping with helpers for base-relation identity."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, name: str, table: Table, replace: bool = False) -> None:
+        if not name or not name.isidentifier():
+            raise CatalogError(f"invalid table name {name!r}")
+        if name in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[name] = table
+
+    def drop(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; known: {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def names(self):
+        return sorted(self._tables)
+
+    def resolve(self, name: str, default: Optional[Table] = None) -> Optional[Table]:
+        return self._tables.get(name, default)

@@ -1,0 +1,98 @@
+"""Write-optimized growable rid vectors.
+
+Smoke's lineage indexes are built from growable arrays that follow the
+allocation policy of high-performance vector libraries (the paper cites
+folly's FBVector): arrays start with capacity for 10 elements and grow by a
+factor of 1.5x on overflow.  The paper finds that *array resizing dominates
+lineage capture costs*, which is why the Defer instrumentation and the
+cardinality-hint variants (Smoke-I-TC / Smoke-I-EC) exist at all.
+
+This module reproduces that policy faithfully so the same trade-off is
+measurable here: :class:`GrowableRidVector` resizes exactly as described,
+and exposes counters (`resize_count`, `copied_elements`) that benchmarks and
+tests use to verify that pre-allocation removes resizing work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Initial capacity of a fresh rid vector (paper Section 3.1).
+INITIAL_CAPACITY = 10
+
+#: Growth factor applied on overflow (paper Section 3.1).
+GROWTH_FACTOR = 1.5
+
+RID_DTYPE = np.int64
+
+
+class GrowableRidVector:
+    """An append-only vector of record ids with FBVector-style growth.
+
+    Parameters
+    ----------
+    capacity:
+        Initial capacity.  Passing an accurate cardinality estimate here is
+        exactly the Smoke-I-TC / Smoke-I-EC optimization: appends then never
+        trigger a resize.
+    """
+
+    __slots__ = ("_data", "_size", "resize_count", "copied_elements")
+
+    def __init__(self, capacity: int = INITIAL_CAPACITY):
+        if capacity < 1:
+            capacity = 1
+        self._data = np.empty(int(capacity), dtype=RID_DTYPE)
+        self._size = 0
+        self.resize_count = 0
+        self.copied_elements = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Number of elements the current allocation can hold."""
+        return int(self._data.shape[0])
+
+    def _grow_to(self, needed: int) -> None:
+        new_cap = self.capacity
+        while new_cap < needed:
+            new_cap = int(new_cap * GROWTH_FACTOR) + 1
+        new_data = np.empty(new_cap, dtype=RID_DTYPE)
+        new_data[: self._size] = self._data[: self._size]
+        self.resize_count += 1
+        self.copied_elements += self._size
+        self._data = new_data
+
+    def append(self, rid: int) -> None:
+        """Append one rid, growing the backing array if it is full."""
+        if self._size == self.capacity:
+            self._grow_to(self._size + 1)
+        self._data[self._size] = rid
+        self._size += 1
+
+    def extend(self, rids: np.ndarray) -> None:
+        """Append a batch of rids (vectorized append used by chunked Inject)."""
+        rids = np.asarray(rids, dtype=RID_DTYPE)
+        needed = self._size + rids.shape[0]
+        if needed > self.capacity:
+            self._grow_to(needed)
+        self._data[self._size : needed] = rids
+        self._size = needed
+
+    def view(self) -> np.ndarray:
+        """A read-only view of the occupied prefix (no copy)."""
+        v = self._data[: self._size]
+        v.flags.writeable = False
+        return v
+
+    def to_array(self) -> np.ndarray:
+        """A compact copy of the contents."""
+        return self._data[: self._size].copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GrowableRidVector(size={self._size}, capacity={self.capacity},"
+            f" resizes={self.resize_count})"
+        )

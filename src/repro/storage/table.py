@@ -1,0 +1,285 @@
+"""In-memory relations.
+
+A :class:`Table` is Smoke's unit of storage: a schema plus one numpy array
+per column.  Record ids (*rids*) are implicit array positions ``0..n-1``,
+which is what makes rid-based lineage indexes cheap — a backward lookup is
+an array ``take`` rather than a key lookup (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def numpy_dtype(self):
+        return {_I: np.int64, _F: np.float64, _S: object}[self]
+
+    @classmethod
+    def infer(cls, array: np.ndarray) -> "ColumnType":
+        """Infer the logical type of a numpy array."""
+        kind = array.dtype.kind
+        if kind in "iub":
+            return cls.INT
+        if kind == "f":
+            return cls.FLOAT
+        if kind in "OUS":
+            return cls.STR
+        raise SchemaError(f"unsupported numpy dtype {array.dtype!r}")
+
+
+_I, _F, _S = ColumnType.INT, ColumnType.FLOAT, ColumnType.STR
+
+
+class Schema:
+    """An ordered mapping of column name to :class:`ColumnType`."""
+
+    __slots__ = ("_names", "_types", "_pos")
+
+    def __init__(self, fields: Sequence[Tuple[str, ColumnType]]):
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self._names: List[str] = names
+        self._types: List[ColumnType] = [ctype for _, ctype in fields]
+        self._pos: Dict[str, int] = {n: i for i, n in enumerate(names)}
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._names)
+
+    @property
+    def fields(self) -> List[Tuple[str, ColumnType]]:
+        return list(zip(self._names, self._types))
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pos
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Schema)
+            and self._names == other._names
+            and self._types == other._types
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}:{t.value}" for n, t in self.fields)
+        return f"Schema({inner})"
+
+    def type_of(self, name: str) -> ColumnType:
+        try:
+            return self._types[self._pos[name]]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {self._names}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        if name not in self._pos:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {self._names}"
+            )
+        return self._pos[name]
+
+    def concat(self, other: "Schema", prefix_self: str = "", prefix_other: str = "") -> "Schema":
+        """Schema of a join output, optionally disambiguating with prefixes."""
+        fields = [(prefix_self + n, t) for n, t in self.fields]
+        fields += [(prefix_other + n, t) for n, t in other.fields]
+        return Schema(fields)
+
+
+def _coerce_column(values, ctype: Optional[ColumnType] = None) -> np.ndarray:
+    """Coerce arbitrary input into a canonical column array."""
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        values = list(values)
+        if values and isinstance(values[0], str):
+            arr = np.array(values, dtype=object)
+        else:
+            arr = np.asarray(values)
+    if ctype is None:
+        ctype = ColumnType.infer(arr)
+    if ctype is ColumnType.STR:
+        if arr.dtype != object:
+            arr = arr.astype(object)
+    else:
+        arr = np.ascontiguousarray(arr, dtype=ctype.numpy_dtype)
+    return arr
+
+
+class Table:
+    """A named-column, rid-addressable in-memory relation.
+
+    Columns are immutable by convention: operators produce new tables rather
+    than mutating inputs, so captured rid indexes stay valid for the
+    lifetime of the table they reference.
+    """
+
+    __slots__ = ("schema", "_columns", "_nrows")
+
+    def __init__(self, columns: Mapping[str, np.ndarray], schema: Optional[Schema] = None):
+        if schema is None:
+            fields = []
+            coerced: Dict[str, np.ndarray] = {}
+            for name, values in columns.items():
+                arr = _coerce_column(values)
+                fields.append((name, ColumnType.infer(arr)))
+                coerced[name] = arr
+            schema = Schema(fields)
+            columns = coerced
+        else:
+            coerced = {}
+            for name, ctype in schema.fields:
+                if name not in columns:
+                    raise SchemaError(f"missing column {name!r} for schema {schema}")
+                coerced[name] = _coerce_column(columns[name], ctype)
+            columns = coerced
+        lengths = {name: arr.shape[0] for name, arr in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged columns: {lengths}")
+        self.schema = schema
+        self._columns = dict(columns)
+        self._nrows = next(iter(lengths.values())) if lengths else 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        cols = {n: np.empty(0, dtype=t.numpy_dtype) for n, t in schema.fields}
+        return cls(cols, schema)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Table":
+        rows = list(rows)
+        cols = {}
+        for i, (name, ctype) in enumerate(schema.fields):
+            cols[name] = _coerce_column([row[i] for row in rows], ctype)
+        return cls(cols, schema)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; available: {self.schema.names}"
+            ) from None
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    def row(self, rid: int) -> Tuple:
+        if not 0 <= rid < self._nrows:
+            raise IndexError(f"rid {rid} out of range [0, {self._nrows})")
+        return tuple(self._columns[n][rid] for n in self.schema.names)
+
+    def itertuples(self):
+        """Iterate rows as tuples (used by the compiled backend and tests)."""
+        arrays = [self._columns[n] for n in self.schema.names]
+        return zip(*arrays) if arrays else iter(())
+
+    def to_rows(self) -> List[Tuple]:
+        return list(self.itertuples())
+
+    # -- relational helpers ----------------------------------------------------
+
+    def take(self, rids) -> "Table":
+        """Gather rows by rid — the primitive behind every lineage lookup."""
+        rids = np.asarray(rids, dtype=np.int64)
+        cols = {n: arr[rids] for n, arr in self._columns.items()}
+        return Table(cols, self.schema)
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        cols = {n: arr[mask] for n, arr in self._columns.items()}
+        return Table(cols, self.schema)
+
+    def select_columns(self, names: Sequence[str]) -> "Table":
+        fields = [(n, self.schema.type_of(n)) for n in names]
+        return Table({n: self._columns[n] for n in names}, Schema(fields))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        fields = [(mapping.get(n, n), t) for n, t in self.schema.fields]
+        cols = {mapping.get(n, n): arr for n, arr in self._columns.items()}
+        return Table(cols, Schema(fields))
+
+    def with_column(self, name: str, values) -> "Table":
+        arr = _coerce_column(values)
+        if arr.shape[0] != self._nrows and self._nrows:
+            raise SchemaError(
+                f"column {name!r} has {arr.shape[0]} rows, table has {self._nrows}"
+            )
+        fields = self.schema.fields
+        if name in self.schema:
+            fields = [(n, ColumnType.infer(arr) if n == name else t) for n, t in fields]
+        else:
+            fields = fields + [(name, ColumnType.infer(arr))]
+        cols = dict(self._columns)
+        cols[name] = arr
+        return Table(cols, Schema(fields))
+
+    def equals(self, other: "Table", sort: bool = False) -> bool:
+        """Deep equality; with ``sort=True`` compares as bags of rows."""
+        if self.schema != other.schema or len(self) != len(other):
+            return False
+        mine, theirs = self.to_rows(), other.to_rows()
+        if sort:
+            mine, theirs = sorted(map(repr, mine)), sorted(map(repr, theirs))
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema}, rows={self._nrows})"
+
+    def pretty(self, limit: int = 20) -> str:
+        """Render a small ASCII preview, for examples and bench reports."""
+        names = self.schema.names
+        rows = [tuple(str(v) for v in row) for row in list(self.itertuples())[:limit]]
+        widths = [
+            max([len(n)] + [len(r[i]) for r in rows]) for i, n in enumerate(names)
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows]
+        suffix = [] if len(self) <= limit else [f"... ({len(self)} rows total)"]
+        return "\n".join([header, sep] + body + suffix)
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Bag-union concatenation preserving rid order (A rows then B rows...)."""
+    if not tables:
+        raise SchemaError("concat_tables requires at least one table")
+    schema = tables[0].schema
+    for t in tables[1:]:
+        if t.schema != schema:
+            raise SchemaError(f"schema mismatch in concat: {t.schema} vs {schema}")
+    cols = {}
+    for name, ctype in schema.fields:
+        parts = [t.column(name) for t in tables]
+        if ctype is ColumnType.STR:
+            cols[name] = np.concatenate([p.astype(object) for p in parts])
+        else:
+            cols[name] = np.concatenate(parts)
+    return Table(cols, schema)

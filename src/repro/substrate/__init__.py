@@ -1,0 +1,16 @@
+"""Non-relational substrates: sampling, B-tree KV store, statistics."""
+
+from .bdb import BerkeleyDBSim
+from .btree import BTree
+from .stats import CardinalityHints, collect_group_counts, estimate_selectivity
+from .zipf import sample_zipf, zipf_probabilities
+
+__all__ = [
+    "BTree",
+    "BerkeleyDBSim",
+    "CardinalityHints",
+    "collect_group_counts",
+    "estimate_selectivity",
+    "sample_zipf",
+    "zipf_probabilities",
+]

@@ -1,0 +1,47 @@
+"""Zipfian sampling over a bounded domain.
+
+The paper's microbenchmarks use tables ``zipf(id, z, v)`` where ``z`` is an
+integer drawn from a zipfian distribution over ``g`` distinct values with
+skew ``theta`` and ``v`` is uniform in ``[0, 100]``.  numpy's
+``random.zipf`` samples an unbounded Zipf; the benchmarks need the classic
+*bounded* zipfian used by YCSB/TPC generators, so we implement it directly:
+
+    P(rank k) = (1/k^theta) / H(g, theta),   k in 1..g
+
+``theta = 0`` degenerates to uniform; larger theta concentrates mass on the
+first ranks (the paper uses theta up to 1.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_probabilities(num_values: int, theta: float) -> np.ndarray:
+    """Probability vector of a bounded zipfian over ranks ``1..num_values``."""
+    if num_values < 1:
+        raise ValueError("num_values must be >= 1")
+    if theta < 0:
+        raise ValueError("theta must be >= 0")
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    weights = ranks ** (-float(theta))
+    return weights / weights.sum()
+
+
+def sample_zipf(
+    num_samples: int,
+    num_values: int,
+    theta: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``num_samples`` ranks in ``[0, num_values)`` (0-based).
+
+    Sampling uses inverse-CDF on the cumulative probabilities, which is both
+    fast (one ``searchsorted`` over sorted uniforms) and deterministic given
+    the generator state.
+    """
+    probs = zipf_probabilities(num_values, theta)
+    cdf = np.cumsum(probs)
+    cdf[-1] = 1.0  # guard against floating point shortfall
+    u = rng.random(num_samples)
+    return np.searchsorted(cdf, u, side="right").astype(np.int64)

@@ -1,0 +1,27 @@
+"""TPC-H workload: queries Q1/Q3/Q10/Q12 and the Q1a/Q1b/Q1c variants."""
+
+from .queries import ALL_QUERIES, q1, q3, q10, q12
+from .variants import (
+    q1a_eager,
+    q1a_lazy,
+    q1b_eager,
+    q1b_filter,
+    q1b_lazy,
+    q1c_eager,
+    q1c_lazy,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "q1",
+    "q10",
+    "q12",
+    "q1a_eager",
+    "q1a_lazy",
+    "q1b_eager",
+    "q1b_filter",
+    "q1b_lazy",
+    "q1c_eager",
+    "q1c_lazy",
+    "q3",
+]

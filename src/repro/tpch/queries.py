@@ -1,0 +1,112 @@
+"""TPC-H queries Q1, Q3, Q10, Q12 as logical plans (paper Section 6.2).
+
+Plans are built programmatically (not via the SQL parser) so that the
+physical structure matches the paper's description: selections pushed to
+the scans, left-deep join trees with the smallest relation as the build
+side, pk-fk joins annotated, and a group-by aggregation as the root
+operator.  Hash-based execution precludes ORDER BY, exactly as in the
+paper, so sort clauses are omitted.
+
+The CASE expressions of official Q12 are expressed as sums over boolean
+predicates (``SUM(o_orderpriority IN (...))``), which our engine treats as
+0/1 integers — semantically identical for this query.
+"""
+
+from __future__ import annotations
+
+from ..datagen.dates import date_int
+from ..expr.ast import Const, Not
+from ..plan.logical import AggCall, GroupBy, HashJoin, LogicalPlan, Scan, Select, col
+
+#: Revenue expression shared by Q3 and Q10.
+_REVENUE = col("l_extendedprice") * (Const(1) - col("l_discount"))
+
+
+def q1(ship_cutoff: str = "1998-12-01") -> LogicalPlan:
+    """Pricing summary report: one group per (returnflag, linestatus)."""
+    scan = Select(Scan("lineitem"), col("l_shipdate") < date_int(ship_cutoff))
+    return GroupBy(
+        scan,
+        keys=[(col("l_returnflag"), "l_returnflag"), (col("l_linestatus"), "l_linestatus")],
+        aggs=[
+            AggCall("sum", col("l_quantity"), "sum_qty"),
+            AggCall("sum", col("l_extendedprice"), "sum_base_price"),
+            AggCall("sum", _REVENUE, "sum_disc_price"),
+            AggCall("sum", _REVENUE * (Const(1) + col("l_tax")), "sum_charge"),
+            AggCall("avg", col("l_quantity"), "avg_qty"),
+            AggCall("avg", col("l_extendedprice"), "avg_price"),
+            AggCall("avg", col("l_discount"), "avg_disc"),
+            AggCall("count", None, "count_order"),
+        ],
+    )
+
+
+def q3(cutoff: str = "1995-03-15", segment: str = "BUILDING") -> LogicalPlan:
+    """Shipping priority: customer ⋈ orders ⋈ lineitem, grouped by order."""
+    customers = Select(Scan("customer"), col("c_mktsegment").eq(segment))
+    orders = Select(Scan("orders"), col("o_orderdate") < date_int(cutoff))
+    co = HashJoin(customers, orders, ("c_custkey",), ("o_custkey",), pkfk=True)
+    lineitem = Select(Scan("lineitem"), col("l_shipdate") > date_int(cutoff))
+    col_join = HashJoin(co, lineitem, ("o_orderkey",), ("l_orderkey",), pkfk=True)
+    return GroupBy(
+        col_join,
+        keys=[
+            (col("l_orderkey"), "l_orderkey"),
+            (col("o_orderdate"), "o_orderdate"),
+            (col("o_shippriority"), "o_shippriority"),
+        ],
+        aggs=[AggCall("sum", _REVENUE, "revenue")],
+    )
+
+
+def q10(start: str = "1993-10-01", end: str = "1994-01-01") -> LogicalPlan:
+    """Returned item reporting: nation ⋈ customer ⋈ orders ⋈ lineitem."""
+    nc = HashJoin(
+        Scan("nation"), Scan("customer"), ("n_nationkey",), ("c_nationkey",), pkfk=True
+    )
+    orders = Select(
+        Scan("orders"),
+        (col("o_orderdate") >= date_int(start)).and_(
+            col("o_orderdate") < date_int(end)
+        ),
+    )
+    nco = HashJoin(nc, orders, ("c_custkey",), ("o_custkey",), pkfk=True)
+    lineitem = Select(Scan("lineitem"), col("l_returnflag").eq("R"))
+    ncol = HashJoin(nco, lineitem, ("o_orderkey",), ("l_orderkey",), pkfk=True)
+    return GroupBy(
+        ncol,
+        keys=[
+            (col("c_custkey"), "c_custkey"),
+            (col("c_name"), "c_name"),
+            (col("c_acctbal"), "c_acctbal"),
+            (col("c_phone"), "c_phone"),
+            (col("n_name"), "n_name"),
+        ],
+        aggs=[AggCall("sum", _REVENUE, "revenue")],
+    )
+
+
+def q12(year_start: str = "1994-01-01", year_end: str = "1995-01-01") -> LogicalPlan:
+    """Shipping modes and order priority: orders ⋈ lineitem."""
+    lineitem = Select(
+        Scan("lineitem"),
+        col("l_shipmode")
+        .isin(("MAIL", "SHIP"))
+        .and_(col("l_commitdate") < col("l_receiptdate"))
+        .and_(col("l_shipdate") < col("l_commitdate"))
+        .and_(col("l_receiptdate") >= date_int(year_start))
+        .and_(col("l_receiptdate") < date_int(year_end)),
+    )
+    join = HashJoin(Scan("orders"), lineitem, ("o_orderkey",), ("l_orderkey",), pkfk=True)
+    high = col("o_orderpriority").isin(("1-URGENT", "2-HIGH"))
+    return GroupBy(
+        join,
+        keys=[(col("l_shipmode"), "l_shipmode")],
+        aggs=[
+            AggCall("sum", high, "high_line_count"),
+            AggCall("sum", Not(high), "low_line_count"),
+        ],
+    )
+
+
+ALL_QUERIES = {"Q1": q1, "Q3": q3, "Q10": q10, "Q12": q12}

@@ -1,0 +1,120 @@
+"""Q1 drill-down variants Q1a/Q1b/Q1c and their lazy rewrites (Appendix C).
+
+These model the "Overview first, zoom and filter, details on demand"
+workload of Section 6.4:
+
+* **Q1a** drills into one Q1 bar by (year, month) of the ship date,
+* **Q1b** adds parameterized filters ``l_shipmode = :p1 AND
+  l_shipinstruct = :p2`` (the data-skipping scenario),
+* **Q1c** further adds ``l_tax`` to the grouping (the aggregation
+  push-down scenario).
+
+Each variant exists in two forms:
+
+* an *eager* plan over an arbitrary input relation — in practice the
+  backward-lineage subset ``Lb(o ⊆ Q1, lineitem)`` materialized as a
+  temporary table, so no Q1 predicates are repeated;
+* a *lazy* plan over ``lineitem`` itself, with the group's key values and
+  Q1's selection folded back into the WHERE clause per the rewrite rules
+  of Cui/Ikeda that the paper's Lazy baseline uses.
+"""
+
+from __future__ import annotations
+
+
+from ..datagen.dates import date_int
+from ..expr.ast import Expr, Func, Param
+from ..plan.logical import AggCall, GroupBy, LogicalPlan, Scan, Select, col
+
+#: The aggregate list shared by all variants (Q1's statistics).
+def _q1_aggs():
+    return [
+        AggCall("sum", col("l_quantity"), "sum_qty"),
+        AggCall("avg", col("l_extendedprice"), "avg_price"),
+        AggCall("count", None, "count_order"),
+    ]
+
+
+def _year_month_keys():
+    return [
+        (Func("year", [col("l_shipdate")]), "ship_year"),
+        (Func("month", [col("l_shipdate")]), "ship_month"),
+    ]
+
+
+def q1a_eager(input_relation: str) -> LogicalPlan:
+    """Q1a over a lineage subset registered as ``input_relation``."""
+    return GroupBy(Scan(input_relation), keys=_year_month_keys(), aggs=_q1_aggs())
+
+
+def q1a_lazy(returnflag: str, linestatus: str, ship_cutoff: str = "1998-12-01") -> LogicalPlan:
+    """Q1a as a selection scan over lineitem (Appendix C, Q1a-lazy)."""
+    predicate = (
+        (col("l_shipdate") < date_int(ship_cutoff))
+        .and_(col("l_returnflag").eq(returnflag))
+        .and_(col("l_linestatus").eq(linestatus))
+    )
+    return GroupBy(
+        Select(Scan("lineitem"), predicate), keys=_year_month_keys(), aggs=_q1_aggs()
+    )
+
+
+def q1b_filter() -> Expr:
+    """The parameterized predicate of Q1b (bound per interaction)."""
+    return col("l_shipmode").eq(Param("p1")).and_(
+        col("l_shipinstruct").eq(Param("p2"))
+    )
+
+
+def q1b_eager(input_relation: str) -> LogicalPlan:
+    return GroupBy(
+        Select(Scan(input_relation), q1b_filter()),
+        keys=_year_month_keys(),
+        aggs=_q1_aggs(),
+    )
+
+
+def q1b_lazy(returnflag: str, linestatus: str, ship_cutoff: str = "1998-12-01") -> LogicalPlan:
+    predicate = (
+        (col("l_shipdate") < date_int(ship_cutoff))
+        .and_(col("l_returnflag").eq(returnflag))
+        .and_(col("l_linestatus").eq(linestatus))
+        .and_(q1b_filter())
+    )
+    return GroupBy(
+        Select(Scan("lineitem"), predicate), keys=_year_month_keys(), aggs=_q1_aggs()
+    )
+
+
+def q1c_eager(input_relation: str) -> LogicalPlan:
+    """Q1c: adds ``l_tax`` to the grouping over the Q1b lineage subset."""
+    return GroupBy(
+        Scan(input_relation),
+        keys=_year_month_keys() + [(col("l_tax"), "l_tax")],
+        aggs=_q1_aggs(),
+    )
+
+
+def q1c_lazy(
+    returnflag: str,
+    linestatus: str,
+    shipmode: str,
+    shipinstruct: str,
+    ship_year: int,
+    ship_month: int,
+    ship_cutoff: str = "1998-12-01",
+) -> LogicalPlan:
+    predicate = (
+        (col("l_shipdate") < date_int(ship_cutoff))
+        .and_(col("l_returnflag").eq(returnflag))
+        .and_(col("l_linestatus").eq(linestatus))
+        .and_(col("l_shipmode").eq(shipmode))
+        .and_(col("l_shipinstruct").eq(shipinstruct))
+        .and_(Func("year", [col("l_shipdate")]).eq(ship_year))
+        .and_(Func("month", [col("l_shipdate")]).eq(ship_month))
+    )
+    return GroupBy(
+        Select(Scan("lineitem"), predicate),
+        keys=[(col("l_tax"), "l_tax")],
+        aggs=_q1_aggs(),
+    )

@@ -1,0 +1,39 @@
+"""Workload-aware optimizations: pruning, selection push-down, data
+skipping, and group-by push-down (paper Section 4)."""
+
+from .advisor import CostModel, QueryProfile, calibrate, recommend
+from .cube import LineageCube
+from .optimize import OptimizedResult, execute_with_workload
+from .pruning import prune_capture
+from .pushdown import filter_backward_index, predicate_mask
+from .skipping import AttributePartitioner, BinnedPartitioner, PartitionedRidIndex
+from .spec import (
+    AggPushdownSpec,
+    BackwardSpec,
+    FilteredBackwardSpec,
+    ForwardSpec,
+    SkippingSpec,
+    Workload,
+)
+
+__all__ = [
+    "AggPushdownSpec",
+    "CostModel",
+    "QueryProfile",
+    "calibrate",
+    "recommend",
+    "AttributePartitioner",
+    "BackwardSpec",
+    "BinnedPartitioner",
+    "FilteredBackwardSpec",
+    "ForwardSpec",
+    "LineageCube",
+    "OptimizedResult",
+    "PartitionedRidIndex",
+    "SkippingSpec",
+    "Workload",
+    "execute_with_workload",
+    "filter_backward_index",
+    "predicate_mask",
+    "prune_capture",
+]

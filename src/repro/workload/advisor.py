@@ -1,0 +1,97 @@
+"""A first-cut cost model for instrumentation choices (paper §7, item 2).
+
+The paper leaves "what cost models are needed to choose between capture
+paradigms" as future work, while giving the qualitative rule: *Defer is
+preferable when the client must see base-query results quickly (e.g.
+speculation between interactions) or when cardinalities collected during
+execution remove resizing; Inject minimizes total work.*
+
+This module encodes that rule with a small calibrated model so callers
+can ask for a recommendation instead of hard-coding a mode.  Costs are
+expressed in abstract per-row units calibrated once per interpreter
+session (:func:`calibrate`), so recommendations adapt to the machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..lineage.capture import CaptureMode
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """What the advisor needs to know about the upcoming base query."""
+
+    input_rows: int
+    expected_groups: int
+    #: Seconds of user "think time" available before the first lineage
+    #: query will arrive (0 = lineage needed immediately).
+    think_time_seconds: float = 0.0
+    #: Probability that any lineage query arrives at all.
+    lineage_probability: float = 1.0
+
+
+@dataclass
+class CostModel:
+    """Calibrated per-row costs (seconds)."""
+
+    inline_capture_per_row: float
+    deferred_finalize_per_row: float
+
+    def inject_latency(self, profile: QueryProfile) -> float:
+        """Extra base-query latency Inject adds."""
+        return profile.input_rows * self.inline_capture_per_row
+
+    def defer_latency(self, profile: QueryProfile) -> float:
+        """Extra *visible* latency Defer adds: finalization not hidden by
+        think time, discounted by the chance lineage is never queried."""
+        finalize = profile.input_rows * self.deferred_finalize_per_row
+        hidden = min(finalize, profile.think_time_seconds)
+        return (finalize - hidden) * profile.lineage_probability
+
+
+_DEFAULT = CostModel(
+    inline_capture_per_row=4e-9,     # reuse path: ~free (share the sort)
+    deferred_finalize_per_row=25e-9,  # counting sort on demand
+)
+_calibrated: Optional[CostModel] = None
+
+
+def calibrate(rows: int = 200_000) -> CostModel:
+    """Measure the two capture paths once on this machine."""
+    global _calibrated
+    from ..lineage.indexes import RidIndex
+
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 1_000, rows)
+    # Inline (Inject/reuse): the sort happens anyway; marginal cost is the
+    # offsets/bincount work.
+    start = time.perf_counter()
+    counts = np.bincount(ids, minlength=1_000)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    inline = (time.perf_counter() - start) / rows
+    # Deferred finalize: the full counting sort on demand.
+    start = time.perf_counter()
+    RidIndex.from_group_ids(ids, 1_000)
+    deferred = (time.perf_counter() - start) / rows
+    _calibrated = CostModel(
+        inline_capture_per_row=max(inline, 1e-10),
+        deferred_finalize_per_row=max(deferred, 1e-10),
+    )
+    return _calibrated
+
+
+def recommend(profile: QueryProfile, model: Optional[CostModel] = None) -> CaptureMode:
+    """INJECT or DEFER, whichever minimizes expected visible latency.
+
+    Ties break toward INJECT (lower total work, per the paper).
+    """
+    model = model or _calibrated or _DEFAULT
+    inject = model.inject_latency(profile)
+    defer = model.defer_latency(profile)
+    return CaptureMode.DEFER if defer < inject else CaptureMode.INJECT

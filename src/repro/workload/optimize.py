@@ -1,0 +1,164 @@
+"""Workload-aware execution: pruning + push-downs around one base query.
+
+``execute_with_workload`` runs a base query with capture pruned to the
+declared workload, then applies each push-down while the capture's
+structures are still warm:
+
+* :class:`~repro.workload.spec.FilteredBackwardSpec` → backward indexes
+  filtered by the static predicate (selection push-down),
+* :class:`~repro.workload.spec.SkippingSpec` → backward indexes
+  re-partitioned by the parameter attributes (data skipping),
+* :class:`~repro.workload.spec.AggPushdownSpec` → materialized partial
+  cubes (group-by push-down).
+
+The returned :class:`OptimizedResult` answers the corresponding lineage
+consuming queries through dedicated methods, and records where the time
+went so benchmarks can report capture-vs-query trade-offs (Figures 10-12,
+21-23).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..lineage.capture import CaptureMode
+from ..plan.logical import LogicalPlan
+from ..storage.table import Table
+from ..substrate.stats import CardinalityHints
+from .cube import LineageCube
+from .pruning import prune_capture
+from .pushdown import filter_backward_index, predicate_mask
+from .skipping import AttributePartitioner, PartitionedRidIndex
+from .spec import (
+    AggPushdownSpec,
+    FilteredBackwardSpec,
+    SkippingSpec,
+    Workload,
+)
+
+
+@dataclass
+class OptimizedResult:
+    """A base-query result plus its workload-aware capture artifacts."""
+
+    result: object                      # QueryResult
+    workload: Workload
+    capture_seconds: float              # base query + all push-down work
+    base_seconds: float
+    skipping: Dict[Tuple[str, Tuple[str, ...]], PartitionedRidIndex] = field(
+        default_factory=dict
+    )
+    filtered: Dict[str, object] = field(default_factory=dict)
+    cubes: Dict[Tuple[str, Tuple[str, ...]], LineageCube] = field(default_factory=dict)
+
+    @property
+    def table(self) -> Table:
+        return self.result.table
+
+    @property
+    def lineage(self):
+        return self.result.lineage
+
+    # -- consuming-query entry points ------------------------------------------
+
+    def backward(self, out_rids, relation: str) -> np.ndarray:
+        return self.result.backward(out_rids, relation)
+
+    def skip_backward(
+        self, out_rid: int, relation: str, attributes: Sequence[str], values: Sequence
+    ) -> np.ndarray:
+        """Backward lineage restricted to a parameter binding — reads one
+        partition of the partitioned rid index."""
+        key = (relation, tuple(attributes))
+        if key not in self.skipping:
+            raise WorkloadError(f"no skipping index for {key}; declared: "
+                                f"{sorted(self.skipping)}")
+        return self.skipping[key].lookup(out_rid, values)
+
+    def filtered_backward(self, out_rids, relation: str) -> np.ndarray:
+        """Backward lineage through the selection-pushed index."""
+        if relation not in self.filtered:
+            raise WorkloadError(f"no pushed filter for relation {relation!r}")
+        return np.unique(self.filtered[relation].lookup_many(out_rids))
+
+    def cube_table(
+        self, out_rid: int, relation: str, keys: Sequence[str]
+    ) -> Table:
+        """The materialized drill-down for one output group (≈0ms)."""
+        key = (relation, tuple(keys))
+        if key not in self.cubes:
+            raise WorkloadError(f"no pushed cube for {key}")
+        return self.cubes[key].lookup(out_rid)
+
+
+def execute_with_workload(
+    database,
+    plan: LogicalPlan,
+    workload: Workload,
+    mode: CaptureMode = CaptureMode.INJECT,
+    hints: Optional[CardinalityHints] = None,
+    params: Optional[dict] = None,
+) -> OptimizedResult:
+    """Run ``plan`` with capture tailored to ``workload``."""
+    config = prune_capture(workload, mode=mode, hints=hints)
+    start = time.perf_counter()
+    result = database.execute(plan, capture=config, params=params)
+    base_seconds = time.perf_counter() - start
+
+    optimized = OptimizedResult(
+        result=result,
+        workload=workload,
+        capture_seconds=base_seconds,
+        base_seconds=base_seconds,
+    )
+    if not config.enabled:
+        return optimized
+
+    t0 = time.perf_counter()
+    for spec in workload.of_type(FilteredBackwardSpec):
+        base = database.table(spec.relation)
+        mask = predicate_mask(base, spec.predicate, params)
+        backward = result.lineage.backward_index(spec.relation)
+        optimized.filtered[spec.relation] = filter_backward_index(backward, mask)
+
+    for spec in workload.of_type(SkippingSpec):
+        base = database.table(spec.relation)
+        partitioner = AttributePartitioner(base, spec.attributes)
+        backward = result.lineage.backward_index(spec.relation)
+        optimized.skipping[(spec.relation, spec.attributes)] = PartitionedRidIndex(
+            backward, partitioner
+        )
+
+    for spec in workload.of_type(AggPushdownSpec):
+        base = database.table(spec.relation)
+        forward = result.lineage.forward_index(spec.relation)
+        group_of_row = _forward_to_groups(forward, base.num_rows)
+        optimized.cubes[(spec.relation, spec.keys)] = LineageCube(
+            base,
+            group_of_row,
+            len(result.table),
+            spec.keys,
+            spec.aggs,
+        )
+    optimized.capture_seconds = base_seconds + (time.perf_counter() - t0)
+    return optimized
+
+
+def _forward_to_groups(forward, num_rows: int) -> np.ndarray:
+    """Dense output-group id per base row (−1 when the row reaches no
+    output) from the forward index."""
+    from ..lineage.indexes import RidArray
+
+    if isinstance(forward, RidArray):
+        return forward.values
+    out = np.full(num_rows, -1, dtype=np.int64)
+    offsets, values = forward.as_csr()
+    counts = np.diff(offsets)
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), counts)
+    out[rows] = values
+    return out

@@ -1,0 +1,31 @@
+"""Instrumentation pruning (paper Section 4.1).
+
+Smoke does not capture lineage for any relation the declared workload
+never traces, nor for any direction it never queries.  Both prunings fall
+out of the :class:`~repro.lineage.capture.CaptureConfig` the executor
+already honours; this module derives that config from a workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lineage.capture import CaptureConfig, CaptureMode
+from ..substrate.stats import CardinalityHints
+from .spec import Workload
+
+
+def prune_capture(
+    workload: Workload,
+    mode: CaptureMode = CaptureMode.INJECT,
+    hints: Optional[CardinalityHints] = None,
+) -> CaptureConfig:
+    """Capture config with relation and direction pruning applied."""
+    relations = workload.relations()
+    return CaptureConfig(
+        mode=mode if relations else CaptureMode.NONE,
+        backward=workload.needs_backward(),
+        forward=workload.needs_forward(),
+        relations=relations or None,
+        hints=hints,
+    )

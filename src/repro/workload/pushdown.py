@@ -1,0 +1,38 @@
+"""Selection push-down into lineage capture (paper Section 4.2).
+
+When the workload's consuming query filters lineage with a *static*
+predicate (``σ_shipdate='xmas'(Lb(...))``), Smoke evaluates the predicate
+during capture and keeps only qualifying rids in the backward index.  The
+index shrinks and consuming queries skip the filter entirely; the price is
+evaluating the predicate per input row at capture time — cheap for
+selective predicates, a net loss past a selectivity cross-over point
+(Appendix G.2, Figure 23).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..expr.ast import Expr, evaluate
+from ..lineage.indexes import LineageIndex, RidIndex
+from ..storage.table import Table
+
+
+def predicate_mask(table: Table, predicate: Expr, params: Optional[dict] = None) -> np.ndarray:
+    """Evaluate the pushed predicate over the base relation once."""
+    return np.asarray(evaluate(predicate, table, params), dtype=bool)
+
+
+def filter_backward_index(backward: LineageIndex, mask: np.ndarray) -> RidIndex:
+    """Drop all rids failing the pushed predicate from a backward index."""
+    offsets, values = backward.as_csr()
+    keep = mask[values] if values.size else np.zeros(0, dtype=bool)
+    counts = np.diff(offsets)
+    # Per-bucket surviving counts via segmented sums of the keep mask.
+    cum = np.empty(keep.shape[0] + 1, dtype=np.int64)
+    cum[0] = 0
+    np.cumsum(keep.astype(np.int64), out=cum[1:])
+    new_offsets = cum[offsets]
+    return RidIndex(new_offsets, values[keep])

@@ -1,0 +1,114 @@
+"""Declaring future lineage-consuming workloads (paper Sections 2.1, 4).
+
+Applications like interactive visualizations know their interactions — and
+therefore their lineage consuming queries — up front.  A
+:class:`Workload` is that declaration: a list of query specs naming which
+relations will be traced, in which direction, with which (possibly
+parameterized) filters, and which drill-down aggregations.  The optimizer
+(:mod:`repro.workload.optimize`) uses it to prune instrumentation and to
+push consuming-query logic into capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import WorkloadError
+from ..expr.ast import Expr
+from ..plan.logical import AggCall
+
+
+@dataclass(frozen=True)
+class BackwardSpec:
+    """The workload will run plain backward queries to ``relation``."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class ForwardSpec:
+    """The workload will run forward queries from ``relation``."""
+
+    relation: str
+
+
+@dataclass(frozen=True)
+class FilteredBackwardSpec:
+    """Backward queries post-filtered by a *static* predicate over the
+    base relation — the selection push-down target (Section 4.2)."""
+
+    relation: str
+    predicate: Expr
+
+
+@dataclass(frozen=True)
+class SkippingSpec:
+    """Backward queries filtered by *parameterized* predicates on
+    ``attributes`` — the data-skipping target: rid arrays are partitioned
+    by these attributes at capture time (Section 4.2)."""
+
+    relation: str
+    attributes: Tuple[str, ...]
+
+    def __init__(self, relation: str, attributes: Sequence[str]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        if not self.attributes:
+            raise WorkloadError("SkippingSpec requires at least one attribute")
+
+
+@dataclass(frozen=True)
+class AggPushdownSpec:
+    """Aggregation queries over backward lineage, grouped by extra
+    ``keys`` of the base relation — the group-by push-down target: the
+    aggregates are materialized per (output, key-combination) during
+    capture, i.e. a partial data cube (Section 4.2)."""
+
+    relation: str
+    keys: Tuple[str, ...]
+    aggs: Tuple[AggCall, ...]
+
+    def __init__(self, relation: str, keys: Sequence[str], aggs: Sequence[AggCall]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "aggs", tuple(aggs))
+        if not self.keys:
+            raise WorkloadError("AggPushdownSpec requires at least one key")
+        if not self.aggs:
+            raise WorkloadError("AggPushdownSpec requires at least one aggregate")
+
+
+QuerySpec = Union[
+    BackwardSpec, ForwardSpec, FilteredBackwardSpec, SkippingSpec, AggPushdownSpec
+]
+
+
+@dataclass
+class Workload:
+    """The declared set of future lineage consuming queries."""
+
+    specs: List[QuerySpec] = field(default_factory=list)
+
+    def relations(self) -> set:
+        return {spec.relation for spec in self.specs}
+
+    def needs_backward(self, relation: Optional[str] = None) -> bool:
+        kinds = (BackwardSpec, FilteredBackwardSpec, SkippingSpec, AggPushdownSpec)
+        return any(
+            isinstance(s, kinds) and (relation is None or s.relation == relation)
+            for s in self.specs
+        )
+
+    def needs_forward(self, relation: Optional[str] = None) -> bool:
+        # Agg push-down consumes the forward index internally (it needs
+        # each base row's output group) even if the app never runs a
+        # forward query itself.
+        kinds = (ForwardSpec, AggPushdownSpec)
+        return any(
+            isinstance(s, kinds) and (relation is None or s.relation == relation)
+            for s in self.specs
+        )
+
+    def of_type(self, kind):
+        return [s for s in self.specs if isinstance(s, kind)]

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic databases for every suite."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.datagen import load_tpch, make_gids_table, make_zipf_table
+from repro.storage import Table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def zipf_table():
+    return make_zipf_table(2_000, groups=20, theta=1.0, seed=3)
+
+
+@pytest.fixture
+def small_db(zipf_table):
+    db = Database()
+    db.create_table("zipf", zipf_table)
+    db.create_table("gids", make_gids_table(20, seed=3))
+    rng = np.random.default_rng(4)
+    db.create_table(
+        "zipf2",
+        Table(
+            {
+                "z": rng.integers(0, 20, 300),
+                "w": np.round(rng.random(300), 3),
+            }
+        ),
+    )
+    return db
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    db = Database()
+    load_tpch(db, scale_factor=0.02, seed=11)
+    return db
+
+
+@pytest.fixture
+def simple_table():
+    return Table(
+        {
+            "a": np.array([1, 2, 2, 3, 3, 3], dtype=np.int64),
+            "b": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            "s": np.array(["x", "y", "x", "y", "x", "y"], dtype=object),
+        }
+    )

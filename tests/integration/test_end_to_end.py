@@ -1,0 +1,127 @@
+"""Integration: full user-level flows from SQL to consuming queries."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.datagen import make_zipf_table
+from repro.lineage.capture import CaptureConfig, CaptureMode
+from repro.plan.logical import AggCall, col
+from repro.workload import (
+    AggPushdownSpec,
+    BackwardSpec,
+    SkippingSpec,
+    Workload,
+    execute_with_workload,
+)
+
+
+class TestLinkedBrushingFlow:
+    """The Figure 1 scenario end to end, via SQL."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        rng = np.random.default_rng(8)
+        n = 3_000
+        from repro.storage import Table
+
+        db.create_table(
+            "sales",
+            Table(
+                {
+                    "product": rng.integers(0, 15, n),
+                    "price": np.round(rng.random(n) * 50, 2),
+                    "profit": np.round(rng.random(n) * 10 - 2, 2),
+                    "revenue": np.round(rng.random(n) * 100, 2),
+                }
+            ),
+        )
+        return db
+
+    def test_backward_then_forward_highlights(self, db):
+        v1 = db.sql(
+            "SELECT product, SUM(revenue) AS rev FROM sales GROUP BY product",
+            capture=CaptureMode.INJECT,
+        )
+        v2 = db.sql(
+            "SELECT product, SUM(profit) AS prof FROM sales GROUP BY product",
+            capture=CaptureMode.INJECT,
+        )
+        selected = [0, 2]
+        shared = v1.backward(selected, "sales")
+        highlighted = v2.forward("sales", shared)
+        # Both views group by product, so highlighted marks are the same
+        # product values as the selected marks.
+        sel_products = set(v1.table.column("product")[selected].tolist())
+        hil_products = set(v2.table.column("product")[highlighted].tolist())
+        assert sel_products == hil_products
+
+
+class TestDrillDownFlow:
+    """Overview → zoom → filter over the zipf microbenchmark table."""
+
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.create_table("zipf", make_zipf_table(20_000, 50, theta=1.0, seed=6))
+        return db
+
+    def test_consuming_query_chain(self, db):
+        overview = db.sql(
+            "SELECT z, COUNT(*) AS c, SUM(v) AS s FROM zipf GROUP BY z",
+            capture=CaptureMode.INJECT,
+        )
+        # Zoom: drill into the largest group.
+        big = int(np.argmax(overview.table.column("c")))
+        subset = overview.backward_table([big], "zipf")
+        db.create_table("drill", subset, replace=True)
+        detail = db.sql(
+            "SELECT COUNT(*) AS c FROM drill WHERE v < 50", capture=None
+        )
+        v = subset.column("v")
+        assert detail.table.column("c")[0] == int((v < 50).sum())
+
+    def test_workload_aware_chain(self, db):
+        plan = db.parse("SELECT z, COUNT(*) AS c FROM zipf GROUP BY z")
+        wl = Workload(
+            [
+                BackwardSpec("zipf"),
+                SkippingSpec("zipf", ("z",)),
+                AggPushdownSpec(
+                    "zipf", ("z",), (AggCall("sum", col("v"), "s"),)
+                ),
+            ]
+        )
+        opt = execute_with_workload(db, plan, wl)
+        z0 = opt.table.column("z")[0]
+        cube = opt.cube_table(0, "zipf", ("z",))
+        zipf = db.table("zipf")
+        expected = zipf.column("v")[zipf.column("z") == z0].sum()
+        assert cube.column("s")[0] == pytest.approx(expected)
+
+
+class TestMultiSessionConsistency:
+    def test_same_seed_same_lineage(self):
+        results = []
+        for _ in range(2):
+            db = Database()
+            db.create_table("zipf", make_zipf_table(5_000, 30, seed=12))
+            res = db.sql(
+                "SELECT z, COUNT(*) AS c FROM zipf GROUP BY z",
+                capture=CaptureMode.INJECT,
+            )
+            results.append(res.backward([3], "zipf"))
+        assert np.array_equal(results[0], results[1])
+
+    def test_replace_table_invalidates_nothing_existing(self):
+        db = Database()
+        db.create_table("zipf", make_zipf_table(1_000, 10))
+        res = db.sql(
+            "SELECT z, COUNT(*) AS c FROM zipf GROUP BY z",
+            capture=CaptureMode.INJECT,
+        )
+        before = res.backward([0], "zipf").copy()
+        db.create_table("zipf", make_zipf_table(500, 5, seed=99), replace=True)
+        # The old result still answers from its captured indexes.
+        assert np.array_equal(res.backward([0], "zipf"), before)

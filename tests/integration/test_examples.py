@@ -1,0 +1,42 @@
+"""Integration: every shipped example runs to completion.
+
+Examples are executed as subprocesses with small arguments so the suite
+stays fast; their internal assertions (cross-checks against manual
+recomputation) make these genuine end-to-end tests, not just smoke tests.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("linked_brushing.py", []),
+    ("data_profiling.py", ["8000"]),
+    ("crossfilter_dashboard.py", ["20000"]),
+    ("tpch_drilldown.py", ["0.05"]),
+    ("provenance_and_refresh.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_is_complete():
+    shipped = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {c[0] for c in CASES} == shipped

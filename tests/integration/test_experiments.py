@@ -1,0 +1,46 @@
+"""Integration: every experiment module produces a well-formed report.
+
+Runs each figure's harness at a tiny scale so the full suite stays fast;
+this guards the benchmark code paths (workload generators, sweeps,
+baselines, report assembly) without asserting absolute timings.
+"""
+
+import pytest
+
+from repro.bench.experiments import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+
+
+ALL_EXPERIMENTS = sorted(REGISTRY)
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_report_renders(name):
+    module = REGISTRY[name]
+    report = module.run_report()
+    text = report.render()
+    assert module.TITLE in text
+    assert len(report.rows) > 0
+    # Every row has the declared number of columns.
+    assert all(len(r) == len(report.columns) for r in report.rows)
+
+
+def test_registry_covers_all_eval_figures():
+    expected = {
+        "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+        "fig12", "fig13", "fig15", "fig21", "fig22", "fig23",
+    }
+    assert expected <= set(REGISTRY)
+
+
+def test_cli_lists_and_runs(capsys):
+    from repro.bench.run import main
+
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "fig05" in out
+    assert main(["not-a-figure"]) == 2

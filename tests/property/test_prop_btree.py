@@ -1,0 +1,61 @@
+"""Property tests: B-tree against a sorted-list model."""
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrate import BTree
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    max_size=300,
+)
+
+
+@given(operations)
+@settings(max_examples=100)
+def test_scan_all_matches_sorted_model(ops):
+    tree = BTree()
+    model = []
+    for key, value in ops:
+        tree.insert(key, value)
+        bisect.insort(model, key)
+    assert [k for k, _ in tree.scan_all()] == model
+    assert len(tree) == len(model)
+
+
+@given(operations, st.integers(min_value=-60, max_value=60))
+@settings(max_examples=100)
+def test_scan_from_matches_model_suffix(ops, start):
+    tree = BTree()
+    model = []
+    for key, value in ops:
+        tree.insert(key, value)
+        bisect.insort(model, key)
+    expected = model[bisect.bisect_left(model, start) :]
+    assert [k for k, _ in tree.scan_from(start)] == expected
+
+
+@given(operations)
+@settings(max_examples=60)
+def test_duplicates_preserve_insertion_order(ops):
+    tree = BTree()
+    model = {}
+    for key, value in ops:
+        tree.insert(key, value)
+        model.setdefault(key, []).append(value)
+    for key, values in model.items():
+        assert list(tree.iter_duplicates(key)) == values
+
+
+@given(operations)
+@settings(max_examples=60)
+def test_invariants_hold_after_any_insert_sequence(ops):
+    tree = BTree()
+    for key, value in ops:
+        tree.insert(key, value)
+    tree.check_invariants()

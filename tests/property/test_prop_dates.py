@@ -1,0 +1,65 @@
+"""Property tests: date encoding round-trips against numpy datetime64."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.dates import (
+    add_days,
+    date_range_ints,
+    int_to_datetime64,
+)
+
+days_since_1990 = st.integers(min_value=0, max_value=365 * 30)
+
+
+@given(st.lists(days_since_1990, min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_int_encoding_roundtrip(offsets):
+    base = np.datetime64("1990-01-01", "D")
+    dates = base + np.asarray(offsets, dtype="timedelta64[D]")
+    from repro.datagen.dates import _datetime64_to_int
+
+    ints = _datetime64_to_int(dates)
+    back = int_to_datetime64(ints)
+    assert np.array_equal(back, dates)
+
+
+@given(st.lists(days_since_1990, min_size=1, max_size=20), days_since_1990)
+@settings(max_examples=100)
+def test_add_days_matches_datetime64(offsets, shift):
+    from repro.datagen.dates import _datetime64_to_int
+
+    base = np.datetime64("1990-01-01", "D")
+    dates = base + np.asarray(offsets, dtype="timedelta64[D]")
+    ints = _datetime64_to_int(dates)
+    shifted = add_days(ints, np.full(len(offsets), shift % 500))
+    expected = _datetime64_to_int(
+        dates + np.timedelta64(shift % 500, "D")
+    )
+    assert np.array_equal(shifted, expected)
+
+
+@given(days_since_1990, st.integers(min_value=0, max_value=100))
+@settings(max_examples=60)
+def test_date_ranges_are_dense_and_ordered(start_offset, length):
+    base = np.datetime64("1990-01-01", "D") + np.timedelta64(start_offset, "D")
+    end = base + np.timedelta64(length, "D")
+    ints = date_range_ints(str(base), str(end))
+    assert len(ints) == length + 1
+    assert (np.diff(int_to_datetime64(ints)).astype(int) == 1).all()
+    # YYYYMMDD ints compare in calendar order.
+    assert (np.diff(ints) > 0).all()
+
+
+@given(days_since_1990)
+@settings(max_examples=100)
+def test_extract_year_month_consistent(offset):
+    base = np.datetime64("1990-01-01", "D") + np.timedelta64(offset, "D")
+    from repro.datagen.dates import _datetime64_to_int
+
+    encoded = int(_datetime64_to_int(np.array([base]))[0])
+    iso = str(base)
+    assert encoded // 10000 == int(iso[:4])
+    assert (encoded // 100) % 100 == int(iso[5:7])
+    assert encoded % 100 == int(iso[8:10])

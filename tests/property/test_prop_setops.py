@@ -1,0 +1,100 @@
+"""Property tests: vectorized set operations vs the Appendix F reference
+listings and Python set/Counter models."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.compiled.setops_ref import reference_setop
+from repro.exec.vector.setops import execute_setop
+from repro.lineage.capture import CaptureConfig
+from repro.storage import Table
+
+values = st.lists(st.integers(min_value=0, max_value=6), max_size=40)
+
+OPS = [("union", False), ("union", True), ("intersect", False),
+       ("intersect", True), ("except", False), ("except", True)]
+
+
+def _tables(a_vals, b_vals):
+    a = Table({"k": np.asarray(a_vals, dtype=np.int64)})
+    b = Table({"k": np.asarray(b_vals, dtype=np.int64)})
+    return a, b
+
+
+@given(values, values, st.sampled_from(OPS))
+@settings(max_examples=150, deadline=None)
+def test_vector_matches_reference(a_vals, b_vals, op_all):
+    op, all_ = op_all
+    a, b = _tables(a_vals, b_vals)
+    config = CaptureConfig.inject()
+    out_v, loc_v = execute_setop(op, all_, a, b, config)
+    out_r, loc_r = reference_setop(op, all_, a, b, config)
+    assert out_v.to_rows() == out_r.to_rows()
+    for idx_v, idx_r in zip(loc_v, loc_r):
+        assert (idx_v is None) == (idx_r is None)
+        if idx_v is None:
+            continue
+        assert idx_v.num_keys == idx_r.num_keys
+        for key in range(idx_v.num_keys):
+            assert np.array_equal(
+                np.sort(idx_v.lookup(key)), np.sort(idx_r.lookup(key))
+            )
+
+
+@given(values, values)
+@settings(max_examples=100, deadline=None)
+def test_set_semantics_against_python_sets(a_vals, b_vals):
+    a, b = _tables(a_vals, b_vals)
+    config = CaptureConfig.none()
+    union, _ = execute_setop("union", False, a, b, config)
+    assert set(union.column("k").tolist()) == set(a_vals) | set(b_vals)
+    inter, _ = execute_setop("intersect", False, a, b, config)
+    assert set(inter.column("k").tolist()) == set(a_vals) & set(b_vals)
+    diff, _ = execute_setop("except", False, a, b, config)
+    assert set(diff.column("k").tolist()) == set(a_vals) - set(b_vals)
+    # Set outputs are duplicate-free.
+    for out in (union, inter, diff):
+        ks = out.column("k").tolist()
+        assert len(ks) == len(set(ks))
+
+
+@given(values, values)
+@settings(max_examples=100, deadline=None)
+def test_bag_multiplicities(a_vals, b_vals):
+    a, b = _tables(a_vals, b_vals)
+    config = CaptureConfig.none()
+    union, _ = execute_setop("union", True, a, b, config)
+    assert Counter(union.column("k").tolist()) == Counter(a_vals) + Counter(b_vals)
+    inter, _ = execute_setop("intersect", True, a, b, config)
+    ca, cb = Counter(a_vals), Counter(b_vals)
+    # Paper F.4 product semantics.
+    expected = {k: ca[k] * cb[k] for k in ca if k in cb}
+    got = Counter(inter.column("k").tolist())
+    assert got == Counter(expected) - Counter()  # drop zero entries
+    diff, _ = execute_setop("except", True, a, b, config)
+    expected_diff = {k: max(0, ca[k] - cb[k]) for k in ca}
+    assert Counter(diff.column("k").tolist()) == Counter(
+        {k: v for k, v in expected_diff.items() if v > 0}
+    )
+
+
+@given(values, values)
+@settings(max_examples=60, deadline=None)
+def test_setop_backward_buckets_point_at_matching_rows(a_vals, b_vals):
+    a, b = _tables(a_vals, b_vals)
+    out, (l_bw, _, r_bw, _) = execute_setop(
+        "union", False, a, b, CaptureConfig.inject()
+    )
+    for o in range(len(out)):
+        value = out.column("k")[o]
+        for rid in l_bw.lookup(o):
+            assert a.column("k")[rid] == value
+        for rid in r_bw.lookup(o):
+            assert b.column("k")[rid] == value
+        # completeness: every matching input row is in the bucket
+        assert l_bw.lookup(o).size == int((a.column("k") == value).sum())
+        assert r_bw.lookup(o).size == int((b.column("k") == value).sum())

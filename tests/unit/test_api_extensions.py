@@ -1,0 +1,120 @@
+"""Database.explain, multi-bar brushing, networkx bipartite export."""
+
+import numpy as np
+import pytest
+
+from repro.apps.crossfilter import CrossfilterSession
+from repro.apps.profiler import check_fd_smoke_cd
+from repro.datagen import make_ontime_table, make_physician_table
+from repro.api import Database
+from repro.errors import WorkloadError
+
+
+class TestExplain:
+    def test_explain_shows_plan_tree(self, small_db):
+        text = small_db.explain(
+            "SELECT z, COUNT(*) AS c FROM zipf WHERE v < 10 GROUP BY z"
+        )
+        assert "GroupBy" in text
+        assert "Select" in text
+        assert "Scan(zipf)" in text
+
+    def test_explain_join_shows_pkfk(self, small_db):
+        text = small_db.explain(
+            "SELECT * FROM gids, zipf WHERE gids.id = zipf.z"
+        )
+        assert "HashJoin" in text and "pkfk" in text
+
+
+class TestBrushMany:
+    @pytest.fixture(scope="class")
+    def ontime(self):
+        return make_ontime_table(8_000, seed=4)
+
+    def test_all_techniques_agree_on_multi_brush(self, ontime):
+        dims = ("carrier", "delay_bin")
+        bars = [0, 2, 5]
+        reference = None
+        for technique in CrossfilterSession.TECHNIQUES:
+            session = CrossfilterSession(ontime, dims, technique)
+            got = session.brush_many("carrier", bars)
+            if reference is None:
+                reference = got
+            else:
+                for dim in got:
+                    assert np.array_equal(got[dim], reference[dim]), technique
+
+    def test_multi_brush_is_union_of_singles(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt+ft")
+        singles = [session.brush("carrier", b)["delay_bin"] for b in (1, 3)]
+        combined = session.brush_many("carrier", [1, 3])["delay_bin"]
+        assert np.array_equal(combined, singles[0] + singles[1])
+
+    def test_multi_brush_validation(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt")
+        with pytest.raises(WorkloadError):
+            session.brush_many("carrier", [9999])
+        with pytest.raises(WorkloadError):
+            session.brush_many("altitude", [0])
+
+
+class TestNetworkxExport:
+    def test_bipartite_graph_structure(self):
+        data = make_physician_table(5_000, seed=3)
+        db = Database()
+        db.create_table("physician", data.table)
+        report = check_fd_smoke_cd(db, "physician", "NPI", "PAC_ID")
+        graph = report.to_networkx()
+        fd_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "fd"]
+        violation_nodes = [
+            n for n, d in graph.nodes(data=True) if d["kind"] == "violation"
+        ]
+        tuple_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "tuple"]
+        assert len(fd_nodes) == 1
+        assert len(violation_nodes) == report.num_violations
+        # Every violation connects the FD node to >= 2 tuples.
+        for node in violation_nodes:
+            neighbors = list(graph.neighbors(node))
+            assert fd_nodes[0] in neighbors
+            assert len(neighbors) >= 3  # fd + at least two tuples
+
+    def test_tuple_nodes_match_bipartite_rids(self):
+        data = make_physician_table(5_000, seed=3)
+        db = Database()
+        db.create_table("physician", data.table)
+        report = check_fd_smoke_cd(db, "physician", "Zip", "City")
+        graph = report.to_networkx()
+        expected = {int(r) for rids in report.bipartite.values() for r in rids}
+        got = {n[1] for n, d in graph.nodes(data=True) if d["kind"] == "tuple"}
+        assert got == expected
+
+
+class TestDeclarativeCrossfilter:
+    @pytest.fixture(scope="class")
+    def db(self):
+        table = make_ontime_table(6_000, seed=12)
+        db = Database()
+        db.create_table("flights", table)
+        return db
+
+    @pytest.mark.parametrize("technique", CrossfilterSession.TECHNIQUES)
+    def test_from_database_matches_direct(self, db, technique):
+        dims = ("carrier", "delay_bin")
+        declarative = CrossfilterSession.from_database(
+            db, "flights", dims, technique
+        )
+        direct = CrossfilterSession(db.table("flights"), dims, technique)
+        for dim in dims:
+            assert np.array_equal(
+                declarative.views[dim].counts, direct.views[dim].counts
+            )
+            bars = declarative.views[dim].num_bars
+            for bar in (0, bars - 1):
+                got = declarative.brush(dim, bar)
+                expected = direct.brush(dim, bar)
+                for other in got:
+                    assert np.array_equal(got[other], expected[other])
+
+    def test_from_database_invalid_technique(self, db):
+        with pytest.raises(WorkloadError):
+            CrossfilterSession.from_database(db, "flights", ("carrier",), "nope")

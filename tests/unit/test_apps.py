@@ -1,0 +1,182 @@
+"""Applications: crossfilter, profiling, linked brushing."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.apps import (
+    CrossfilterSession,
+    LinkedBrushingSession,
+    check_fd,
+    check_fd_metanome_ug,
+    check_fd_smoke_cd,
+    check_fd_smoke_ug,
+)
+from repro.datagen import make_ontime_table, make_physician_table
+from repro.errors import WorkloadError
+from repro.plan.logical import AggCall, GroupBy, Scan, col
+from repro.storage import Table
+
+
+@pytest.fixture(scope="module")
+def ontime():
+    return make_ontime_table(10_000, seed=9)
+
+
+@pytest.fixture(scope="module")
+def physician_db():
+    data = make_physician_table(10_000, seed=21)
+    db = Database()
+    db.create_table("physician", data.table)
+    return db, data
+
+
+class TestCrossfilter:
+    def test_initial_counts_match_numpy(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt+ft")
+        view = session.views["carrier"]
+        for bar in range(view.num_bars):
+            expected = int(
+                (ontime.column("carrier") == view.bin_values[bar]).sum()
+            )
+            assert view.counts[bar] == expected
+
+    def test_all_techniques_agree(self, ontime):
+        dims = ("carrier", "delay_bin", "date_bin")
+        sessions = {
+            t: CrossfilterSession(ontime, dims, t)
+            for t in CrossfilterSession.TECHNIQUES
+        }
+        for dim in dims:
+            bars = sessions["lazy"].views[dim].num_bars
+            for bar in (0, bars // 2, bars - 1):
+                results = {
+                    t: s.brush(dim, bar) for t, s in sessions.items()
+                }
+                reference = results["lazy"]
+                for t, got in results.items():
+                    for other_dim, counts in got.items():
+                        assert np.array_equal(counts, reference[other_dim]), (
+                            t, dim, bar, other_dim,
+                        )
+
+    def test_brush_counts_are_ground_truth(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt+ft")
+        view = session.views["carrier"]
+        result = session.brush("carrier", 0)
+        mask = ontime.column("carrier") == view.bin_values[0]
+        other = session.views["delay_bin"]
+        for bar in range(other.num_bars):
+            expected = int(
+                (mask & (ontime.column("delay_bin") == other.bin_values[bar])).sum()
+            )
+            assert result["delay_bin"][bar] == expected
+
+    def test_cube_answers_without_lineage_indexes(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "cube")
+        assert session.views["carrier"].backward is None
+        assert session.brush("carrier", 1)["delay_bin"].sum() > 0
+
+    def test_invalid_technique(self, ontime):
+        with pytest.raises(WorkloadError):
+            CrossfilterSession(ontime, ("carrier",), "magic")
+
+    def test_invalid_dimension_and_bar(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier",), "lazy")
+        with pytest.raises(WorkloadError):
+            session.brush("altitude", 0)
+        with pytest.raises(WorkloadError):
+            session.brush("carrier", 10_000)
+
+    def test_run_all_interactions_bounded(self, ontime):
+        session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt+ft")
+        latencies = session.run_all_interactions(max_per_view=3)
+        assert all(len(v) <= 3 for v in latencies.values())
+
+
+class TestProfiler:
+    def test_cd_finds_exactly_planted_violations(self, physician_db):
+        db, data = physician_db
+        report = check_fd_smoke_cd(db, "physician", "NPI", "PAC_ID")
+        assert set(map(int, report.violations)) == data.planted_violations["NPI"]
+
+    def test_three_techniques_agree(self, physician_db):
+        db, _ = physician_db
+        for det, dep, key in (
+            ("NPI", "PAC_ID", "NPI"),
+            ("Zip", "State", "Zip:State"),
+            ("Zip", "City", "Zip:City"),
+            ("LBN1", "CCN1", "LBN1"),
+        ):
+            cd = check_fd_smoke_cd(db, "physician", det, dep)
+            ug = check_fd_smoke_ug(db, "physician", det, dep)
+            mg = check_fd_metanome_ug(db, "physician", det, dep)
+            assert set(map(str, cd.violations)) == set(map(str, ug.violations))
+            assert set(map(str, cd.violations)) == set(mg.violations)
+
+    def test_bipartite_graph_contains_all_value_rows(self, physician_db):
+        db, _ = physician_db
+        report = check_fd_smoke_cd(db, "physician", "Zip", "City")
+        table = db.table("physician")
+        for value, rids in report.bipartite.items():
+            expected = np.nonzero(table.column("Zip") == value)[0]
+            assert np.array_equal(np.sort(rids), expected)
+
+    def test_bipartite_graphs_agree_across_techniques(self, physician_db):
+        db, _ = physician_db
+        cd = check_fd_smoke_cd(db, "physician", "LBN1", "CCN1")
+        ug = check_fd_smoke_ug(db, "physician", "LBN1", "CCN1")
+        for value in cd.bipartite:
+            assert np.array_equal(
+                np.sort(cd.bipartite[value]), np.sort(ug.bipartite[value])
+            )
+
+    def test_dispatch_by_name(self, physician_db):
+        db, _ = physician_db
+        report = check_fd(db, "physician", "NPI", "PAC_ID", "smoke-ug")
+        assert report.technique == "smoke-ug"
+
+
+class TestLinkedBrush:
+    @pytest.fixture
+    def session(self, small_db):
+        s = LinkedBrushingSession(small_db, "zipf")
+        s.add_view(
+            "by_z",
+            GroupBy(Scan("zipf"), [(col("z"), "z")], [AggCall("count", None, "c")]),
+        )
+        s.add_view(
+            "by_bucket",
+            GroupBy(
+                Scan("zipf"),
+                [((col("v") / 25.0) * 0 + (col("z") * 0), "all")],
+                [AggCall("count", None, "c")],
+            ),
+        )
+        return s
+
+    def test_brush_highlights_derived_marks(self, small_db, session):
+        result = session.brush("by_z", [0])
+        # The shared rids are exactly the rows of the brushed group.
+        by_z = session.views["by_z"]
+        expected = small_db.table("zipf").column("z") == by_z.table.column("z")[0]
+        assert result.shared_rids.size == int(expected.sum())
+        assert result.highlighted["by_bucket"].size == 1  # single bucket view
+
+    def test_duplicate_view_name_rejected(self, small_db, session):
+        with pytest.raises(WorkloadError):
+            session.add_view("by_z", GroupBy(Scan("zipf"), [(col("z"), "z")], []))
+
+    def test_unknown_view_brush(self, session):
+        with pytest.raises(WorkloadError):
+            session.brush("nope", [0])
+
+    def test_view_must_read_shared_relation(self, small_db):
+        s = LinkedBrushingSession(small_db, "zipf")
+        with pytest.raises(WorkloadError):
+            s.add_view(
+                "wrong",
+                GroupBy(
+                    Scan("zipf2"), [(col("z"), "z")], [AggCall("count", None, "c")]
+                ),
+            )

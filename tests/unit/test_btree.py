@@ -1,0 +1,89 @@
+"""B-tree substrate: ordering, duplicates, cursors, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.substrate import BTree
+from repro.substrate.btree import MAX_KEYS
+
+
+class TestInsertLookup:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.get_first(1) is None
+
+    def test_single(self):
+        tree = BTree()
+        tree.insert(5, "five")
+        assert tree.get_first(5) == "five"
+
+    def test_many_sorted_scan(self, rng):
+        tree = BTree()
+        keys = rng.permutation(5000)
+        for k in keys:
+            tree.insert(int(k), int(k) * 2)
+        scanned = [k for k, _ in tree.scan_all()]
+        assert scanned == sorted(keys.tolist())
+
+    def test_duplicates_kept_in_insertion_order(self):
+        tree = BTree()
+        for i in range(50):
+            tree.insert(7, i)
+        assert list(tree.iter_duplicates(7)) == list(range(50))
+
+    def test_duplicates_between_other_keys(self):
+        tree = BTree()
+        for k in (1, 7, 9):
+            tree.insert(k, f"v{k}")
+        for i in range(3):
+            tree.insert(7, f"dup{i}")
+        dups = list(tree.iter_duplicates(7))
+        assert dups[0] == "v7" and len(dups) == 4
+
+    def test_scan_from_midpoint(self):
+        tree = BTree()
+        for k in range(0, 100, 2):
+            tree.insert(k, k)
+        scanned = [k for k, _ in tree.scan_from(31)]
+        assert scanned[0] == 32
+        assert scanned == list(range(32, 100, 2))
+
+    def test_scan_from_past_end(self):
+        tree = BTree()
+        tree.insert(1, 1)
+        assert list(tree.scan_from(99)) == []
+
+    def test_height_grows_logarithmically(self):
+        tree = BTree()
+        for i in range(20_000):
+            tree.insert(i, i)
+        assert tree.height <= 4  # order-64 tree
+
+
+class TestInvariants:
+    def test_structural_invariants_random(self, rng):
+        tree = BTree()
+        for k in rng.integers(0, 1000, size=3000):
+            tree.insert(int(k), 0)
+        tree.check_invariants()
+
+    def test_structural_invariants_sequential(self):
+        tree = BTree()
+        for k in range(MAX_KEYS * 10):
+            tree.insert(k, k)
+        tree.check_invariants()
+
+    def test_structural_invariants_reverse(self):
+        tree = BTree()
+        for k in reversed(range(MAX_KEYS * 10)):
+            tree.insert(k, k)
+        tree.check_invariants()
+
+    def test_byte_keys_sort_correctly(self):
+        import struct
+
+        tree = BTree()
+        for k in (300, 5, 70_000):
+            tree.insert(struct.pack(">q", k), k)
+        assert [v for _, v in tree.scan_all()] == [5, 300, 70_000]

@@ -1,0 +1,155 @@
+"""QueryLineage mechanics, capture config, and the lineage composer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CaptureDisabledError, LineageError
+from repro.lineage import (
+    CaptureConfig,
+    CaptureMode,
+    NodeLineage,
+    QueryLineage,
+    RidArray,
+    RidIndex,
+    compose_node,
+    merge_binary,
+)
+
+
+class TestCaptureConfig:
+    def test_none_disabled(self):
+        config = CaptureConfig.none()
+        assert not config.enabled
+
+    def test_both_directions_off_disables(self):
+        config = CaptureConfig.inject(backward=False, forward=False)
+        assert not config.enabled
+
+    def test_captures_relation_by_key_or_name(self):
+        config = CaptureConfig.inject(relations={"zipf"})
+        assert config.captures_relation("zipf#0", "zipf")
+        assert config.captures_relation("zipf", "zipf")
+        assert not config.captures_relation("gids", "gids")
+        config_keyed = CaptureConfig.inject(relations={"zipf#1"})
+        assert config_keyed.captures_relation("zipf#1", "zipf")
+        assert not config_keyed.captures_relation("zipf#0", "zipf")
+
+    def test_no_relations_means_all(self):
+        config = CaptureConfig.inject()
+        assert config.captures_relation("anything", "anything")
+
+    def test_shorthand_constructors(self):
+        assert CaptureConfig.inject().mode is CaptureMode.INJECT
+        assert CaptureConfig.defer().mode is CaptureMode.DEFER
+
+
+class TestQueryLineage:
+    def _lineage(self):
+        ql = QueryLineage(output_size=3)
+        ql.put_backward("t", RidIndex.from_buckets([np.array([0, 1]),
+                                                    np.array([2]),
+                                                    np.array([], dtype=np.int64)]))
+        ql.put_forward("t", RidArray(np.array([0, 0, 1])))
+        ql.register_alias("t", "t")
+        return ql
+
+    def test_backward_dedups_and_sorts(self):
+        ql = self._lineage()
+        assert ql.backward([0, 1], "t").tolist() == [0, 1, 2]
+
+    def test_backward_bag_keeps_duplicates(self):
+        ql = QueryLineage(output_size=1)
+        ql.put_backward("t", RidIndex.from_buckets([np.array([4, 4, 5])]))
+        assert ql.backward_bag([0], "t").tolist() == [4, 4, 5]
+
+    def test_unknown_relation_raises(self):
+        ql = self._lineage()
+        with pytest.raises(CaptureDisabledError):
+            ql.backward([0], "unknown")
+
+    def test_thunks_finalize_once(self):
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return RidArray(np.array([0]))
+
+        ql = QueryLineage(output_size=1)
+        ql.put_backward("t", thunk)
+        ql.backward([0], "t")
+        ql.backward([0], "t")
+        assert calls == [1]
+        assert ql.finalize_seconds > 0
+
+    def test_finalize_forces_everything(self):
+        ql = QueryLineage(output_size=1)
+        ql.put_backward("a", lambda: RidArray(np.array([0])))
+        ql.put_forward("a", lambda: RidArray(np.array([0])))
+        spent = ql.finalize()
+        assert spent >= 0
+        assert ql.backward_index("a").num_keys == 1
+
+    def test_memory_bytes_counts_all_indexes(self):
+        ql = self._lineage()
+        assert ql.memory_bytes() > 0
+
+    def test_ambiguous_alias(self):
+        ql = QueryLineage(output_size=1)
+        ql.put_backward("t#0", RidArray(np.array([0])))
+        ql.put_backward("t#1", RidArray(np.array([0])))
+        ql.register_alias("t", "t#0")
+        ql.register_alias("t", "t#1")
+        with pytest.raises(LineageError, match="multiple"):
+            ql.backward([0], "t")
+        assert ql.backward([0], "t#0").tolist() == [0]
+
+    def test_relations_sorted(self):
+        ql = QueryLineage(output_size=1)
+        ql.put_backward("b", RidArray(np.array([0])))
+        ql.put_forward("a", RidArray(np.array([0])))
+        assert ql.relations == ["a", "b"]
+
+
+class TestComposer:
+    def test_scan_node_identity(self):
+        node = NodeLineage.for_scan("t", "t", 5, backward=True, forward=True)
+        ql = node.to_query_lineage()
+        assert ql.backward([2], "t").tolist() == [2]
+        assert ql.forward("t", [3]).tolist() == [3]
+
+    def test_compose_with_identity_is_local(self):
+        child = NodeLineage.for_scan("t", "t", 4, backward=True, forward=True)
+        local_bw = RidArray(np.array([3, 1]))
+        local_fw = RidArray(np.array([-1, 1, -1, 0]))
+        node = compose_node(2, child, local_bw, local_fw)
+        ql = node.to_query_lineage()
+        assert ql.backward([0], "t").tolist() == [3]
+        assert ql.forward("t", [1]).tolist() == [1]
+
+    def test_thunk_composition_stays_lazy(self):
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return RidArray(np.array([0, 1]))
+
+        child = NodeLineage.for_scan("t", "t", 2, backward=True, forward=False)
+        node = compose_node(2, child, thunk, None)
+        assert callable(node.backward["t"])
+        assert calls == []  # nothing ran yet
+        ql = node.to_query_lineage()
+        ql.backward([0], "t")
+        assert calls == [1]
+
+    def test_merge_binary_combines_sides(self):
+        left = NodeLineage.for_scan("a", "a", 3, backward=True, forward=True)
+        right = NodeLineage.for_scan("b", "b", 2, backward=True, forward=True)
+        out_left = RidArray(np.array([0, 2]))
+        out_right = RidArray(np.array([1, 1]))
+        fw_left = RidArray(np.array([0, -1, 1]))
+        fw_right = RidArray(np.array([-1, 0]))  # only out 0 for b rid 1? two outs share b rid 1
+        node = merge_binary(2, left, right, out_left, fw_left, out_right, fw_right)
+        ql = node.to_query_lineage()
+        assert ql.backward([1], "a").tolist() == [2]
+        assert ql.backward([0], "b").tolist() == [1]
+        assert set(node.names) == {"a", "b"}

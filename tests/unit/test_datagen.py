@@ -1,0 +1,145 @@
+"""Dataset generators: structural properties the experiments rely on."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    FDS,
+    VIEW_DIMENSIONS,
+    add_days,
+    date_int,
+    date_range_ints,
+    generate_tpch,
+    make_gids_table,
+    make_ontime_table,
+    make_physician_table,
+    make_zipf_table,
+)
+from repro.datagen.ontime import GRID, NUM_AIRPORTS, NUM_CARRIERS, NUM_DELAY_BINS
+
+
+class TestDates:
+    def test_date_int(self):
+        assert date_int("1998-12-01") == 19981201
+
+    def test_range_endpoints(self):
+        dates = date_range_ints("1992-01-01", "1992-01-03")
+        assert dates.tolist() == [19920101, 19920102, 19920103]
+
+    def test_range_crosses_months_and_years(self):
+        dates = date_range_ints("1999-12-30", "2000-01-02")
+        assert dates.tolist() == [19991230, 19991231, 20000101, 20000102]
+
+    def test_add_days_carries(self):
+        out = add_days(np.array([19920131]), np.array([1]))
+        assert out.tolist() == [19920201]
+        out = add_days(np.array([19921231]), np.array([1]))
+        assert out.tolist() == [19930101]
+
+    def test_leap_year(self):
+        out = add_days(np.array([19960228]), np.array([1]))
+        assert out.tolist() == [19960229]
+
+
+class TestZipfTable:
+    def test_schema_and_ranges(self):
+        t = make_zipf_table(1000, 50, 1.0)
+        assert t.schema.names == ["id", "z", "v"]
+        assert t.column("z").max() < 50
+        assert 0 <= t.column("v").min() and t.column("v").max() <= 100
+
+    def test_deterministic(self):
+        a = make_zipf_table(100, 10, 1.0, seed=5)
+        b = make_zipf_table(100, 10, 1.0, seed=5)
+        assert a.equals(b)
+
+    def test_gids_unique_pk(self):
+        g = make_gids_table(200)
+        assert len(np.unique(g.column("id"))) == 200
+
+
+class TestTpch:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_tpch(scale_factor=0.02, seed=1)
+
+    def test_tables_present(self, data):
+        assert set(data) == {"nation", "customer", "orders", "lineitem"}
+
+    def test_fk_integrity(self, data):
+        assert data["orders"].column("o_custkey").max() < len(data["customer"])
+        assert data["lineitem"].column("l_orderkey").max() < len(data["orders"])
+        assert data["customer"].column("c_nationkey").max() < len(data["nation"])
+
+    def test_q1_group_structure(self, data):
+        li = data["lineitem"]
+        pairs = set(zip(li.column("l_returnflag"), li.column("l_linestatus")))
+        assert pairs == {("A", "F"), ("R", "F"), ("N", "F"), ("N", "O")}
+        nf = (
+            (li.column("l_returnflag") == "N") & (li.column("l_linestatus") == "F")
+        ).mean()
+        assert nf < 0.005  # the paper's 0.06% sliver group
+
+    def test_lines_per_order_bounds(self, data):
+        counts = np.bincount(data["lineitem"].column("l_orderkey"))
+        assert counts.min() >= 1 and counts.max() <= 7
+
+    def test_date_ordering(self, data):
+        li = data["lineitem"]
+        assert (li.column("l_receiptdate") > li.column("l_shipdate")).all()
+
+    def test_value_ranges(self, data):
+        li = data["lineitem"]
+        assert li.column("l_quantity").min() >= 1
+        assert li.column("l_discount").max() <= 0.10 + 1e-9
+        assert li.column("l_tax").max() <= 0.08 + 1e-9
+
+    def test_minimum_sizes_enforced(self):
+        data = generate_tpch(scale_factor=0.00001)
+        assert len(data["customer"]) >= 100
+        assert len(data["orders"]) >= 1000
+
+
+class TestOntime:
+    def test_dimensions_and_sparsity(self):
+        t = make_ontime_table(20_000)
+        assert set(VIEW_DIMENSIONS) <= set(t.schema.names)
+        latlon = np.unique(t.column("latlon_bin"))
+        assert latlon.shape[0] <= NUM_AIRPORTS  # sparse: ~300 of 65,536
+        assert latlon.max() < GRID * GRID
+        assert np.unique(t.column("delay_bin")).shape[0] <= NUM_DELAY_BINS
+        assert np.unique(t.column("carrier")).shape[0] <= NUM_CARRIERS
+
+    def test_latlon_decomposition(self):
+        t = make_ontime_table(5_000)
+        assert np.array_equal(
+            t.column("latlon_bin"),
+            t.column("lat_bin") * GRID + t.column("lon_bin"),
+        )
+
+
+class TestPhysician:
+    def test_planted_violations_are_exact(self):
+        data = make_physician_table(15_000, seed=2)
+        table = data.table
+        for det, dep, key in (
+            ("NPI", "PAC_ID", "NPI"),
+            ("Zip", "State", "Zip:State"),
+            ("Zip", "City", "Zip:City"),
+            ("LBN1", "CCN1", "LBN1"),
+        ):
+            mapping = {}
+            for a, b in zip(table.column(det), table.column(dep)):
+                mapping.setdefault(a, set()).add(b)
+            actual = {a for a, bs in mapping.items() if len(bs) > 1}
+            assert actual == data.planted_violations[key], key
+
+    def test_fd_list_matches_columns(self):
+        data = make_physician_table(1_000)
+        for det, dep in FDS:
+            assert det in data.table.schema and dep in data.table.schema
+
+    def test_npi_is_integer_typed(self):
+        data = make_physician_table(1_000)
+        assert data.table.column("NPI").dtype == np.int64
+        assert data.table.column("Zip").dtype == object

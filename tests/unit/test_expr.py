@@ -1,0 +1,146 @@
+"""Expression AST, vectorized evaluation, and source compilation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError, SchemaError
+from repro.expr import (
+    BinOp,
+    Col,
+    Const,
+    Func,
+    InList,
+    Not,
+    Param,
+    bind_params,
+    collect_params,
+    evaluate,
+    to_source,
+)
+from repro.storage import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "x": np.array([1, 2, 3, 4], dtype=np.int64),
+            "y": np.array([4.0, 9.0, 16.0, 25.0]),
+            "s": np.array(["a", "b", "a", "c"], dtype=object),
+            "d": np.array([19940101, 19951231, 19960615, 19980301], dtype=np.int64),
+        }
+    )
+
+
+class TestEvaluate:
+    def test_column_and_const(self, table):
+        assert evaluate(Col("x"), table).tolist() == [1, 2, 3, 4]
+        assert evaluate(Const(7), table).tolist() == [7] * 4
+        assert evaluate(Const("z"), table).tolist() == ["z"] * 4
+
+    def test_arithmetic(self, table):
+        out = evaluate(Col("x") * 2 + 1, table)
+        assert out.tolist() == [3, 5, 7, 9]
+        assert evaluate(Col("y") / 2.0, table).tolist() == [2.0, 4.5, 8.0, 12.5]
+        assert evaluate(1 - Col("x"), table).tolist() == [0, -1, -2, -3]
+
+    def test_comparisons(self, table):
+        assert evaluate(Col("x") >= 3, table).tolist() == [False, False, True, True]
+        assert evaluate(Col("s").eq("a"), table).tolist() == [True, False, True, False]
+        assert evaluate(Col("s").ne("a"), table).tolist() == [False, True, False, True]
+
+    def test_boolean_connectives(self, table):
+        expr = (Col("x") > 1).and_(Col("x") < 4)
+        assert evaluate(expr, table).tolist() == [False, True, True, False]
+        expr = (Col("x") == 1).or_(Col("x") == 4) if False else (Col("x").eq(1)).or_(Col("x").eq(4))
+        assert evaluate(expr, table).tolist() == [True, False, False, True]
+        assert evaluate(Not(Col("x").eq(1)), table).tolist() == [False, True, True, True]
+
+    def test_in_list(self, table):
+        assert evaluate(Col("s").isin(("a", "c")), table).tolist() == [
+            True, False, True, True,
+        ]
+
+    def test_functions(self, table):
+        assert evaluate(Func("sqrt", [Col("y")]), table).tolist() == [2.0, 3.0, 4.0, 5.0]
+        assert evaluate(Func("abs", [Col("x") - 3]), table).tolist() == [2, 1, 0, 1]
+        assert evaluate(Func("year", [Col("d")]), table).tolist() == [
+            1994, 1995, 1996, 1998,
+        ]
+        assert evaluate(Func("month", [Col("d")]), table).tolist() == [1, 12, 6, 3]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SchemaError):
+            Func("median", [Col("x")])
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            BinOp("%", Col("x"), Const(2))
+
+    def test_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            evaluate(Col("zzz"), table)
+
+
+class TestParams:
+    def test_evaluate_with_params(self, table):
+        out = evaluate(Col("x") < Param("p"), table, params={"p": 3})
+        assert out.tolist() == [True, True, False, False]
+
+    def test_unbound_param_raises(self, table):
+        with pytest.raises(SchemaError, match="unbound"):
+            evaluate(Col("x") < Param("p"), table)
+
+    def test_collect_params(self):
+        expr = (Col("a").eq(Param("p1"))).and_(Col("b") < Param("p2"))
+        assert collect_params(expr) == ["p1", "p2"]
+        assert collect_params(None) == []
+
+    def test_bind_params_replaces(self, table):
+        expr = bind_params(Col("x") < Param("p"), {"p": 2})
+        assert evaluate(expr, table).tolist() == [True, False, False, False]
+
+    def test_bind_missing_raises(self):
+        with pytest.raises(SchemaError):
+            bind_params(Param("p"), {})
+
+
+class TestColumns:
+    def test_columns_collected(self):
+        expr = (Col("a") + Col("b")).and_(Func("sqrt", [Col("c")]).eq(Col("a")))
+        assert expr.columns() == {"a", "b", "c"}
+
+    def test_const_has_no_columns(self):
+        assert Const(1).columns() == frozenset()
+
+
+class TestToSource:
+    def _roundtrip(self, expr, table, params=None):
+        src = to_source(expr, lambda c: f"row[{table.schema.index_of(c)!r}]", params)
+        rows = table.to_rows()
+        fn = eval(f"lambda row: {src}", {"_sqrt": math.sqrt})
+        return [fn(r) for r in rows]
+
+    def test_source_matches_vectorized(self, table):
+        exprs = [
+            Col("x") * 2 + 1,
+            (Col("x") > 1).and_(Col("y") < 20.0),
+            Col("s").isin(("a", "c")),
+            Func("sqrt", [Col("y")]),
+            Func("year", [Col("d")]),
+            Not(Col("s").eq("b")),
+        ]
+        for expr in exprs:
+            got = self._roundtrip(expr, table)
+            expected = evaluate(expr, table).tolist()
+            assert got == expected, expr
+
+    def test_param_compiles_to_constant(self, table):
+        got = self._roundtrip(Col("x") < Param("p"), table, params={"p": 3})
+        assert got == [True, True, False, False]
+
+    def test_unbound_param_rejected(self, table):
+        with pytest.raises(PlanError):
+            to_source(Param("p"), lambda c: c)

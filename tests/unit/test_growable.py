@@ -1,0 +1,90 @@
+"""GrowableRidVector: the paper's 10-element / 1.5x allocation policy."""
+
+import numpy as np
+import pytest
+
+from repro.storage import GROWTH_FACTOR, INITIAL_CAPACITY, GrowableRidVector
+
+
+class TestPolicy:
+    def test_initial_capacity_is_ten(self):
+        assert GrowableRidVector().capacity == INITIAL_CAPACITY == 10
+
+    def test_growth_factor_constant(self):
+        assert GROWTH_FACTOR == 1.5
+
+    def test_no_resize_within_initial_capacity(self):
+        vec = GrowableRidVector()
+        for i in range(10):
+            vec.append(i)
+        assert vec.resize_count == 0
+
+    def test_eleventh_append_triggers_resize(self):
+        vec = GrowableRidVector()
+        for i in range(11):
+            vec.append(i)
+        assert vec.resize_count == 1
+        assert vec.capacity >= 15
+
+    def test_growth_is_geometric(self):
+        vec = GrowableRidVector()
+        for i in range(10_000):
+            vec.append(i)
+        # Geometric growth: resizes are O(log n), not O(n).
+        assert vec.resize_count < 25
+
+    def test_copied_elements_accumulate(self):
+        vec = GrowableRidVector()
+        for i in range(11):
+            vec.append(i)
+        assert vec.copied_elements == 10
+
+    def test_custom_capacity_avoids_resizes(self):
+        vec = GrowableRidVector(capacity=1000)
+        for i in range(1000):
+            vec.append(i)
+        assert vec.resize_count == 0
+
+    def test_zero_capacity_clamped(self):
+        vec = GrowableRidVector(capacity=0)
+        vec.append(7)
+        assert len(vec) == 1
+
+
+class TestContents:
+    def test_append_then_view(self):
+        vec = GrowableRidVector()
+        for i in (5, 3, 9):
+            vec.append(i)
+        assert vec.view().tolist() == [5, 3, 9]
+
+    def test_extend_batches(self):
+        vec = GrowableRidVector()
+        vec.extend(np.arange(7))
+        vec.extend(np.arange(7, 20))
+        assert vec.to_array().tolist() == list(range(20))
+
+    def test_extend_triggers_single_resize_for_large_batch(self):
+        vec = GrowableRidVector()
+        vec.extend(np.arange(1000))
+        assert vec.resize_count == 1
+
+    def test_view_is_read_only(self):
+        vec = GrowableRidVector()
+        vec.append(1)
+        view = vec.view()
+        with pytest.raises(ValueError):
+            view[0] = 2
+
+    def test_to_array_is_a_copy(self):
+        vec = GrowableRidVector()
+        vec.append(1)
+        arr = vec.to_array()
+        arr[0] = 99
+        assert vec.view()[0] == 1
+
+    def test_len_tracks_size_not_capacity(self):
+        vec = GrowableRidVector(capacity=100)
+        vec.append(0)
+        assert len(vec) == 1
+        assert vec.capacity == 100

@@ -1,0 +1,171 @@
+"""Logical plan nodes and schema inference."""
+
+import pytest
+
+from repro.errors import PlanError, SchemaError
+from repro.expr.ast import Col, Const, Func
+from repro.plan import (
+    AggCall,
+    CrossProduct,
+    GroupBy,
+    HashJoin,
+    Project,
+    Scan,
+    Select,
+    SetOp,
+    ThetaJoin,
+    col,
+    column_sources,
+    infer_expr_type,
+    infer_schema,
+    join_output_fields,
+    walk,
+)
+from repro.storage import ColumnType, Schema
+
+
+class TestNodes:
+    def test_agg_requires_argument(self):
+        with pytest.raises(PlanError):
+            AggCall("sum", None, "s")
+
+    def test_count_star_allowed(self):
+        AggCall("count", None, "c")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(PlanError):
+            AggCall("median", col("x"), "m")
+
+    def test_join_requires_matching_keys(self):
+        with pytest.raises(PlanError):
+            HashJoin(Scan("a"), Scan("b"), ("x",), ("y", "z"))
+        with pytest.raises(PlanError):
+            HashJoin(Scan("a"), Scan("b"), (), ())
+
+    def test_groupby_requires_keys_or_aggs(self):
+        with pytest.raises(PlanError):
+            GroupBy(Scan("a"), [], [])
+
+    def test_setop_validation(self):
+        with pytest.raises(PlanError):
+            SetOp("xor", Scan("a"), Scan("b"))
+
+    def test_base_relations_in_scan_order(self):
+        plan = HashJoin(
+            HashJoin(Scan("a"), Scan("b"), ("x",), ("x",)),
+            Scan("c"),
+            ("x",),
+            ("x",),
+        )
+        assert plan.base_relations() == ["a", "b", "c"]
+
+    def test_walk_preorder(self):
+        plan = Select(Scan("t"), col("x").eq(1))
+        kinds = [type(n).__name__ for n in walk(plan)]
+        assert kinds == ["Select", "Scan"]
+
+    def test_describe_renders_tree(self, small_db):
+        plan = GroupBy(
+            Select(Scan("zipf"), col("v") < 10.0),
+            [(col("z"), "z")],
+            [AggCall("count", None, "c")],
+        )
+        text = plan.describe()
+        assert "GroupBy" in text and "Select" in text and "Scan(zipf)" in text
+
+
+class TestExprTypeInference:
+    SCHEMA = Schema(
+        [("i", ColumnType.INT), ("f", ColumnType.FLOAT), ("s", ColumnType.STR)]
+    )
+
+    def test_basic(self):
+        assert infer_expr_type(col("i"), self.SCHEMA) is ColumnType.INT
+        assert infer_expr_type(Const(1.5), self.SCHEMA) is ColumnType.FLOAT
+        assert infer_expr_type(Const("x"), self.SCHEMA) is ColumnType.STR
+
+    def test_arithmetic_promotion(self):
+        assert infer_expr_type(col("i") + col("i"), self.SCHEMA) is ColumnType.INT
+        assert infer_expr_type(col("i") + col("f"), self.SCHEMA) is ColumnType.FLOAT
+        assert infer_expr_type(col("i") / col("i"), self.SCHEMA) is ColumnType.FLOAT
+
+    def test_comparison_is_int(self):
+        assert infer_expr_type(col("i") > 1, self.SCHEMA) is ColumnType.INT
+
+    def test_string_arithmetic_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_expr_type(col("s") + col("i"), self.SCHEMA)
+
+    def test_functions(self):
+        assert infer_expr_type(Func("sqrt", [col("i")]), self.SCHEMA) is ColumnType.FLOAT
+        assert infer_expr_type(Func("year", [col("i")]), self.SCHEMA) is ColumnType.INT
+
+
+class TestSchemaInference:
+    def test_scan_select_project(self, small_db):
+        plan = Project(
+            Select(Scan("zipf"), col("v") < 1.0),
+            [(col("z"), "z"), (col("v") * 2.0, "v2")],
+        )
+        schema = infer_schema(plan, small_db.catalog)
+        assert schema.names == ["z", "v2"]
+        assert schema.type_of("v2") is ColumnType.FLOAT
+
+    def test_select_unknown_column(self, small_db):
+        with pytest.raises(SchemaError):
+            infer_schema(Select(Scan("zipf"), col("bogus").eq(1)), small_db.catalog)
+
+    def test_groupby_schema(self, small_db):
+        plan = GroupBy(
+            Scan("zipf"),
+            [(col("z"), "z")],
+            [
+                AggCall("count", None, "c"),
+                AggCall("avg", col("v"), "a"),
+                AggCall("min", col("z"), "m"),
+            ],
+        )
+        schema = infer_schema(plan, small_db.catalog)
+        assert schema.names == ["z", "c", "a", "m"]
+        assert schema.type_of("c") is ColumnType.INT
+        assert schema.type_of("a") is ColumnType.FLOAT
+        assert schema.type_of("m") is ColumnType.INT
+
+    def test_join_renames_collisions(self, small_db):
+        plan = HashJoin(Scan("zipf"), Scan("zipf2"), ("z",), ("z",))
+        schema = infer_schema(plan, small_db.catalog)
+        assert "z" in schema and "z_r" in schema and "w" in schema
+
+    def test_join_output_fields_sides(self):
+        left = Schema([("a", ColumnType.INT)])
+        right = Schema([("a", ColumnType.INT), ("b", ColumnType.INT)])
+        fields = join_output_fields(left, right)
+        assert [(n, s) for n, _, s in fields] == [
+            ("a", "left"), ("a_r", "right"), ("b", "right"),
+        ]
+
+    def test_setop_type_mismatch(self, small_db):
+        plan = SetOp(
+            "union",
+            Project(Scan("zipf"), [(col("z"), "z")]),
+            Project(Scan("zipf2"), [(col("w"), "w")]),
+        )
+        with pytest.raises(PlanError):
+            infer_schema(plan, small_db.catalog)
+
+    def test_theta_predicate_checked(self, small_db):
+        plan = ThetaJoin(Scan("gids"), Scan("zipf2"), col("nothere").eq(1))
+        with pytest.raises(SchemaError):
+            infer_schema(plan, small_db.catalog)
+
+    def test_cross_product_schema(self, small_db):
+        plan = CrossProduct(Scan("gids"), Scan("zipf2"))
+        schema = infer_schema(plan, small_db.catalog)
+        assert schema.names == ["id", "payload", "z", "w"]
+
+    def test_column_sources_through_join(self, small_db):
+        plan = HashJoin(Scan("gids"), Scan("zipf"), ("id",), ("z",))
+        sources = column_sources(plan, small_db.catalog)
+        assert sources["payload"] == "gids"
+        assert sources["v"] == "zipf"
+        assert sources["id_r"] == "zipf"

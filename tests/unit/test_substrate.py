@@ -1,0 +1,151 @@
+"""BerkeleyDB simulator, zipf sampling, cardinality statistics."""
+
+import numpy as np
+import pytest
+
+from repro.substrate import (
+    BerkeleyDBSim,
+    CardinalityHints,
+    collect_group_counts,
+    estimate_selectivity,
+    sample_zipf,
+    zipf_probabilities,
+)
+
+
+class TestBdbSim:
+    def test_put_get_bulk(self):
+        store = BerkeleyDBSim()
+        for v in (3, 1, 2):
+            store.put(10, v)
+        assert store.get_bulk(10) == [3, 1, 2]
+
+    def test_cursor_matches_bulk(self):
+        store = BerkeleyDBSim()
+        for out in range(20):
+            for v in range(out % 5):
+                store.put(out, v)
+        for out in range(20):
+            assert list(store.cursor(out)) == store.get_bulk(out)
+
+    def test_cursor_stops_at_key_boundary(self):
+        store = BerkeleyDBSim()
+        store.put(1, 100)
+        store.put(2, 200)
+        assert list(store.cursor(1)) == [100]
+
+    def test_keys_distinct_sorted(self):
+        store = BerkeleyDBSim()
+        for k in (5, 1, 5, 3):
+            store.put(k, 0)
+        assert list(store.keys()) == [1, 3, 5]
+
+    def test_len_counts_entries(self):
+        store = BerkeleyDBSim()
+        for _ in range(7):
+            store.put(0, 0)
+        assert len(store) == 7
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        probs = zipf_probabilities(100, 1.0)
+        assert abs(probs.sum() - 1.0) < 1e-12
+
+    def test_theta_zero_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_skew_monotonicity(self):
+        probs = zipf_probabilities(50, 1.2)
+        assert all(probs[i] >= probs[i + 1] for i in range(49))
+
+    def test_samples_within_bounds(self, rng):
+        samples = sample_zipf(10_000, 37, 1.0, rng)
+        assert samples.min() >= 0 and samples.max() < 37
+
+    def test_high_skew_concentrates_mass(self, rng):
+        samples = sample_zipf(50_000, 100, 1.6, rng)
+        top = (samples == 0).mean()
+        assert top > 0.3
+
+    def test_deterministic_given_seed(self):
+        a = sample_zipf(100, 10, 1.0, np.random.default_rng(5))
+        b = sample_zipf(100, 10, 1.0, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_invalid_arguments(self, rng):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestStats:
+    def test_collect_group_counts(self):
+        counts = collect_group_counts(np.array([0, 1, 1, 3]), num_groups=5)
+        assert counts.tolist() == [1, 2, 0, 1, 0]
+
+    def test_collect_infers_domain(self):
+        counts = collect_group_counts(np.array([2, 2]))
+        assert counts.tolist() == [0, 0, 2]
+
+    def test_estimate_selectivity_uniform(self):
+        assert estimate_selectivity(None, 25.0, 0.0, 100.0) == pytest.approx(0.25)
+        assert estimate_selectivity(None, -5.0, 0.0, 100.0) == 0.0
+        assert estimate_selectivity(None, 150.0, 0.0, 100.0) == 1.0
+
+    def test_estimate_selectivity_invalid_range(self):
+        with pytest.raises(ValueError):
+            estimate_selectivity(None, 1.0, 5.0, 5.0)
+
+    def test_hints_overestimate_applies(self):
+        hints = CardinalityHints(
+            group_counts={"g": np.array([10, 20])},
+            selectivity={"s": 0.5},
+            overestimate=1.5,
+        )
+        assert hints.group_count_for("g").tolist() == [15, 30]
+        assert hints.selectivity_for("s") == pytest.approx(0.75)
+
+    def test_hints_selectivity_capped_at_one(self):
+        hints = CardinalityHints(selectivity={"s": 0.9}, overestimate=2.0)
+        assert hints.selectivity_for("s") == 1.0
+
+    def test_hints_missing_label(self):
+        hints = CardinalityHints()
+        assert hints.group_count_for("nope") is None
+        assert hints.selectivity_for("nope") is None
+
+
+class TestHintsFromLineage:
+    def test_counts_match_group_sizes(self, small_db):
+        from repro.lineage.capture import CaptureMode
+        from repro.plan.logical import AggCall, GroupBy, Scan, col
+        from repro.substrate.stats import hints_from_lineage
+
+        plan = GroupBy(
+            Scan("zipf"), [(col("z"), "z")], [AggCall("count", None, "c")]
+        )
+        res = small_db.execute(plan, capture=CaptureMode.INJECT)
+        hints = hints_from_lineage(res.lineage, "zipf", "groupby")
+        counts = hints.group_count_for("groupby")
+        assert np.array_equal(counts, np.asarray(res.table.column("c")))
+
+    def test_hints_eliminate_resizes_on_rerun(self, small_db):
+        from repro.exec.vector.groupby import inject_backward_index
+        from repro.lineage.capture import CaptureMode
+        from repro.plan.logical import AggCall, GroupBy, Scan, col
+        from repro.substrate.stats import hints_from_lineage
+
+        plan = GroupBy(
+            Scan("zipf"), [(col("z"), "z")], [AggCall("count", None, "c")]
+        )
+        res = small_db.execute(plan, capture=CaptureMode.INJECT)
+        hints = hints_from_lineage(res.lineage, "zipf", "groupby")
+        group_ids = res.lineage.forward_index("zipf").values
+        _, resizes = inject_backward_index(
+            group_ids, len(res.table), chunk_size=256,
+            capacities=hints.group_count_for("groupby"),
+        )
+        assert resizes == 0

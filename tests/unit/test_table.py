@@ -1,0 +1,138 @@
+"""Table and Schema behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import ColumnType, Schema, Table, concat_tables
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", ColumnType.INT), ("a", ColumnType.INT)])
+
+    def test_type_of_unknown_column(self):
+        schema = Schema([("a", ColumnType.INT)])
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.type_of("b")
+
+    def test_contains_and_index(self):
+        schema = Schema([("a", ColumnType.INT), ("b", ColumnType.STR)])
+        assert "a" in schema and "c" not in schema
+        assert schema.index_of("b") == 1
+
+    def test_concat_with_prefixes(self):
+        left = Schema([("a", ColumnType.INT)])
+        right = Schema([("b", ColumnType.FLOAT)])
+        merged = left.concat(right, prefix_other="r_")
+        assert merged.names == ["a", "r_b"]
+
+    def test_infer_from_numpy_kinds(self):
+        assert ColumnType.infer(np.array([1, 2])) is ColumnType.INT
+        assert ColumnType.infer(np.array([1.0])) is ColumnType.FLOAT
+        assert ColumnType.infer(np.array(["x"], dtype=object)) is ColumnType.STR
+        assert ColumnType.infer(np.array([True])) is ColumnType.INT
+
+    def test_infer_rejects_exotic_dtype(self):
+        with pytest.raises(SchemaError):
+            ColumnType.infer(np.array([1 + 2j]))
+
+
+class TestTableConstruction:
+    def test_infers_schema_from_values(self):
+        t = Table({"i": [1, 2], "f": [1.0, 2.0], "s": ["a", "b"]})
+        assert t.schema.type_of("i") is ColumnType.INT
+        assert t.schema.type_of("f") is ColumnType.FLOAT
+        assert t.schema.type_of("s") is ColumnType.STR
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_missing_schema_column_rejected(self):
+        schema = Schema([("a", ColumnType.INT), ("b", ColumnType.INT)])
+        with pytest.raises(SchemaError, match="missing column"):
+            Table({"a": [1]}, schema)
+
+    def test_from_rows_roundtrip(self, simple_table):
+        again = Table.from_rows(simple_table.schema, simple_table.to_rows())
+        assert again.equals(simple_table)
+
+    def test_empty(self):
+        schema = Schema([("a", ColumnType.INT), ("s", ColumnType.STR)])
+        t = Table.empty(schema)
+        assert len(t) == 0 and t.schema == schema
+
+    def test_string_coercion_to_object(self):
+        t = Table({"s": np.array(["a", "b"])})  # unicode dtype in
+        assert t.column("s").dtype == object
+
+
+class TestTableOps:
+    def test_take_gathers_rows(self, simple_table):
+        sub = simple_table.take([5, 0])
+        assert sub.to_rows() == [(3, 6.0, "y"), (1, 1.0, "x")]
+
+    def test_take_out_of_range(self, simple_table):
+        with pytest.raises(IndexError):
+            simple_table.take([99])
+
+    def test_filter_mask(self, simple_table):
+        out = simple_table.filter(simple_table.column("a") == 3)
+        assert len(out) == 3
+
+    def test_row_access_and_bounds(self, simple_table):
+        assert simple_table.row(0) == (1, 1.0, "x")
+        with pytest.raises(IndexError):
+            simple_table.row(6)
+
+    def test_select_columns(self, simple_table):
+        out = simple_table.select_columns(["s", "a"])
+        assert out.schema.names == ["s", "a"]
+
+    def test_rename(self, simple_table):
+        out = simple_table.rename({"a": "alpha"})
+        assert out.schema.names == ["alpha", "b", "s"]
+        assert np.array_equal(out.column("alpha"), simple_table.column("a"))
+
+    def test_with_column_appends(self, simple_table):
+        out = simple_table.with_column("d", np.arange(6))
+        assert out.schema.names[-1] == "d"
+
+    def test_with_column_replaces(self, simple_table):
+        out = simple_table.with_column("a", np.zeros(6))
+        assert out.schema.type_of("a") is ColumnType.FLOAT
+
+    def test_with_column_wrong_length(self, simple_table):
+        with pytest.raises(SchemaError):
+            simple_table.with_column("d", np.arange(3))
+
+    def test_equals_bag_semantics(self, simple_table):
+        shuffled = simple_table.take([5, 4, 3, 2, 1, 0])
+        assert not simple_table.equals(shuffled)
+        assert simple_table.equals(shuffled, sort=True)
+
+    def test_pretty_truncates(self, simple_table):
+        text = simple_table.pretty(limit=2)
+        assert "6 rows total" in text
+
+    def test_unknown_column_error(self, simple_table):
+        with pytest.raises(SchemaError, match="available"):
+            simple_table.column("zzz")
+
+
+class TestConcat:
+    def test_concat_preserves_order(self, simple_table):
+        out = concat_tables([simple_table, simple_table])
+        assert len(out) == 12
+        assert out.row(6) == simple_table.row(0)
+
+    def test_concat_schema_mismatch(self, simple_table):
+        other = simple_table.rename({"a": "different"})
+        with pytest.raises(SchemaError):
+            concat_tables([simple_table, other])
+
+    def test_concat_requires_input(self):
+        with pytest.raises(SchemaError):
+            concat_tables([])
