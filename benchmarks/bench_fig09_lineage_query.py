@@ -2,12 +2,24 @@
 
 Paper shape: Smoke-L (index probe) beats Lazy/Logic-Rid/Logic-Tup scans by
 orders of magnitude at low selectivity; skewed groups approach scan cost.
+
+The ``lb_batched``/``lb_per_call`` pair below answers the same 20
+distinct-Lb probes through one ``backward_batch`` call vs 20 per-call
+``QueryLineage.backward`` lookups — the batched path resolves the index
+once and dedups through a reusable CSR-level flag array, and must report
+no slower than the per-call path.  (It is kept out of TECHNIQUE_FNS so
+run_report keeps reproducing the paper's Figure 9 rows verbatim.)
 """
 
 import numpy as np
 import pytest
 
-from repro.bench.experiments.fig09_query import TECHNIQUE_FNS, make_context
+from repro.bench.experiments.fig09_query import (
+    TECHNIQUE_FNS,
+    make_context,
+    query_lb_batched,
+    query_lb_per_call,
+)
 from repro.bench.harness import scaled
 
 THETAS = [0.0, 1.6]
@@ -27,5 +39,23 @@ def test_fig09_backward_query(benchmark, ctx, technique):
     def run():
         for o in outs[:5]:
             fn(ctx, int(o))
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("shape", ["lb_per_call", "lb_batched"])
+def test_fig09_backward_query_batched(benchmark, ctx, shape):
+    """The same 20 distinct-Lb probes: 20 per-call lookups vs one
+    backward_batch call.  The batched path must be no slower."""
+    rng = np.random.default_rng(0)
+    outs = [int(o) for o in rng.integers(0, ctx["num_groups"], 20)]
+
+    if shape == "lb_per_call":
+        def run():
+            for o in outs:
+                query_lb_per_call(ctx, o)
+    else:
+        def run():
+            query_lb_batched(ctx, outs)
 
     benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,125 @@
+"""Lineage consuming queries in SQL: Lb(...) and Lf(...) as relations.
+
+The paper's headline use case (Section 2.1) is queries whose *input* is
+the lineage of a prior result.  This walkthrough registers a captured
+aggregate under a name, then drives it entirely from SQL:
+
+* ``FROM Lb(prev, 'sales')``        — the sales rows behind prev's output;
+* ``FROM Lb(prev, 'sales', :bars)`` — only the rows behind selected bars;
+* ``FROM Lf('sales', prev, :rows)`` — prev's output marks derived from
+  selected base rows;
+* aggregations, filters, and joins compose over those scans like over any
+  other relation, on both the vector and the compiled backend.
+
+Every step cross-checks against the Python-level lineage API, so this is
+an executable specification of the SQL/lineage boundary.
+
+Run:  python examples/lineage_consuming_queries.py
+"""
+
+import numpy as np
+
+from repro.api import Database
+from repro.lineage.capture import CaptureMode
+from repro.storage import Table
+
+
+def main() -> None:
+    db = Database()
+    rng = np.random.default_rng(11)
+    n = 20_000
+    db.create_table(
+        "sales",
+        Table(
+            {
+                "region": rng.choice(
+                    np.array(["north", "south", "east", "west"], dtype=object), n
+                ),
+                "product": rng.integers(0, 40, n),
+                "amount": np.round(rng.random(n) * 500, 2),
+            }
+        ),
+    )
+
+    # 1. Base query with capture, registered for lineage-consuming SQL.
+    prev = db.sql(
+        "SELECT region, COUNT(*) AS orders FROM sales GROUP BY region",
+        capture=CaptureMode.INJECT,
+        name="prev",
+    )
+    print("Base query (registered as 'prev'):")
+    for i in range(len(prev)):
+        print(f"  {prev.table.column('region')[i]:>6}: "
+              f"{prev.table.column('orders')[i]} orders")
+
+    # 2. Lb as a relation: re-aggregate the rows behind one output bar.
+    bar = 0
+    drill = db.sql(
+        "SELECT product, COUNT(*) AS c, SUM(amount) AS rev "
+        "FROM Lb(prev, 'sales', :bars) GROUP BY product",
+        params={"bars": [bar]},
+    )
+    region = prev.table.column("region")[bar]
+    expected_rows = int((db.table("sales").column("region") == region).sum())
+    assert int(np.sum(drill.table.column("c"))) == expected_rows
+    print(f"\nDrill-down into bar {bar} ({region}): "
+          f"{len(drill)} products over {expected_rows} rows")
+
+    # 3. The same statement on the compiled backend is bit-identical.
+    compiled = db.sql(
+        "SELECT product, COUNT(*) AS c, SUM(amount) AS rev "
+        "FROM Lb(prev, 'sales', :bars) GROUP BY product",
+        params={"bars": [bar]},
+        backend="compiled",
+    )
+    assert np.array_equal(compiled.table.column("c"), drill.table.column("c"))
+    print("Compiled backend agrees with the vector backend.")
+
+    # 4. Lineage of the lineage scan: the Lb statement is itself captured,
+    #    so its output traces back to the scanned sales rows.
+    traced = db.sql(
+        "SELECT * FROM Lb(prev, 'sales', :bars)",
+        params={"bars": [bar]},
+        capture=CaptureMode.INJECT,
+    )
+    rids = traced.backward(np.arange(len(traced)), "sales")
+    assert np.array_equal(rids, prev.backward([bar], "sales"))
+    print(f"Lb scan lineage identifies the same {rids.size} base rows as "
+          "the Python API.")
+
+    # 5. Lf as a relation: which output marks derive from chosen base rows?
+    rows = rids[:3]
+    marks = db.sql(
+        "SELECT * FROM Lf('sales', prev, :rows)",
+        params={"rows": rows},
+        capture=CaptureMode.INJECT,
+    )
+    highlighted = marks.backward(np.arange(len(marks)), "prev")
+    assert np.array_equal(highlighted, prev.forward("sales", rows))
+    print(f"Lf highlights marks {highlighted.tolist()} "
+          "(matches QueryResult.forward).")
+
+    # 6. Lineage scans join like any relation: pair surviving rows with a
+    #    per-region label table.
+    db.create_table(
+        "labels",
+        Table({
+            "region": np.array(["north", "south", "east", "west"], dtype=object),
+            "label": np.array(["N", "S", "E", "W"], dtype=object),
+        }),
+    )
+    joined = db.sql(
+        "SELECT label, COUNT(*) AS c "
+        "FROM Lb(prev, 'sales', :bars) JOIN labels "
+        "ON sales.region = labels.region GROUP BY label",
+        params={"bars": [bar]},
+    )
+    assert len(joined) == 1 and int(joined.table.column("c")[0]) == expected_rows
+    print(f"Join over the lineage scan: label "
+          f"{joined.table.column('label')[0]!r} -> {expected_rows} rows")
+
+    print("\nAll lineage-consuming SQL cross-checks passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,37 @@ output table, the lineage handle, and helpers for running *lineage
 consuming queries* — queries whose input relation is the backward (or
 forward) lineage of a previous result (paper Section 2.1).
 
+Lineage consuming SQL
+---------------------
+Beyond the Python helpers (:meth:`QueryResult.backward`,
+:meth:`QueryResult.backward_table`, ...), lineage is a first-class SQL
+citizen: register a captured result under a name and use ``Lb`` / ``Lf``
+as table expressions in later statements.
+
+>>> db = Database()
+>>> db.create_table("t", Table({"z": [1, 1, 2], "v": [1.0, 2.0, 3.0]}))
+>>> prev = db.sql("SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+...               capture=CaptureMode.INJECT, name="prev")
+>>> db.sql("SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z")
+...
+>>> db.sql("SELECT * FROM Lf('t', prev, :rows)", params={"rows": [0, 1]})
+...
+
+``Lb(prev, 't')`` scans the rows of base relation ``t`` that contributed
+to (a subset of) ``prev``'s output; ``Lf('t', prev)`` scans the rows of
+``prev``'s output derived from (a subset of) ``t``.  The optional third
+argument — an int, an int list, or a ``:param`` — restricts the traced
+subset; omitted, every row is traced.  Both work on either backend, join
+and aggregate like any other relation, and are themselves captured, so
+lineage chains across interactive sessions.
+
+Relation naming in lineage queries
+----------------------------------
+Lineage lookups accept the base table name, the ``name#i`` occurrence key
+of a self-join, or the SQL correlation name: after ``FROM t AS a JOIN t
+AS b ...``, ``result.backward([0], "a")`` traces through the first
+occurrence specifically, while ``"t"`` raises for being ambiguous.
+
 Example
 -------
 >>> db = Database()
@@ -94,7 +125,8 @@ class Database:
 
     def __init__(self):
         self.catalog = Catalog()
-        self._vector = VectorExecutor(self.catalog)
+        self._results: Dict[str, QueryResult] = {}
+        self._vector = VectorExecutor(self.catalog, results=self._results)
         self._compiled = None  # built lazily; codegen backend is optional
 
     # -- catalog management -----------------------------------------------------
@@ -115,6 +147,39 @@ class Database:
         """Sorted names of all registered relations."""
         return self.catalog.names()
 
+    # -- named results (lineage-consuming SQL) ---------------------------------
+
+    def register_result(self, name: str, result: "QueryResult") -> None:
+        """Register a prior result so SQL can consume its lineage.
+
+        ``FROM Lb(name, 'relation')`` / ``FROM Lf('relation', name)``
+        resolve ``name`` against this registry at execution time.
+        Re-registering a name replaces the previous result, re-targeting
+        any plan that references it.  Names must be SQL identifiers that
+        are not keywords, so the bare ``Lb(name, ...)`` form always
+        parses.
+        """
+        _check_result_name(name)
+        self._results[name] = result
+
+    def drop_result(self, name: str) -> None:
+        """Forget a registered result (its indexes become collectable)."""
+        if name not in self._results:
+            raise PlanError(f"unknown result {name!r}")
+        del self._results[name]
+
+    def result(self, name: str) -> "QueryResult":
+        """Look up a registered prior result."""
+        if name not in self._results:
+            raise PlanError(
+                f"unknown result {name!r}; known: {sorted(self._results)}"
+            )
+        return self._results[name]
+
+    def results(self):
+        """Sorted names of all registered prior results."""
+        return sorted(self._results)
+
     # -- execution ----------------------------------------------------------------
 
     def execute(
@@ -123,13 +188,19 @@ class Database:
         capture: Union[CaptureConfig, CaptureMode, None] = None,
         params: Optional[dict] = None,
         backend: str = "vector",
+        name: Optional[str] = None,
     ) -> QueryResult:
         """Execute a logical plan.
 
         ``capture`` accepts a :class:`CaptureMode` for the common case or a
         full :class:`CaptureConfig` for pruning/hints; ``None`` disables
-        capture (the paper's Baseline).
+        capture (the paper's Baseline).  ``name`` registers the result for
+        lineage-consuming SQL (see :meth:`register_result`).
         """
+        if name is not None:
+            # Validate up front: a bad name must not discard a finished
+            # (possibly expensive) execution.
+            _check_result_name(name)
         config = _as_config(capture)
         if backend == "vector":
             result = self._vector.execute(plan, config, params)
@@ -137,7 +208,10 @@ class Database:
             result = self._compiled_executor().execute(plan, config, params)
         else:
             raise PlanError(f"unknown backend {backend!r}; use 'vector' or 'compiled'")
-        return QueryResult(self, plan, result)
+        query_result = QueryResult(self, plan, result)
+        if name is not None:
+            self.register_result(name, query_result)
+        return query_result
 
     def sql(
         self,
@@ -145,16 +219,24 @@ class Database:
         capture: Union[CaptureConfig, CaptureMode, None] = None,
         params: Optional[dict] = None,
         backend: str = "vector",
+        name: Optional[str] = None,
     ) -> QueryResult:
-        """Parse and execute a SQL statement (see :mod:`repro.sql`)."""
+        """Parse and execute a SQL statement (see :mod:`repro.sql`).
+
+        ``name`` registers the result so later statements can consume its
+        lineage with ``FROM Lb(name, 'relation')`` / ``Lf('relation',
+        name)``.
+        """
         plan = self.parse(statement)
-        return self.execute(plan, capture=capture, params=params, backend=backend)
+        return self.execute(
+            plan, capture=capture, params=params, backend=backend, name=name
+        )
 
     def parse(self, statement: str) -> LogicalPlan:
         """Parse + bind a SQL statement into a logical plan (no execution)."""
         from .sql import parse_sql
 
-        return parse_sql(statement, self.catalog)
+        return parse_sql(statement, self.catalog, self._results)
 
     def explain(self, statement: str) -> str:
         """The logical plan a SQL statement binds to, as an ASCII tree."""
@@ -164,8 +246,19 @@ class Database:
         if self._compiled is None:
             from .exec.compiled.executor import CompiledExecutor
 
-            self._compiled = CompiledExecutor(self.catalog)
+            self._compiled = CompiledExecutor(self.catalog, results=self._results)
         return self._compiled
+
+
+def _check_result_name(name: str) -> None:
+    from .sql.lexer import is_safe_identifier
+
+    if not is_safe_identifier(name):
+        raise PlanError(
+            f"result name {name!r} is not a plain SQL identifier "
+            "(or is a keyword); lineage-consuming SQL could not "
+            "reference it"
+        )
 
 
 def _as_config(capture) -> CaptureConfig:

@@ -16,6 +16,15 @@ lineage query followed by re-aggregation, and compares four strategies:
 * **partial data cube** — the group-by push-down optimization applied
   pairwise between views; interactions become row lookups, but the cube
   must be built first (the cold-start cost of Figure 13).
+
+Sessions built with :meth:`CrossfilterSession.from_database` are fully
+declarative: each view is a SQL group-by registered as a named result,
+and BT / BT+FT interactions run as *lineage-consuming SQL* — the brushed
+bar's rows come from ``FROM Lb(view, 'relation', :bars)``, and the BT
+re-aggregation is itself a ``GROUP BY`` over that lineage scan (paper
+Section 2.1).  Sessions built directly over a :class:`Table` keep the
+hand-rolled kernels (that construction has no engine to query), which is
+also what the Figure 13/14 benchmarks measure.
 """
 
 from __future__ import annotations
@@ -26,10 +35,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import itertools
+
 from ..errors import WorkloadError
 from ..exec.vector.kernels import factorize
 from ..lineage.indexes import RidIndex
 from ..storage.table import Table
+
+#: Distinguishes the registry entries of concurrent sessions on one
+#: Database, so rebuilt sessions cannot re-target each other's brushes.
+_SESSION_IDS = itertools.count()
 
 
 @dataclass
@@ -56,6 +71,20 @@ class CrossfilterSession:
     TECHNIQUES = ("lazy", "bt", "bt+ft", "cube")
 
     def __init__(self, table: Table, dimensions: Sequence[str], technique: str = "bt+ft"):
+        self._init_state(table, dimensions, technique)
+        start = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - start
+
+    def _init_state(
+        self,
+        table: Table,
+        dimensions: Sequence[str],
+        technique: str,
+        database=None,
+        relation: Optional[str] = None,
+    ) -> None:
+        """Shared field initialization for both construction routes."""
         if technique not in self.TECHNIQUES:
             raise WorkloadError(
                 f"unknown crossfilter technique {technique!r}; "
@@ -66,44 +95,62 @@ class CrossfilterSession:
         self.technique = technique
         self.views: Dict[str, View] = {}
         self.cube: Dict[Tuple[str, str], np.ndarray] = {}
-        start = time.perf_counter()
-        self._build()
-        self.build_seconds = time.perf_counter() - start
+        self.database = database
+        self.relation = relation
+        self._result_names: Dict[str, str] = {}
+        self._bar_orders: Dict[str, Dict[object, int]] = {}
 
     @classmethod
     def from_database(
         cls, database, relation: str, dimensions: Sequence[str],
         technique: str = "bt+ft",
     ) -> "CrossfilterSession":
-        """Build the views *declaratively*: each view is a group-by COUNT
-        query executed by the engine with lineage capture, and the view's
-        interaction structures are exactly the captured indexes — the
-        "express the logic in lineage terms" route the paper advocates,
-        instead of the hand-rolled kernels of the direct constructor.
+        """Build the views *declaratively*: each view is a SQL group-by
+        COUNT executed with lineage capture and registered as a named
+        result, and the view's interaction structures are exactly the
+        captured indexes — the "express the logic in lineage terms" route
+        the paper advocates, instead of the hand-rolled kernels of the
+        direct constructor.  BT / BT+FT interactions on such sessions run
+        as lineage-consuming SQL over the registered results.
         """
         from ..lineage.capture import CaptureConfig
         from ..plan.logical import AggCall, GroupBy, Scan, col
 
         table = database.table(relation)
         session = cls.__new__(cls)
-        session.table = table
-        session.dimensions = tuple(dimensions)
-        session.technique = technique
-        session.views = {}
-        session.cube = {}
-        if technique not in cls.TECHNIQUES:
-            raise WorkloadError(f"unknown crossfilter technique {technique!r}")
+        session._init_state(
+            table, dimensions, technique, database=database, relation=relation
+        )
+        from ..sql.lexer import is_safe_identifier
+
+        # The generated SQL (here and per interaction) interpolates the
+        # relation and every dimension; any SQL-unsafe name drops the whole
+        # session back to plan-based construction and direct index probes.
+        sql_ok = is_safe_identifier(relation) and all(
+            is_safe_identifier(d) for d in session.dimensions
+        )
+        session_id = next(_SESSION_IDS)
         start = time.perf_counter()
         for dim in session.dimensions:
-            plan = GroupBy(
-                Scan(relation), [(col(dim), dim)], [AggCall("count", None, "cnt")]
-            )
             capture = (
                 CaptureConfig.none()
                 if technique in ("lazy", "cube")
                 else CaptureConfig.inject()
             )
-            result = database.execute(plan, capture=capture)
+            if sql_ok:
+                name = f"_cf{session_id}_{dim}" if capture.enabled else None
+                result = database.sql(
+                    f"SELECT {dim}, COUNT(*) AS cnt FROM {relation} GROUP BY {dim}",
+                    capture=capture,
+                    name=name,
+                )
+                if capture.enabled:
+                    session._result_names[dim] = name
+            else:
+                plan = GroupBy(
+                    Scan(relation), [(col(dim), dim)], [AggCall("count", None, "cnt")]
+                )
+                result = database.execute(plan, capture=capture)
             if capture.enabled:
                 backward = result.lineage.backward_index(relation)
                 group_of_row = result.lineage.forward_index(relation).values
@@ -193,12 +240,14 @@ class CrossfilterSession:
         """Highlight a *set* of bars (the paper's "bar (or set of bars)").
 
         Semantics: rows contributing to any selected bar.  Bars of one
-        view are disjoint, so the lineage union is a concatenation.
+        view are disjoint, so the lineage union is a concatenation; the
+        input is deduplicated first so repeated bars cannot double-count
+        (keeping every technique and construction route consistent).
         """
         if dimension not in self.views:
             raise WorkloadError(f"unknown dimension {dimension!r}")
         view = self.views[dimension]
-        bars = list(bars)
+        bars = list(dict.fromkeys(bars))
         for bar in bars:
             if not 0 <= bar < view.num_bars:
                 raise WorkloadError(f"bar {bar} out of range for {dimension}")
@@ -212,6 +261,11 @@ class CrossfilterSession:
             values = self.table.column(dimension)
             mask = np.isin(values, view.bin_values[bars])
             rids = np.nonzero(mask)[0]
+            return self._reaggregate(dimension, rids)
+        if self._sql_backed(dimension):
+            if self.technique == "bt":
+                return self._reaggregate_sql(dimension, bars)
+            rids = self._lineage_rids_sql(dimension, bars)
         else:
             rids = view.backward.lookup_many(np.asarray(bars, dtype=np.int64))
         if self.technique == "bt+ft":
@@ -226,6 +280,55 @@ class CrossfilterSession:
     def _others(self, dimension: str) -> List[View]:
         return [v for d, v in self.views.items() if d != dimension]
 
+    # -- lineage-consuming SQL routes (declarative sessions) -------------------
+
+    def _sql_backed(self, dimension: str) -> bool:
+        return self.database is not None and dimension in self._result_names
+
+    def _lineage_rids_sql(self, dimension: str, bars: Sequence[int]) -> np.ndarray:
+        """Rows behind the selected bars, via ``FROM Lb(view, relation)``.
+
+        The statement's own captured lineage identifies which base rows
+        the lineage scan produced, so no index is probed by hand.  Only
+        the brushed dimension is projected and only backward lineage is
+        captured — the interaction reads nothing else, and a forward
+        index would cost O(base rows) per brush."""
+        from ..lineage.capture import CaptureConfig
+
+        subset = self.database.sql(
+            f"SELECT {dimension} FROM Lb({self._result_names[dimension]}, "
+            f"'{self.relation}', :bars)",
+            params={"bars": np.asarray(list(bars), dtype=np.int64)},
+            capture=CaptureConfig.inject(forward=False),
+        )
+        return subset.backward(np.arange(len(subset)), self.relation)
+
+    def _reaggregate_sql(self, brushed_dim: str, bars: Sequence[int]) -> Dict[str, np.ndarray]:
+        """BT interaction as pure lineage-consuming SQL: re-aggregate each
+        other view with a GROUP BY *over the lineage scan* of the brushed
+        bars — the paper's headline query shape.  Deliberately one
+        statement per view (as the paper's BT issues one re-aggregation
+        per view), so each statement re-derives the lineage subset; the
+        amortized route is the BT+FT technique."""
+        params = {"bars": np.asarray(list(bars), dtype=np.int64)}
+        out = {}
+        for other in self._others(brushed_dim):
+            res = self.database.sql(
+                f"SELECT {other.dimension}, COUNT(*) AS cnt "
+                f"FROM Lb({self._result_names[brushed_dim]}, "
+                f"'{self.relation}', :bars) "
+                f"GROUP BY {other.dimension}",
+                params=params,
+            )
+            counts = np.zeros(other.num_bars, dtype=np.int64)
+            order = self._bar_index(other)
+            for value, cnt in zip(
+                res.table.column(other.dimension), res.table.column("cnt")
+            ):
+                counts[order[value]] = int(cnt)
+            out[other.dimension] = counts
+        return out
+
     def _brush_lazy(self, view: View, bar: int) -> Dict[str, np.ndarray]:
         # Shared selection scan: evaluate the brush predicate once, then
         # re-run each group-by over the qualifying rows.
@@ -234,6 +337,8 @@ class CrossfilterSession:
         return self._reaggregate(view.dimension, rids)
 
     def _brush_bt(self, view: View, bar: int) -> Dict[str, np.ndarray]:
+        if self._sql_backed(view.dimension):
+            return self._reaggregate_sql(view.dimension, [bar])
         rids = view.backward.lookup(bar)
         return self._reaggregate(view.dimension, rids)
 
@@ -250,14 +355,25 @@ class CrossfilterSession:
             if sub_groups:
                 sub_counts = np.bincount(sub_ids, minlength=sub_groups)
                 # Map subset bins back to view bar ids via bin values.
-                order = {v: i for i, v in enumerate(other.bin_values.tolist())}
+                order = self._bar_index(other)
                 for g in range(sub_groups):
                     counts[order[values[sub_reps[g]]]] = sub_counts[g]
             out[other.dimension] = counts
         return out
 
+    def _bar_index(self, view: View) -> Dict[object, int]:
+        """Memoized ``bin value -> bar id`` map (immutable after build)."""
+        order = self._bar_orders.get(view.dimension)
+        if order is None:
+            order = {v: i for i, v in enumerate(view.bin_values.tolist())}
+            self._bar_orders[view.dimension] = order
+        return order
+
     def _brush_btft(self, view: View, bar: int) -> Dict[str, np.ndarray]:
-        rids = view.backward.lookup(bar)
+        if self._sql_backed(view.dimension):
+            rids = self._lineage_rids_sql(view.dimension, [bar])
+        else:
+            rids = view.backward.lookup(bar)
         out = {}
         for other in self._others(view.dimension):
             # Forward rid array as a perfect hash: one scatter-add per view.
@@ -271,6 +387,21 @@ class CrossfilterSession:
         for other in self._others(view.dimension):
             out[other.dimension] = self.cube[(view.dimension, other.dimension)][bar].copy()
         return out
+
+    def close(self) -> None:
+        """Drop this session's registered results from the Database so
+        their tables and lineage indexes become collectable.  Declarative
+        sessions that are rebuilt repeatedly (a notebook re-running
+        ``from_database``) should close the old session first."""
+        from ..errors import PlanError
+
+        if self.database is not None:
+            for name in self._result_names.values():
+                try:
+                    self.database.drop_result(name)
+                except PlanError:
+                    pass  # already dropped by the user
+        self._result_names = {}
 
     # -- benchmarking helpers -----------------------------------------------------------
 

@@ -7,13 +7,22 @@ derive from the same input records:
     highlighted = Lf( Lb(selection ⊆ V1, X), V2 )
 
 — a backward query from the selected marks to the shared relation,
-followed by a forward query into the other view.  This module is the
-declarative replacement for the hand-written implementations the paper's
-introduction motivates.
+followed by a forward query into the other view.  Views are registered as
+named results on the owning :class:`~repro.api.Database`, and each
+interaction runs as *lineage-consuming SQL* (paper Section 2.1)::
+
+    SELECT * FROM Lb(v1, 'X', :marks)   -- selected marks -> shared rows
+    SELECT * FROM Lf('X', v2, :rids)    -- shared rows -> derived marks
+
+The lineage of those statements' own outputs identifies the shared rids
+and highlighted marks, so the whole interaction stays declarative.
+Views whose names are not SQL identifiers fall back to direct index
+probes with identical results.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
@@ -21,8 +30,12 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..errors import WorkloadError
-from ..lineage.capture import CaptureMode
+from ..lineage.capture import CaptureConfig, CaptureMode
 from ..plan.logical import LogicalPlan
+
+#: Distinguishes the registry entries of concurrent sessions on one
+#: Database, so equal view names in two sessions cannot cross-talk.
+_SESSION_IDS = itertools.count()
 
 
 @dataclass
@@ -37,12 +50,20 @@ class BrushResult:
 
 
 class LinkedBrushingSession:
-    """Coordinates any number of views over one shared base relation."""
+    """Coordinates any number of views over one shared base relation.
+
+    Identifier-named views are registered with
+    :meth:`~repro.api.Database.register_result` under a session-unique
+    name (``_lbrush<session>_<view>``), so two sessions on one Database
+    can reuse view names without redirecting each other's brushes.
+    """
 
     def __init__(self, database, shared_relation: str):
         self.database = database
         self.shared_relation = shared_relation
         self.views: Dict[str, object] = {}
+        self._session_id = next(_SESSION_IDS)
+        self._sql_names: Dict[str, str] = {}  # view name -> registered name
 
     def add_view(self, name: str, plan: LogicalPlan, params: Optional[dict] = None):
         """Run a base query with capture and register it as a view."""
@@ -59,6 +80,10 @@ class LinkedBrushingSession:
                 f"{self.shared_relation!r}"
             )
         self.views[name] = result
+        if name.isidentifier():
+            registered = f"_lbrush{self._session_id}_{name}"
+            self.database.register_result(registered, result)
+            self._sql_names[name] = registered
         return result
 
     def brush(self, view_name: str, mark_rids: Sequence[int]) -> BrushResult:
@@ -67,15 +92,12 @@ class LinkedBrushingSession:
             raise WorkloadError(f"unknown view {view_name!r}")
         start = time.perf_counter()
         marks = np.asarray(mark_rids, dtype=np.int64)
-        source = self.views[view_name]
-        shared = source.lineage.backward(marks, self.shared_relation)
+        shared = self._backward_to_shared(view_name, marks)
         highlighted = {}
-        for other_name, other in self.views.items():
+        for other_name in self.views:
             if other_name == view_name:
                 continue
-            highlighted[other_name] = other.lineage.forward(
-                self.shared_relation, shared
-            )
+            highlighted[other_name] = self._forward_to_view(other_name, shared)
         return BrushResult(
             selected_view=view_name,
             selected_marks=marks,
@@ -83,3 +105,63 @@ class LinkedBrushingSession:
             highlighted=highlighted,
             seconds=time.perf_counter() - start,
         )
+
+    def close(self) -> None:
+        """Drop this session's registered results from the Database so
+        their tables and lineage indexes become collectable."""
+        from ..errors import PlanError
+
+        for name in self._sql_names.values():
+            try:
+                self.database.drop_result(name)
+            except PlanError:
+                pass  # already dropped by the user
+        self._sql_names = {}
+
+    # -- lineage-consuming SQL interaction steps --------------------------------
+
+    @staticmethod
+    def _narrow_projection(table) -> str:
+        """One SQL-safe column to project in generated statements — the
+        interaction only needs the statement's lineage, so materializing
+        every column of the subset would be wasted gather."""
+        from ..sql.lexer import is_safe_identifier
+
+        for name in table.schema.names:
+            if is_safe_identifier(name):
+                return name
+        return "*"
+
+    def _backward_to_shared(self, view_name: str, marks: np.ndarray) -> np.ndarray:
+        """Lb(selection ⊆ view, shared): the shared-relation rids behind
+        the selected marks."""
+        registered = self._sql_names.get(view_name)
+        if registered is None:
+            return self.views[view_name].lineage.backward(marks, self.shared_relation)
+        column = self._narrow_projection(self.database.table(self.shared_relation))
+        # Backward-only capture: the interaction reads nothing else, and a
+        # forward index would cost O(shared rows) per brush.
+        subset = self.database.sql(
+            f"SELECT {column} FROM Lb({registered}, "
+            f"'{self.shared_relation}', :marks)",
+            params={"marks": marks},
+            capture=CaptureConfig.inject(forward=False),
+        )
+        # The statement's own lineage identifies the scanned shared rows.
+        return subset.backward(np.arange(len(subset)), self.shared_relation)
+
+    def _forward_to_view(self, view_name: str, shared: np.ndarray) -> np.ndarray:
+        """Lf(shared rows, view): the view's marks derived from them."""
+        registered = self._sql_names.get(view_name)
+        if registered is None:
+            return self.views[view_name].lineage.forward(self.shared_relation, shared)
+        column = self._narrow_projection(self.views[view_name].table)
+        derived = self.database.sql(
+            f"SELECT {column} FROM Lf('{self.shared_relation}', "
+            f"{registered}, :rids)",
+            params={"rids": shared},
+            capture=CaptureConfig.inject(forward=False),
+        )
+        # An Lf scan's base "relation" is the prior result itself, so the
+        # statement's backward lineage is exactly the highlighted marks.
+        return derived.backward(np.arange(len(derived)), registered)

@@ -29,6 +29,7 @@ from ...plan.logical import (
     CrossProduct,
     GroupBy,
     HashJoin,
+    LineageScan,
     LogicalPlan,
     Project,
     Scan,
@@ -36,11 +37,13 @@ from ...plan.logical import (
     SetOp,
     Sort,
     ThetaJoin,
+    assign_source_keys,
 )
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import ColumnType, Schema, Table
-from ..vector.executor import ExecResult
+from ..lineage_scan import execute_lineage_scan
+from ..vector.executor import ExecResult, check_relation_pruning
 from .codegen import (
     CodeContext,
     CollectNode,
@@ -65,10 +68,15 @@ def _is_per_row(plan: LogicalPlan) -> bool:
 
 
 class CompiledExecutor:
-    """Executes logical plans via produce/consume Python code generation."""
+    """Executes logical plans via produce/consume Python code generation.
 
-    def __init__(self, catalog: Catalog):
+    ``results`` is the registry of named prior query results consulted by
+    :class:`~repro.plan.logical.LineageScan` leaves at execution time.
+    """
+
+    def __init__(self, catalog: Catalog, results=None):
         self.catalog = catalog
+        self.results = results
         self.last_source: Optional[str] = None  # generated code, for tests/docs
 
     def execute(
@@ -78,9 +86,13 @@ class CompiledExecutor:
         params: Optional[dict] = None,
     ) -> ExecResult:
         config = capture or CaptureConfig.none()
+        scan_keys = assign_source_keys(plan)
+        # Validate pruning entries up front: a misspelled `relations`
+        # entry must not discard a finished (possibly expensive) run.
+        check_relation_pruning(config, plan, scan_keys, self.catalog, self.results)
         start = time.perf_counter()
         state = _ExecState(self, config, params)
-        table, node = state.run(plan)
+        table, node = state.run(plan, scan_keys)
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
         return ExecResult(table, lineage, {"execute": elapsed})
@@ -92,22 +104,21 @@ class _ExecState:
         self.catalog = executor.catalog
         self.config = config
         self.params = params
-        self.scan_keys = self._assign_scan_keys_root = None
+        self.scan_keys = None
         self._scan_counter = 0
         self._tmp_counter = 0
-        self.scan_keys = None
 
     # -- key assignment (must match the vector executor's pre-order scheme) --
 
-    def _scan_key(self, table_name: str) -> str:
+    def _next_scan_key(self) -> str:
         key = self.scan_keys[self._scan_counter]
         self._scan_counter += 1
         return key
 
-    def run(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
-        from ..vector.executor import VectorExecutor
-
-        self.scan_keys = VectorExecutor(self.catalog)._assign_scan_keys(plan)
+    def run(self, plan: LogicalPlan, scan_keys) -> Tuple[Table, NodeLineage]:
+        # Pre-order key assignment shared with the vector executor, so the
+        # two backends agree on occurrence keys by construction.
+        self.scan_keys = scan_keys
         return self._exec(plan)
 
     # -- recursive block execution ---------------------------------------------
@@ -126,6 +137,7 @@ class _ExecState:
                 # absent locals read as identity maps.
                 keep = not (plan.op == "except" and side is right_n)
                 node.names.update(side.names)
+                node.aliases.update(side.aliases)
                 node.base_sizes.update(side.base_sizes)
                 if not keep:
                     continue
@@ -134,6 +146,12 @@ class _ExecState:
                 for key, entry in side.forward.items():
                     node.forward[key] = _compose_entry(entry, fw)
             return out, node
+
+        if isinstance(plan, LineageScan):
+            key = self._next_scan_key()
+            return execute_lineage_scan(
+                plan, key, self.catalog, self.executor.results, self.config, self.params
+            )
 
         if isinstance(plan, Sort):
             child_table, child_node = self._exec(plan.child)
@@ -215,11 +233,11 @@ class _ExecState:
         """Build the per-row emitter tree for ``plan``; breaker children are
         materialized recursively and become block sources."""
         if isinstance(plan, Scan):
-            key = self._scan_key(plan.table)
+            key = self._next_scan_key()
             table = self.catalog.get(plan.table)
             src_name = key
             sources[src_name] = table.columns()
-            captured = self.config.captures_relation(key, plan.table)
+            captured = self.config.captures_relation(key, plan.table, plan.alias)
             lineage_key = src_name if (self.config.enabled and captured) else None
             if lineage_key:
                 child_lineage[src_name] = NodeLineage.for_scan(
@@ -228,6 +246,7 @@ class _ExecState:
                     table.num_rows,
                     backward=self.config.backward,
                     forward=self.config.forward,
+                    alias=plan.alias,
                 )
             return SourceNode(src_name, table.schema.names, lineage_key), table.schema
 
@@ -318,6 +337,7 @@ class _ExecState:
                         fw_vals[np.asarray(bucket, dtype=np.int64)] = oid
                 local_fw = RidArray(fw_vals)
             node.names.update(child.names)
+            node.aliases.update(child.aliases)
             node.base_sizes.update(child.base_sizes)
             for key, entry in child.backward.items():
                 node.backward[key] = _compose_entry(local_bw, entry)

@@ -1,0 +1,191 @@
+"""Execution of :class:`~repro.plan.logical.LineageScan` leaves.
+
+Both backends funnel through :func:`execute_lineage_scan`, so the SQL
+constructs ``FROM Lb(result, 'relation')`` and ``FROM Lf('relation',
+result)`` behave identically on the vector and compiled engines:
+
+* The named prior result is resolved at *execution* time against the
+  registry of :class:`~repro.api.QueryResult` objects held by
+  :class:`~repro.api.Database` — re-registering a name re-targets every
+  plan that references it.
+* The traced rid subset comes from the optional third argument (an int
+  literal or a ``:param`` bound through ``params``); omitted, every row is
+  traced.
+* The scan's own lineage is captured like any base-relation scan, so
+  lineage-consuming queries are themselves lineage-traceable: ``Lb``
+  output rows map to the traced base relation's rids, and ``Lf`` output
+  rows map to the prior result's output (registered as a pseudo-relation
+  under the result's name).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LineageError, PlanError
+from ..expr.ast import Const, Param
+from ..lineage.capture import CaptureConfig, QueryLineage
+from ..lineage.composer import NodeLineage
+from ..lineage.indexes import NO_MATCH, RidArray
+from ..plan.logical import LineageScan
+from ..storage.catalog import Catalog
+from ..storage.table import Table
+
+
+def resolve_base_table(catalog: Catalog, lineage: QueryLineage, relation: str) -> str:
+    """The catalog table underlying a lineage-relation reference.
+
+    ``Lb`` accepts the same three relation forms as lineage lookups — the
+    base table name, a ``name#i`` occurrence key of a self-join, or a SQL
+    alias — but its output rows always come from the underlying *catalog*
+    table, which this resolves.  Unknown references raise the catalog's
+    canonical unknown-table error.
+    """
+    known = set(catalog.names())
+    candidates = {key.split("#")[0] for key in lineage.keys_for(relation)} & known
+    if len(candidates) > 1:
+        # E.g. "FROM a AS x JOIN t AS a": the reference denotes both the
+        # base-table-a occurrence and the alias of the t occurrence.
+        raise LineageError(
+            f"lineage relation {relation!r} maps to multiple base tables "
+            f"{sorted(candidates)}; use an occurrence key or a distinct alias"
+        )
+    if len(candidates) == 1:
+        return next(iter(candidates))
+    if relation in known:
+        return relation
+    if "#" in relation and relation.split("#")[0] in known:
+        return relation.split("#")[0]
+    catalog.get(relation)  # raises the canonical unknown-table error
+    raise PlanError(f"cannot resolve lineage relation {relation!r}")
+
+
+def resolve_rid_spec(rids_expr, params: Optional[dict], default_size: int) -> np.ndarray:
+    """The traced rid subset of a lineage scan as an int64 array."""
+    if rids_expr is None:
+        return np.arange(default_size, dtype=np.int64)
+    if isinstance(rids_expr, Param):
+        if params is None or rids_expr.name not in params:
+            raise PlanError(
+                f"lineage scan references parameter :{rids_expr.name} "
+                "but no value was bound; pass params={...}"
+            )
+        value = params[rids_expr.name]
+    elif isinstance(rids_expr, Const):
+        value = rids_expr.value
+    else:
+        raise PlanError(
+            f"lineage scan rid subset must be a literal or parameter, "
+            f"got {rids_expr!r}"
+        )
+    arr = np.asarray(value)
+    if arr.size == 0:
+        # An empty selection (interactive brush-clear) is valid; don't
+        # trip the dtype guard on np.asarray([])'s float64 default.
+        return np.empty(0, dtype=np.int64)
+    if arr.dtype.kind not in "iu":
+        # Silent float truncation would trace plausible-looking rows for
+        # the wrong bar; demand integer positions.
+        raise PlanError(
+            f"lineage scan rid subset must be integers, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.int64, copy=False)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise PlanError("lineage scan rid subset must be one-dimensional")
+    return arr
+
+
+def _resolve_result(plan: LineageScan, results: Optional[Mapping[str, object]]):
+    if results is None or plan.result not in results:
+        known = sorted(results) if results else []
+        raise PlanError(
+            f"unknown result {plan.result!r} in lineage scan; register the "
+            f"prior query with Database.register_result (known: {known})"
+        )
+    result = results[plan.result]
+    if result.lineage is None:
+        raise PlanError(
+            f"result {plan.result!r} was executed without lineage capture; "
+            "re-run it with capture enabled to consume its lineage"
+        )
+    return result
+
+
+def _scatter_forward(rids: np.ndarray, domain: int) -> RidArray:
+    values = np.full(domain, NO_MATCH, dtype=np.int64)
+    values[rids] = np.arange(rids.shape[0], dtype=np.int64)
+    return RidArray(values)
+
+
+def execute_lineage_scan(
+    plan: LineageScan,
+    key: str,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    config: CaptureConfig,
+    params: Optional[dict],
+) -> Tuple[Table, NodeLineage]:
+    """Materialize a lineage scan's output table and its node lineage."""
+    result = _resolve_result(plan, results)
+    lineage = result.lineage
+
+    if plan.direction == "backward":
+        base_name = resolve_base_table(catalog, lineage, plan.relation)
+        base = catalog.get(base_name)
+        if plan.schema is not None and base.schema != plan.schema:
+            # Re-registration may re-resolve the relation reference to a
+            # different base table (or the table may have been replaced);
+            # reading it against the bound schema would corrupt operators
+            # above this scan.
+            raise PlanError(
+                f"relation {plan.relation!r} of result {plan.result!r} now "
+                f"resolves to schema {base.schema!r}, but the plan was "
+                f"bound against {plan.schema!r}; re-parse the statement"
+            )
+        out_rids = resolve_rid_spec(plan.rids, params, result.table.num_rows)
+        rids = lineage.backward(out_rids, plan.relation)
+        if rids.size and int(rids[-1]) >= base.num_rows:
+            # rids are sorted; a captured rid beyond the current table
+            # means the base relation shrank since capture.
+            raise PlanError(
+                f"result {plan.result!r} holds lineage rids beyond "
+                f"relation {base_name!r} ({base.num_rows} rows); the base "
+                "table was replaced — re-run the base query"
+            )
+        table = base.take(rids)
+        # Register under the resolved base table (like an aliased Scan),
+        # so downstream lookups and pruning by base name keep working even
+        # when the Lb argument was an alias or occurrence key.
+        source_name, domain = base_name, base.num_rows
+    else:
+        if plan.schema is not None and result.table.schema != plan.schema:
+            # The binder froze the prior result's schema into the plan;
+            # silently reading shifted columns would corrupt any operator
+            # bound above this scan.
+            raise PlanError(
+                f"result {plan.result!r} was re-registered with a "
+                f"different schema ({result.table.schema!r} vs bound "
+                f"{plan.schema!r}); re-parse the statement"
+            )
+        index = lineage.forward_index(plan.relation)
+        in_rids = resolve_rid_spec(plan.rids, params, index.num_keys)
+        rids = lineage.forward(plan.relation, in_rids)
+        table = result.table.take(rids)
+        # The prior result's output acts as the scanned (pseudo) relation.
+        source_name, domain = plan.result, result.table.num_rows
+
+    node = NodeLineage(output_size=table.num_rows)
+    node.names[key] = source_name
+    if plan.alias is not None and plan.alias != source_name:
+        node.aliases[key] = plan.alias
+    node.base_sizes[key] = domain
+    if config.captures_relation(key, source_name, plan.alias):
+        if config.backward:
+            node.backward[key] = RidArray(rids)
+        if config.forward:
+            node.forward[key] = _scatter_forward(rids, domain)
+    return table, node

@@ -20,14 +20,20 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ...errors import PlanError
-from ...lineage.capture import CaptureConfig, CaptureMode, QueryLineage
+from ...errors import LineageError, PlanError
+from ...lineage.capture import (
+    CaptureConfig,
+    CaptureMode,
+    QueryLineage,
+    unmatched_capture_relations,
+)
 from ...lineage.composer import NodeLineage, compose_node, merge_binary
 from ...lineage.indexes import RidArray, RidIndex
 from ...plan.logical import (
     CrossProduct,
     GroupBy,
     HashJoin,
+    LineageScan,
     LogicalPlan,
     Project,
     Scan,
@@ -35,7 +41,10 @@ from ...plan.logical import (
     SetOp,
     Sort,
     ThetaJoin,
+    assign_source_keys,
+    source_leaves,
 )
+from ..lineage_scan import execute_lineage_scan
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import Table
@@ -73,10 +82,15 @@ class ExecResult:
 
 
 class VectorExecutor:
-    """Executes logical plans over a catalog with configurable capture."""
+    """Executes logical plans over a catalog with configurable capture.
 
-    def __init__(self, catalog: Catalog):
+    ``results`` is the (live) registry of named prior query results that
+    :class:`~repro.plan.logical.LineageScan` leaves resolve against.
+    """
+
+    def __init__(self, catalog: Catalog, results=None):
         self.catalog = catalog
+        self.results = results
 
     # -- public API --------------------------------------------------------------
 
@@ -87,8 +101,11 @@ class VectorExecutor:
         params: Optional[dict] = None,
     ) -> ExecResult:
         config = capture or CaptureConfig.none()
-        start = time.perf_counter()
         scan_keys = self._assign_scan_keys(plan)
+        # Validate pruning entries up front: a misspelled `relations`
+        # entry must not discard a finished (possibly expensive) run.
+        check_relation_pruning(config, plan, scan_keys, self.catalog, self.results)
+        start = time.perf_counter()
         table, node = self._run(plan, config, params, scan_keys, counter=[0])
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
@@ -97,22 +114,9 @@ class VectorExecutor:
     # -- helpers -------------------------------------------------------------------
 
     def _assign_scan_keys(self, plan: LogicalPlan) -> List[str]:
-        """Occurrence key per Scan in pre-order: plain table name when a
-        table is scanned once, ``name#i`` when scanned multiple times."""
-        scans = [n.table for n in _preorder_scans(plan)]
-        seen: Dict[str, int] = {}
-        counts: Dict[str, int] = {}
-        for name in scans:
-            counts[name] = counts.get(name, 0) + 1
-        keys = []
-        for name in scans:
-            if counts[name] == 1:
-                keys.append(name)
-            else:
-                idx = seen.get(name, 0)
-                seen[name] = idx + 1
-                keys.append(f"{name}#{idx}")
-        return keys
+        """Occurrence key per source leaf (Scan / LineageScan) in
+        pre-order; see :func:`repro.plan.logical.assign_source_keys`."""
+        return assign_source_keys(plan)
 
     def _run(
         self,
@@ -126,15 +130,23 @@ class VectorExecutor:
             key = scan_keys[counter[0]]
             counter[0] += 1
             table = self.catalog.get(plan.table)
-            captured = config.captures_relation(key, plan.table)
+            captured = config.captures_relation(key, plan.table, plan.alias)
             node = NodeLineage.for_scan(
                 key,
                 plan.table,
                 table.num_rows,
                 backward=config.backward and captured,
                 forward=config.forward and captured,
+                alias=plan.alias,
             )
             return table, node
+
+        if isinstance(plan, LineageScan):
+            key = scan_keys[counter[0]]
+            counter[0] += 1
+            return execute_lineage_scan(
+                plan, key, self.catalog, self.results, config, params
+            )
 
         if isinstance(plan, Select):
             child_table, child_node = self._run(
@@ -309,8 +321,48 @@ class VectorExecutor:
         return output, node
 
 
-def _preorder_scans(plan: LogicalPlan):
-    if isinstance(plan, Scan):
-        yield plan
-    for child in plan.children:
-        yield from _preorder_scans(child)
+def check_relation_pruning(
+    config: CaptureConfig,
+    plan: LogicalPlan,
+    scan_keys: List[str],
+    catalog: Optional[Catalog] = None,
+    results=None,
+) -> None:
+    """Raise when a ``relations`` pruning entry matched no scanned
+    relation (by key, base name, or alias) — the alternative is a lineage
+    handle that silently captured nothing."""
+    if not config.enabled or not config.relations:
+        return
+    sources = []
+    for key, leaf in zip(scan_keys, source_leaves(plan)):
+        if isinstance(leaf, Scan):
+            sources.append((key, leaf.table, leaf.alias))
+        else:
+            sources.append((key, _lineage_scan_name(leaf, catalog, results), leaf.alias))
+    missing = unmatched_capture_relations(config, sources)
+    if missing:
+        scanned = sorted({name for _, name, _ in sources})
+        raise LineageError(
+            f"capture relations {missing} matched no scanned relation "
+            f"(scanned: {scanned}); use the table name, its SQL alias, or "
+            f"an occurrence key like 'name#0'"
+        )
+
+
+def _lineage_scan_name(leaf: LineageScan, catalog, results) -> str:
+    """The base-table name a lineage scan registers its lineage under —
+    resolved like execution does, falling back to the literal reference
+    when resolution is not possible here (execution will then raise its
+    own, more specific error)."""
+    if leaf.direction != "backward" or catalog is None:
+        return leaf.source_name
+    from ...errors import ReproError
+    from ..lineage_scan import resolve_base_table
+
+    try:
+        result = results[leaf.result] if results else None
+        if result is not None and result.lineage is not None:
+            return resolve_base_table(catalog, result.lineage, leaf.relation)
+    except (ReproError, KeyError):
+        pass
+    return leaf.source_name

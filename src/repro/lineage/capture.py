@@ -15,6 +15,29 @@ Capture behaviour is configured per execution with :class:`CaptureConfig`:
 :class:`QueryLineage` is what a query result exposes: end-to-end backward
 and forward indexes between the query output and every captured base
 relation, with Defer thunks finalized transparently on first access.
+
+Relation naming
+---------------
+Indexes are stored under *occurrence keys*: the plain table name when a
+table is scanned once, ``name#i`` when it is scanned multiple times (a
+self-join).  Lineage lookups may address a relation three ways — by
+occurrence key, by base table name, or by the SQL correlation name
+(``FROM t AS a`` registers ``a``).  ``relations`` pruning entries accept
+the same three forms, and the executors raise before executing when an
+entry matches no scanned relation (see
+:func:`unmatched_capture_relations`) rather than silently capturing
+nothing.
+
+Batched lookups
+---------------
+:meth:`QueryLineage.backward` / :meth:`~QueryLineage.forward` answer one
+lineage query; :meth:`~QueryLineage.backward_batch` /
+:meth:`~QueryLineage.forward_batch` answer many in one call, resolving
+the index once and deduplicating through a reusable flag array at the CSR
+level instead of an ``np.unique`` sort per call.  The batch API is the
+fast path offered to interactive lineage-consuming traffic (many probes
+per interaction); ``bench_fig09_lineage_query.py`` compares it against
+the per-call path.
 """
 
 from __future__ import annotations
@@ -22,7 +45,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -83,14 +106,16 @@ class CaptureConfig:
     def enabled(self) -> bool:
         return self.mode is not CaptureMode.NONE and (self.backward or self.forward)
 
-    def captures_relation(self, key: str, name: str) -> bool:
+    def captures_relation(self, key: str, name: str, alias: Optional[str] = None) -> bool:
         """Should lineage for base-relation occurrence ``key`` (table
-        ``name``) be captured?  ``relations`` may list either form."""
+        ``name``, optionally scanned under SQL correlation name ``alias``)
+        be captured?  ``relations`` entries may use any of the three
+        forms — occurrence key (``t#0``), base table name, or alias."""
         if not self.enabled:
             return False
         if self.relations is None:
             return True
-        return key in self.relations or name in self.relations
+        return not self.relations.isdisjoint(_source_forms(key, name, alias))
 
     @classmethod
     def none(cls) -> "CaptureConfig":
@@ -110,6 +135,48 @@ DeferThunk = Callable[[], LineageIndex]
 
 IndexOrThunk = Union[LineageIndex, DeferThunk]
 
+#: Below this many looked-up edges, sort-based ``np.unique`` beats the
+#: flag-array dedup (whose cost is proportional to the touched rid span).
+_DEDUP_FLAGS_MIN = 64
+
+#: Use the flag array only when the touched rid span is within this
+#: factor of the edge count — a sparse batch over a huge relation would
+#: otherwise pay an O(span) scan (and a span-sized allocation) to dedup
+#: a handful of rids that ``np.unique`` sorts in microseconds.
+_DEDUP_FLAGS_DENSITY = 32
+
+
+def _source_forms(key: str, name: str, alias: Optional[str]) -> Set[str]:
+    """The names under which one scanned relation occurrence is
+    addressable: occurrence key, base table name, and SQL alias.  The
+    single source of truth for both capture pruning
+    (:meth:`CaptureConfig.captures_relation`) and the execution-end
+    validation (:func:`unmatched_capture_relations`)."""
+    forms = {key, name}
+    if alias is not None:
+        forms.add(alias)
+    return forms
+
+
+def unmatched_capture_relations(
+    config: CaptureConfig, sources: Sequence[tuple]
+) -> List[str]:
+    """``relations`` pruning entries that matched no scanned relation.
+
+    ``sources`` is the plan's list of ``(key, name, alias)`` triples, one
+    per base-relation occurrence.  Executors call this before running the
+    plan so a stale or misspelled ``relations`` entry raises immediately
+    instead of silently capturing nothing (historically,
+    ``CaptureConfig(relations={"a"})`` with ``FROM t AS a`` produced a
+    lineage handle with no relations at all).
+    """
+    if not config.enabled or not config.relations:
+        return []
+    scanned_forms = set()
+    for key, name, alias in sources:
+        scanned_forms |= _source_forms(key, name, alias)
+    return sorted(set(config.relations) - scanned_forms)
+
 
 class QueryLineage:
     """End-to-end lineage between one query's output and its base relations.
@@ -125,6 +192,9 @@ class QueryLineage:
         self._backward: Dict[str, IndexOrThunk] = {}
         self._forward: Dict[str, IndexOrThunk] = {}
         self._aliases: Dict[str, List[str]] = {}
+        # Per-index dedup scratch: a reusable boolean flag array sized to
+        # the index's rid domain (allocated lazily, reset after each use).
+        self._dedup_flags: Dict[Tuple[str, str], np.ndarray] = {}
         self.finalize_seconds = 0.0
 
     # -- population (used by executors) ----------------------------------------
@@ -148,15 +218,25 @@ class QueryLineage:
         return sorted(keys)
 
     def _resolve_key(self, relation: str, table: Dict[str, IndexOrThunk]) -> str:
+        alias_keys = [k for k in self._aliases.get(relation, []) if k in table]
         if relation in table:
+            if any(k != relation for k in alias_keys):
+                # A correlation name shadowing another occurrence's base
+                # table ("FROM a AS x JOIN t AS a") must not silently
+                # pick either side.
+                raise LineageError(
+                    f"relation {relation!r} names both a scanned relation "
+                    f"and an alias of another occurrence "
+                    f"({sorted(set(alias_keys))}); qualify with an "
+                    "occurrence key or a distinct alias"
+                )
             return relation
-        keys = [k for k in self._aliases.get(relation, []) if k in table]
-        if len(keys) == 1:
-            return keys[0]
-        if len(keys) > 1:
+        if len(alias_keys) == 1:
+            return alias_keys[0]
+        if len(alias_keys) > 1:
             raise LineageError(
                 f"relation {relation!r} is scanned multiple times; "
-                f"qualify one of {keys}"
+                f"qualify one of {alias_keys}"
             )
         raise CaptureDisabledError(
             f"no lineage captured for relation {relation!r}; "
@@ -182,15 +262,84 @@ class QueryLineage:
         key = self._resolve_key(relation, self._forward)
         return self._materialize(self._forward, key)
 
+    def _distinct(self, rids: np.ndarray, direction: str, key: str) -> np.ndarray:
+        """Sorted distinct rids, via a reusable flag array for dense batches.
+
+        ``np.unique`` sorts (``O(k log k)`` per call); the flag-array path
+        scatters into a boolean scratch covering the touched rid span and
+        reads the set bits back (``O(k + span)``), then resets only the
+        touched bits so the scratch amortizes across repeated interactive
+        lookups (crossfilter-scale traffic).  The sort path is kept for
+        small lookups (:data:`_DEDUP_FLAGS_MIN`) and for sparse ones
+        (:data:`_DEDUP_FLAGS_DENSITY`) — e.g. a few hundred rids spread
+        over a multi-million-row relation — where the span scan would
+        dominate.
+        """
+        if rids.size < _DEDUP_FLAGS_MIN:
+            return np.unique(rids)
+        span = int(rids.max()) + 1
+        if span > rids.size * _DEDUP_FLAGS_DENSITY:
+            return np.unique(rids)
+        flags = self._dedup_flags.get((direction, key))
+        if flags is None or flags.shape[0] < span:
+            flags = np.zeros(span, dtype=bool)
+            self._dedup_flags[(direction, key)] = flags
+        view = flags[:span]
+        view[rids] = True
+        out = np.flatnonzero(view)
+        view[out] = False
+        return out
+
     def backward(self, out_rids, relation: str) -> np.ndarray:
         """Backward lineage query Lb(O' ⊆ O, relation) → distinct base rids."""
-        rids = self.backward_index(relation).lookup_many(out_rids)
-        return np.unique(rids)
+        key = self._resolve_key(relation, self._backward)
+        index = self._materialize(self._backward, key)
+        return self._distinct(index.lookup_many(out_rids), "b", key)
 
     def forward(self, relation: str, in_rids) -> np.ndarray:
         """Forward lineage query Lf(R' ⊆ R, O) → distinct output rids."""
-        rids = self.forward_index(relation).lookup_many(in_rids)
-        return np.unique(rids)
+        key = self._resolve_key(relation, self._forward)
+        index = self._materialize(self._forward, key)
+        return self._distinct(index.lookup_many(in_rids), "f", key)
+
+    def backward_batch(self, out_rid_groups, relation: str) -> List[np.ndarray]:
+        """Batched Lb: one distinct-rid array per group of output rids.
+
+        Resolves and materializes the index once for the whole batch and
+        reuses one dedup scratch array across groups, so serving many
+        interactive lookups (every bar of a crossfilter view, say) skips
+        the per-call alias resolution, thunk checks, and ``np.unique``
+        sorts of repeated :meth:`backward` calls.
+        """
+        key = self._resolve_key(relation, self._backward)
+        index = self._materialize(self._backward, key)
+        return [
+            self._distinct(index.lookup_many(group), "b", key)
+            for group in out_rid_groups
+        ]
+
+    def forward_batch(self, in_rid_groups, relation: str) -> List[np.ndarray]:
+        """Batched Lf: one distinct output-rid array per group of base rids
+        (see :meth:`backward_batch`)."""
+        key = self._resolve_key(relation, self._forward)
+        index = self._materialize(self._forward, key)
+        return [
+            self._distinct(index.lookup_many(group), "f", key)
+            for group in in_rid_groups
+        ]
+
+    def keys_for(self, relation: str) -> List[str]:
+        """Every occurrence key a relation reference could denote — the
+        key itself and all keys registered under the given base-table name
+        or SQL alias.  Empty when the reference is unknown.  More than one
+        distinct key means the reference is ambiguous."""
+        keys: List[str] = []
+        if relation in self._backward or relation in self._forward:
+            keys.append(relation)
+        for key in self._aliases.get(relation, []):
+            if key not in keys:
+                keys.append(key)
+        return keys
 
     def backward_bag(self, out_rids, relation: str) -> np.ndarray:
         """Backward lineage with multiplicity preserved (Appendix E needs

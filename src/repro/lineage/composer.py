@@ -42,25 +42,38 @@ class NodeLineage:
 
     ``backward[key]`` maps output rids to base rids of occurrence ``key``;
     ``forward[key]`` maps base rids to output rids.  ``names`` remembers the
-    underlying table name of each occurrence key (for alias resolution) and
-    ``base_sizes`` the base relation cardinalities (needed to allocate
-    forward indexes and to validate composition).
+    underlying table name of each occurrence key and ``aliases`` the SQL
+    correlation name it was scanned under (both feed alias resolution on
+    the public handle); ``base_sizes`` holds the base relation
+    cardinalities (needed to allocate forward indexes and to validate
+    composition).
     """
 
     output_size: int
     backward: Dict[str, MaybeIndex] = field(default_factory=dict)
     forward: Dict[str, MaybeIndex] = field(default_factory=dict)
     names: Dict[str, str] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
     base_sizes: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
-    def for_scan(cls, key: str, name: str, size: int, backward: bool, forward: bool) -> "NodeLineage":
+    def for_scan(
+        cls,
+        key: str,
+        name: str,
+        size: int,
+        backward: bool,
+        forward: bool,
+        alias: Optional[str] = None,
+    ) -> "NodeLineage":
         node = cls(output_size=size)
         if backward:
             node.backward[key] = None
         if forward:
             node.forward[key] = None
         node.names[key] = name
+        if alias is not None and alias != name:
+            node.aliases[key] = alias
         node.base_sizes[key] = size
         return node
 
@@ -73,6 +86,8 @@ class NodeLineage:
             out.put_forward(key, _resolve_identity(entry, self.output_size))
         for key, name in self.names.items():
             out.register_alias(name, key)
+        for key, alias in self.aliases.items():
+            out.register_alias(alias, key)
         return out
 
 
@@ -110,6 +125,7 @@ def compose_node(
     """
     node = NodeLineage(output_size=output_size)
     node.names.update(child.names)
+    node.aliases.update(child.aliases)
     node.base_sizes.update(child.base_sizes)
     for key, entry in child.backward.items():
         node.backward[key] = _compose_entry(local_backward, entry)
@@ -139,6 +155,7 @@ def merge_binary(
         (right, right_backward, right_forward),
     ):
         node.names.update(side.names)
+        node.aliases.update(side.aliases)
         node.base_sizes.update(side.base_sizes)
         for key, entry in side.backward.items():
             node.backward[key] = _compose_entry(local_bw, entry)

@@ -13,7 +13,7 @@ capture behaviour is configured per execution, not baked into the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PlanError
 from ..expr.ast import Col, Expr
@@ -66,12 +66,81 @@ class LogicalPlan:
 
 @dataclass(frozen=True)
 class Scan(LogicalPlan):
-    """Scan of a named base relation registered in the catalog."""
+    """Scan of a named base relation registered in the catalog.
+
+    ``alias`` carries the SQL-level correlation name (``FROM t AS a``) so
+    that lineage capture can register it with the query's
+    :class:`~repro.lineage.capture.QueryLineage` — lineage lookups may then
+    use the alias, the table name, or the ``name#i`` occurrence key.
+    """
 
     table: str
+    alias: Optional[str] = None
 
     def _describe_line(self) -> str:
+        if self.alias and self.alias != self.table:
+            return f"Scan({self.table} AS {self.alias})"
         return f"Scan({self.table})"
+
+
+_LINEAGE_DIRECTIONS = ("backward", "forward")
+
+
+@dataclass(frozen=True)
+class LineageScan(LogicalPlan):
+    """Table expression over the lineage of a registered prior result.
+
+    This is the plan form of the paper's *lineage consuming queries*
+    (Section 2.1): ``Lb(res, R)`` — the rows of base relation ``R`` that
+    contributed to (a subset of) the output of prior result ``res`` — and
+    ``Lf(R, res)`` — the rows of ``res``'s output derived from (a subset
+    of) ``R``.  ``result`` names a prior :class:`~repro.api.QueryResult`
+    registered with :meth:`Database.register_result`; it is resolved at
+    execution time, so re-registering under the same name re-targets the
+    plan.
+
+    ``rids`` optionally restricts the traced subset (``O'`` for backward,
+    ``R'`` for forward): a :class:`~repro.expr.ast.Param` bound at
+    execution or a :class:`~repro.expr.ast.Const` holding an int or a
+    tuple of ints.  ``None`` traces every row.
+
+    ``schema`` is frozen in by the SQL binder; it is required for forward
+    scans (whose output schema is the prior result's, unknowable from the
+    catalog alone) and optional for backward scans.
+    """
+
+    result: str
+    relation: str
+    direction: str
+    rids: Optional[Expr] = None
+    alias: Optional[str] = None
+    schema: object = None  # Optional[repro.storage.table.Schema]
+
+    def __post_init__(self):
+        if self.direction not in _LINEAGE_DIRECTIONS:
+            raise PlanError(
+                f"lineage scan direction must be one of {_LINEAGE_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+
+    @property
+    def source_name(self) -> str:
+        """The relation this leaf reads rows from: the traced base table
+        for backward scans, the prior result (as a pseudo-relation) for
+        forward scans."""
+        return self.relation if self.direction == "backward" else self.result
+
+    def base_relations(self) -> List[str]:
+        return [self.relation] if self.direction == "backward" else []
+
+    def _describe_line(self) -> str:
+        if self.direction == "backward":
+            inner = f"Lb({self.result}, {self.relation!r})"
+        else:
+            inner = f"Lf({self.relation!r}, {self.result})"
+        if self.rids is not None:
+            inner = inner[:-1] + f", rids={self.rids!r})"
+        return f"LineageScan({inner})"
 
 
 @dataclass(frozen=True)
@@ -273,3 +342,50 @@ def walk(plan: LogicalPlan):
     yield plan
     for child in plan.children:
         yield from walk(child)
+
+
+def source_leaves(plan: LogicalPlan):
+    """Pre-order traversal of the plan's row sources (:class:`Scan` and
+    :class:`LineageScan` leaves).  Both executors assign lineage occurrence
+    keys by zipping this order with :func:`assign_source_keys`, so the two
+    backends agree on key names by construction."""
+    if isinstance(plan, (Scan, LineageScan)):
+        yield plan
+    for child in plan.children:
+        yield from source_leaves(child)
+
+
+def _leaf_name(leaf: LogicalPlan) -> str:
+    return leaf.table if isinstance(leaf, Scan) else leaf.source_name
+
+
+def assign_source_keys(plan: LogicalPlan) -> List[str]:
+    """Occurrence key per source leaf in pre-order: the plain source name
+    when it occurs once, ``name#i`` when it is scanned multiple times.
+
+    Keys are globally unique even when a leaf's literal name already
+    looks like an occurrence key — e.g. ``Lb(res, 't#0')`` next to a
+    double scan of ``t``: the synthesized keys skip any index taken by a
+    literal name or an earlier leaf.
+    """
+    names = [_leaf_name(leaf) for leaf in source_leaves(plan)]
+    counts: Dict[str, int] = {}
+    for name in names:
+        counts[name] = counts.get(name, 0) + 1
+    literals = {name for name, n in counts.items() if n == 1}
+    used: set = set()
+    next_idx: Dict[str, int] = {}
+    keys = []
+    for name in names:
+        if counts[name] == 1:
+            key = name
+        else:
+            idx = next_idx.get(name, 0)
+            key = f"{name}#{idx}"
+            while key in literals or key in used:
+                idx += 1
+                key = f"{name}#{idx}"
+            next_idx[name] = idx + 1
+        used.add(key)
+        keys.append(key)
+    return keys

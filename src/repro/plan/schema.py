@@ -13,6 +13,7 @@ from .logical import (
     CrossProduct,
     GroupBy,
     HashJoin,
+    LineageScan,
     LogicalPlan,
     Project,
     Scan,
@@ -101,6 +102,17 @@ def infer_schema(plan: LogicalPlan, catalog: Catalog) -> Schema:
     """Output schema of ``plan`` against ``catalog``."""
     if isinstance(plan, Scan):
         return catalog.get(plan.table).schema
+    if isinstance(plan, LineageScan):
+        if plan.schema is not None:
+            return plan.schema
+        if plan.direction == "backward":
+            # Lb yields a subset of the traced base relation's rows.
+            return catalog.get(plan.relation).schema
+        raise PlanError(
+            "forward LineageScan requires a bound schema (the prior "
+            "result's output schema is not derivable from the catalog); "
+            "bind the plan through the SQL front end or set schema="
+        )
     if isinstance(plan, Select):
         child = infer_schema(plan.child, catalog)
         for name in plan.predicate.columns():

@@ -22,6 +22,7 @@ from ..plan.logical import (
     CrossProduct,
     GroupBy,
     HashJoin,
+    LineageScan,
     LogicalPlan,
     Project,
     Scan,
@@ -49,17 +50,25 @@ from .parser import (
 )
 
 
-def parse_sql(text: str, catalog: Catalog) -> LogicalPlan:
-    """Parse and bind a SQL statement into a logical plan."""
-    return bind(parse(text), catalog)
+def parse_sql(text: str, catalog: Catalog, results=None) -> LogicalPlan:
+    """Parse and bind a SQL statement into a logical plan.
+
+    ``results`` is the registry of named prior query results (mapping name
+    to :class:`~repro.api.QueryResult`) that lineage-consuming table
+    expressions — ``FROM Lb(result, 'relation')`` / ``FROM Lf('relation',
+    result)`` — resolve against; names are checked at bind time (and the
+    prior result's output schema is frozen into the plan for ``Lf``), but
+    the result object itself is looked up again at execution time.
+    """
+    return bind(parse(text), catalog, results)
 
 
-def bind(statement: Statement, catalog: Catalog) -> LogicalPlan:
+def bind(statement: Statement, catalog: Catalog, results=None) -> LogicalPlan:
     if isinstance(statement, SetStatement):
-        left = bind(statement.left, catalog)
-        right = bind(statement.right, catalog)
+        left = bind(statement.left, catalog, results)
+        right = bind(statement.right, catalog, results)
         return SetOp(statement.op, left, right, all=statement.all)
-    return _SelectBinder(statement, catalog).bind()
+    return _SelectBinder(statement, catalog, results).bind()
 
 
 @dataclass
@@ -121,9 +130,10 @@ class _Scope:
 
 
 class _SelectBinder:
-    def __init__(self, stmt: SelectStatement, catalog: Catalog):
+    def __init__(self, stmt: SelectStatement, catalog: Catalog, results=None):
         self.stmt = stmt
         self.catalog = catalog
+        self.results = results
         self.scope = _Scope()
 
     # -- entry point --------------------------------------------------------------
@@ -166,14 +176,70 @@ class _SelectBinder:
     # -- FROM clause -----------------------------------------------------------------
 
     def _from_item(self, ref) -> Tuple[LogicalPlan, List[str]]:
-        """Plan + output column names for one FROM item (table or derived)."""
+        """Plan + output column names for one FROM item (table, derived
+        table, or lineage-consuming table function)."""
+        if ref.lineage is not None:
+            return self._lineage_from_item(ref)
         if ref.subquery is not None:
             from ..plan.schema import infer_schema
 
-            sub_plan = bind(ref.subquery, self.catalog)
+            sub_plan = bind(ref.subquery, self.catalog, self.results)
             return sub_plan, infer_schema(sub_plan, self.catalog).names
         table = self.catalog.get(ref.table)
-        return Scan(ref.table), table.schema.names
+        alias = ref.alias if ref.alias != ref.table else None
+        return Scan(ref.table, alias=alias), table.schema.names
+
+    def _lineage_from_item(self, ref) -> Tuple[LogicalPlan, List[str]]:
+        raw = ref.lineage
+        if self.results is None or raw.result not in self.results:
+            known = sorted(self.results) if self.results else []
+            raise SqlError(
+                f"unknown result {raw.result!r} in {raw.func.upper()}(...); "
+                f"register the prior query with Database.register_result "
+                f"(known: {known})"
+            )
+        prior = self.results[raw.result]
+        if prior.lineage is None:
+            raise SqlError(
+                f"result {raw.result!r} was executed without lineage "
+                "capture; re-run it with capture enabled to consume its "
+                "lineage"
+            )
+        if raw.func == "lb":
+            # Lb yields a subset of the traced base relation's rows.  The
+            # relation argument may be a base name, a self-join occurrence
+            # key ('t#0'), or a SQL alias of the prior query.
+            from ..exec.lineage_scan import resolve_base_table
+
+            base = resolve_base_table(self.catalog, prior.lineage, raw.relation)
+            schema = self.catalog.get(base).schema
+            source_name = raw.relation
+        else:
+            # Lf yields a subset of the prior result's output rows.
+            if not prior.lineage.keys_for(raw.relation):
+                raise SqlError(
+                    f"result {raw.result!r} has no lineage for relation "
+                    f"{raw.relation!r}; captured: {prior.lineage.relations}"
+                )
+            schema = prior.table.schema
+            source_name = raw.result
+        rids = self._bind_rid_spec(raw.rids)
+        plan = LineageScan(
+            result=raw.result,
+            relation=raw.relation,
+            direction="backward" if raw.func == "lb" else "forward",
+            rids=rids,
+            alias=ref.alias if ref.alias != source_name else None,
+            schema=schema,
+        )
+        return plan, schema.names
+
+    def _bind_rid_spec(self, raw) -> Optional[Expr]:
+        if raw is None:
+            return None
+        if isinstance(raw, RawParam):
+            return Param(raw.name)
+        return Const(raw)  # tuple of int literals
 
     def _bind_from(self) -> Tuple[LogicalPlan, Optional[Expr]]:
         base = self.stmt.base

@@ -15,6 +15,19 @@ KEYWORDS = {
     "limit",
 }
 
+#: Lineage-consuming table functions (paper Section 2.1): ``Lb(result,
+#: relation)`` and ``Lf(relation, result)``.  Deliberately *not* keywords —
+#: they only act as functions in FROM position when followed by ``(``, so
+#: tables or columns named ``lb``/``lf`` keep working.
+LINEAGE_TABLE_FUNCS = {"lb", "lf"}
+
+
+def is_safe_identifier(name: str) -> bool:
+    """Can ``name`` be embedded in *generated* SQL as a bare identifier?
+    False for keywords (``year``, ``order``, ...) and anything that would
+    not lex as a single ident token."""
+    return name.isidentifier() and name.lower() not in KEYWORDS
+
 _PUNCT = {
     "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-",
     "/", ".", ";",
@@ -32,6 +45,9 @@ class Token:
 
     def is_punct(self, *values: str) -> bool:
         return self.kind == "punct" and self.value in values
+
+    def is_lineage_func(self) -> bool:
+        return self.kind == "ident" and self.value.lower() in LINEAGE_TABLE_FUNCS
 
 
 def tokenize(text: str) -> List[Token]:

@@ -71,12 +71,28 @@ class SelectItem:
 
 
 @dataclass(frozen=True)
-class TableRef:
-    """A FROM item: a named table or a parenthesized derived table."""
+class RawLineageRef:
+    """A lineage-consuming FROM item: ``Lb(result, relation [, rids])``
+    (rows of ``relation`` contributing to prior result ``result``) or
+    ``Lf(relation, result [, rids])`` (rows of ``result`` derived from
+    ``relation``).  ``rids`` restricts the traced subset: an int literal,
+    a parenthesized int list, or a ``:param``."""
 
-    table: str                 # name, or "" for a derived table
+    func: str                  # 'lb' | 'lf'
+    result: str                # registered prior-result name
+    relation: str              # traced base relation
+    rids: object = None        # None | RawParam | tuple of ints
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item: a named table, a parenthesized derived table, or a
+    lineage-consuming table function (``lineage`` set)."""
+
+    table: str                 # name, or "" for derived/lineage items
     alias: str
     subquery: object = None    # SelectStatement / SetStatement for derived
+    lineage: object = None     # RawLineageRef for Lb(...) / Lf(...)
 
 
 @dataclass(frozen=True)
@@ -261,6 +277,8 @@ class _Parser:
         return SelectItem(expr=expr, alias=alias)
 
     def _table_ref(self) -> TableRef:
+        if self.current.is_lineage_func() and self.tokens[self.pos + 1].is_punct("("):
+            return self._lineage_table_ref()
         if self.current.is_punct("("):
             self.advance()
             sub = self.parse_select()
@@ -285,6 +303,76 @@ class _Parser:
         elif self.current.kind == "ident":
             alias = self.advance().value
         return TableRef(table=tok.value, alias=alias)
+
+    def _lineage_table_ref(self) -> TableRef:
+        """``Lb(result, relation [, rids])`` / ``Lf(relation, result [, rids])``."""
+        func = self.advance().value.lower()
+        self.expect_punct("(")
+        if func == "lb":
+            result = self._lineage_name("result name")
+            self.expect_punct(",")
+            relation = self._lineage_name("relation name")
+        else:
+            relation = self._lineage_name("relation name")
+            self.expect_punct(",")
+            result = self._lineage_name("result name")
+        rids = None
+        if self.accept_punct(","):
+            rids = self._rid_spec()
+        self.expect_punct(")")
+        # Default correlation name: the relation whose rows come out — the
+        # traced base table for Lb, the prior result for Lf.
+        alias = relation if func == "lb" else result
+        if self.accept_kw("as"):
+            alias = self._alias_ident()
+        elif self.current.kind == "ident":
+            alias = self.advance().value
+        ref = RawLineageRef(func=func, result=result, relation=relation, rids=rids)
+        return TableRef(table="", alias=alias, lineage=ref)
+
+    def _lineage_name(self, what: str) -> str:
+        """A result/relation argument: a bare identifier or a string."""
+        tok = self.advance()
+        if tok.kind in ("ident", "string"):
+            return tok.value
+        raise SqlError(
+            f"expected {what} (identifier or string), found {tok.value!r}",
+            tok.position,
+        )
+
+    def _rid_spec(self):
+        """The optional traced-subset argument: ``:param``, an int, or a
+        parenthesized int list."""
+        tok = self.current
+        if tok.kind == "param":
+            self.advance()
+            return RawParam(tok.value)
+        if tok.kind == "int":
+            self.advance()
+            return (int(tok.value),)
+        if tok.is_punct("("):
+            self.advance()
+            values = [self._rid_int()]
+            while self.accept_punct(","):
+                values.append(self._rid_int())
+            self.expect_punct(")")
+            return tuple(values)
+        raise SqlError(
+            "lineage rid subset must be an int, an int list, or a :param",
+            tok.position,
+        )
+
+    def _rid_int(self) -> int:
+        tok = self.advance()
+        if tok.kind != "int":
+            raise SqlError("lineage rid lists hold int literals", tok.position)
+        return int(tok.value)
+
+    def _alias_ident(self) -> str:
+        tok = self.advance()
+        if tok.kind != "ident":
+            raise SqlError("expected alias identifier after AS", tok.position)
+        return tok.value
 
     def _join_condition(self) -> Tuple[RawColumn, RawColumn]:
         left = self._qualified_column()

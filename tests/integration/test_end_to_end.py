@@ -5,7 +5,7 @@ import pytest
 
 from repro.api import Database
 from repro.datagen import make_zipf_table
-from repro.lineage.capture import CaptureConfig, CaptureMode
+from repro.lineage.capture import CaptureMode
 from repro.plan.logical import AggCall, col
 from repro.workload import (
     AggPushdownSpec,
@@ -81,6 +81,64 @@ class TestDrillDownFlow:
         )
         v = subset.column("v")
         assert detail.table.column("c")[0] == int((v < 50).sum())
+
+    @pytest.mark.parametrize("backend", ["vector", "compiled"])
+    def test_sql_consuming_query_chain(self, db, backend):
+        """The same drill-down, fully declarative: the zoom query's input
+        relation *is* ``Lb(overview, 'zipf')`` — no manual table staging."""
+        overview = db.sql(
+            "SELECT z, COUNT(*) AS c, SUM(v) AS s FROM zipf GROUP BY z",
+            capture=CaptureMode.INJECT,
+            name="overview",
+        )
+        big = int(np.argmax(overview.table.column("c")))
+        detail = db.sql(
+            "SELECT COUNT(*) AS c FROM Lb(overview, 'zipf', :bars) "
+            "WHERE v < 50",
+            params={"bars": [big]},
+            backend=backend,
+        )
+        subset = overview.backward_table([big], "zipf")
+        assert detail.table.column("c")[0] == int(
+            (subset.column("v") < 50).sum()
+        )
+        # Re-aggregation over the lineage scan matches the staged route.
+        regroup = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(overview, 'zipf', :bars) "
+            "GROUP BY z",
+            params={"bars": [big]},
+            backend=backend,
+        )
+        assert regroup.table.column("c")[0] == overview.table.column("c")[big]
+
+    def test_sql_linked_brush_chain(self, db):
+        """Figure 1 as two SQL statements: Lb out of one view, Lf into the
+        other."""
+        v1 = db.sql(
+            "SELECT z, COUNT(*) AS c FROM zipf GROUP BY z",
+            capture=CaptureMode.INJECT,
+            name="v1",
+        )
+        v2 = db.sql(
+            "SELECT z, SUM(v) AS s FROM zipf GROUP BY z",
+            capture=CaptureMode.INJECT,
+            name="v2",
+        )
+        marks = [0, 3]
+        shared_sql = db.sql(
+            "SELECT * FROM Lb(v1, 'zipf', :marks)",
+            params={"marks": marks},
+            capture=CaptureMode.INJECT,
+        )
+        shared = shared_sql.backward(np.arange(len(shared_sql)), "zipf")
+        assert np.array_equal(shared, v1.backward(marks, "zipf"))
+        derived = db.sql(
+            "SELECT * FROM Lf('zipf', v2, :rids)",
+            params={"rids": shared},
+            capture=CaptureMode.INJECT,
+        )
+        highlighted = derived.backward(np.arange(len(derived)), "v2")
+        assert np.array_equal(highlighted, v2.forward("zipf", shared))
 
     def test_workload_aware_chain(self, db):
         plan = db.parse("SELECT z, COUNT(*) AS c FROM zipf GROUP BY z")

@@ -15,6 +15,7 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 CASES = [
     ("quickstart.py", []),
+    ("lineage_consuming_queries.py", []),
     ("linked_brushing.py", []),
     ("data_profiling.py", ["8000"]),
     ("crossfilter_dashboard.py", ["20000"]),

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import build_logic_idx, logical_capture
-from repro.lineage.capture import CaptureConfig, CaptureMode
+from repro.lineage.capture import CaptureMode
 from repro.tpch import q1, q3, q10, q12
 
 

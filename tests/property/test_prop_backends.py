@@ -2,7 +2,6 @@
 randomly generated plans, tables, and lineage queries."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

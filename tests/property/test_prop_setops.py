@@ -4,7 +4,6 @@ listings and Python set/Counter models."""
 from collections import Counter
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

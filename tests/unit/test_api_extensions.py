@@ -50,6 +50,21 @@ class TestBrushMany:
         combined = session.brush_many("carrier", [1, 3])["delay_bin"]
         assert np.array_equal(combined, singles[0] + singles[1])
 
+    def test_duplicate_bars_count_once_everywhere(self, ontime):
+        """Set semantics: repeated bars must not double-count, on any
+        technique or construction route."""
+        db = Database()
+        db.create_table("flights", ontime)
+        for technique in CrossfilterSession.TECHNIQUES:
+            direct = CrossfilterSession(ontime, ("carrier", "delay_bin"), technique)
+            decl = CrossfilterSession.from_database(
+                db, "flights", ("carrier", "delay_bin"), technique
+            )
+            expected = direct.brush_many("carrier", [1])["delay_bin"]
+            for session in (direct, decl):
+                got = session.brush_many("carrier", [1, 1])["delay_bin"]
+                assert np.array_equal(got, expected), technique
+
     def test_multi_brush_validation(self, ontime):
         session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt")
         with pytest.raises(WorkloadError):
@@ -118,3 +133,24 @@ class TestDeclarativeCrossfilter:
     def test_from_database_invalid_technique(self, db):
         with pytest.raises(WorkloadError):
             CrossfilterSession.from_database(db, "flights", ("carrier",), "nope")
+
+    @pytest.mark.parametrize("technique", CrossfilterSession.TECHNIQUES)
+    def test_from_database_keyword_dimension_names(self, technique):
+        """Dimensions named after SQL keywords must fall back to the
+        plan-based construction instead of failing to parse."""
+        from repro.storage import Table
+
+        rng = np.random.default_rng(2)
+        table = Table({
+            "year": rng.integers(2000, 2004, 3_000),
+            "month": rng.integers(1, 13, 3_000),
+        })
+        db = Database()
+        db.create_table("events", table)
+        declarative = CrossfilterSession.from_database(
+            db, "events", ("year", "month"), technique
+        )
+        direct = CrossfilterSession(table, ("year", "month"), technique)
+        got = declarative.brush("year", 0)
+        expected = direct.brush("year", 0)
+        assert np.array_equal(got["month"], expected["month"])

@@ -15,7 +15,6 @@ from repro.apps import (
 from repro.datagen import make_ontime_table, make_physician_table
 from repro.errors import WorkloadError
 from repro.plan.logical import AggCall, GroupBy, Scan, col
-from repro.storage import Table
 
 
 @pytest.fixture(scope="module")
@@ -180,3 +179,18 @@ class TestLinkedBrush:
                     Scan("zipf2"), [(col("z"), "z")], [AggCall("count", None, "c")]
                 ),
             )
+
+    def test_sessions_with_equal_view_names_stay_isolated(self, small_db):
+        """Two sessions on one Database reusing a view name must not
+        redirect each other's brushes (session-unique registry names)."""
+        s1 = LinkedBrushingSession(small_db, "zipf")
+        s2 = LinkedBrushingSession(small_db, "zipf")
+        plan1 = GroupBy(Scan("zipf"), [(col("z"), "z")], [AggCall("count", None, "c")])
+        plan2 = GroupBy(
+            Scan("zipf"), [(col("z") * 0, "all")], [AggCall("count", None, "c")]
+        )
+        s1.add_view("v", plan1)
+        s2.add_view("v", plan2)  # same name, different query
+        expected = small_db.table("zipf").column("z") == s1.views["v"].table.column("z")[0]
+        result = s1.brush("v", [0])
+        assert result.shared_rids.size == int(expected.sum())

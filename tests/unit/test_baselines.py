@@ -9,7 +9,6 @@ from repro.baselines import (
     logical_capture,
     physical_capture,
     PhysBdbStore,
-    PhysMemStore,
 )
 from repro.errors import PlanError
 from repro.lineage.capture import CaptureMode

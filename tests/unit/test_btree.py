@@ -1,8 +1,5 @@
 """B-tree substrate: ordering, duplicates, cursors, invariants."""
 
-import numpy as np
-import pytest
-
 from repro.substrate import BTree
 from repro.substrate.btree import MAX_KEYS
 

@@ -9,7 +9,6 @@ from repro.plan.logical import (
     AggCall,
     GroupBy,
     HashJoin,
-    Project,
     Scan,
     Select,
     col,

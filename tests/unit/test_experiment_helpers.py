@@ -1,8 +1,5 @@
 """Unit tests for the experiment modules' building blocks."""
 
-import numpy as np
-import pytest
-
 from repro.bench.experiments.fig05_groupby import microbenchmark_query
 from repro.bench.experiments.fig06_pkfk import (
     join_query,

@@ -11,7 +11,6 @@ from repro.expr import (
     Col,
     Const,
     Func,
-    InList,
     Not,
     Param,
     bind_params,

@@ -6,7 +6,6 @@ the logical approaches' denormalized relation duplicates every output row
 per contributor.  These tests pin that asymmetry quantitatively.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines.logical import logical_capture

@@ -4,11 +4,9 @@ import numpy as np
 import pytest
 
 from repro.errors import PlanError
-from repro.exec.vector import VectorExecutor
 from repro.exec.vector.groupby import inject_backward_index
 from repro.exec.vector.join import compute_matches, join_lineage_locals
 from repro.exec.vector.kernels import GroupLayout, chunk_ranges, factorize
-from repro.expr.ast import Col, Func
 from repro.lineage.capture import CaptureConfig, CaptureMode
 from repro.lineage.indexes import NO_MATCH, RidArray, RidIndex
 from repro.plan.logical import (
@@ -22,7 +20,6 @@ from repro.plan.logical import (
     ThetaJoin,
     col,
 )
-from repro.storage import Table
 
 
 class TestKernels:

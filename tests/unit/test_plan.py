@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PlanError, SchemaError
-from repro.expr.ast import Col, Const, Func
+from repro.expr.ast import Const, Func
 from repro.plan import (
     AggCall,
     CrossProduct,

@@ -8,8 +8,7 @@ from repro.datagen import make_zipf_table
 from repro.errors import WorkloadError
 from repro.lineage.capture import CaptureMode
 from repro.lineage.refresh import AggregateRefresher, multi_backward, multi_forward
-from repro.plan.logical import AggCall, GroupBy, HashJoin, Scan, Select, col
-from repro.storage import Table
+from repro.plan.logical import AggCall, GroupBy, Scan, Select, col
 from repro.workload.advisor import CostModel, QueryProfile, calibrate, recommend
 
 

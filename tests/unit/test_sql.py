@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SqlError
 from repro.lineage.capture import CaptureMode
-from repro.plan.logical import CrossProduct, GroupBy, HashJoin, Project, Select, SetOp
+from repro.plan.logical import CrossProduct, GroupBy, HashJoin, Project, Select
 from repro.sql import parse, parse_sql
 from repro.sql.lexer import tokenize
 

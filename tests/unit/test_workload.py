@@ -6,7 +6,7 @@ import pytest
 from repro.errors import WorkloadError
 from repro.expr.ast import Col
 from repro.lineage.capture import CaptureMode
-from repro.plan.logical import AggCall, GroupBy, Scan, Select, col
+from repro.plan.logical import AggCall, GroupBy, Scan, col
 from repro.workload import (
     AggPushdownSpec,
     AttributePartitioner,
