@@ -14,6 +14,14 @@ aggregate under a name, then drives it entirely from SQL:
 Every step cross-checks against the Python-level lineage API, so this is
 an executable specification of the SQL/lineage boundary.
 
+The final section demonstrates *late materialization*
+(:mod:`repro.plan.rewrite`): filter/projection/aggregation stacks over
+``Lb``/``Lf`` execute directly in the rid domain — gathering only the
+columns the statement touches — instead of copying the traced subset
+full-width first.  The rewrite is on by default; ``late_materialize=
+False`` forces the materialize-then-scan path, and the demo shows both
+produce identical rows, identical lineage, and very different timings.
+
 Run:  python examples/lineage_consuming_queries.py
 """
 
@@ -117,6 +125,42 @@ def main() -> None:
     assert len(joined) == 1 and int(joined.table.column("c")[0]) == expected_rows
     print(f"Join over the lineage scan: label "
           f"{joined.table.column('label')[0]!r} -> {expected_rows} rows")
+
+    # 7. Late materialization: the drill-down statement is a
+    #    GroupBy-over-Lb stack, so by default it runs in the rid domain —
+    #    only `product` and `amount` are ever gathered, never `region`.
+    #    Disabling the rewrite materializes the full traced subset first;
+    #    rows and lineage are identical either way.
+    import time
+
+    plan = db.parse(
+        "SELECT product, COUNT(*) AS c, SUM(amount) AS rev "
+        "FROM Lb(prev, 'sales', :bars) GROUP BY product"
+    )
+    params = {"bars": [bar]}
+
+    def run(late_materialize):
+        start = time.perf_counter()
+        for _ in range(20):
+            res = db.execute(plan, params=params,
+                             late_materialize=late_materialize)
+        return res, (time.perf_counter() - start) / 20
+
+    pushed, pushed_s = run(True)
+    materialized, materialized_s = run(False)
+    assert pushed.timings.get("late_mat_subtrees") == 1.0
+    assert "late_mat_subtrees" not in materialized.timings
+    assert pushed.table.to_rows() == materialized.table.to_rows()
+    cap_pushed = db.execute(plan, params=params, capture=CaptureMode.INJECT)
+    cap_mat = db.execute(plan, params=params, capture=CaptureMode.INJECT,
+                         late_materialize=False)
+    probes = np.arange(len(cap_pushed))
+    assert np.array_equal(
+        cap_pushed.backward(probes, "sales"), cap_mat.backward(probes, "sales")
+    )
+    print(f"\nLate materialization: pushed {pushed_s * 1e3:.2f}ms vs "
+          f"materialized {materialized_s * 1e3:.2f}ms per drill-down "
+          "(identical rows and lineage).")
 
     print("\nAll lineage-consuming SQL cross-checks passed.")
 

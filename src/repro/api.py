@@ -50,7 +50,8 @@ array([0, 1])
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from collections import OrderedDict
+from typing import Dict, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
@@ -120,12 +121,90 @@ class QueryResult:
         return f"QueryResult(rows={len(self)}, lineage={self.lineage!r})"
 
 
-class Database:
-    """An in-memory lineage-enabled database engine."""
+class ResultRegistry(Mapping):
+    """Named prior results with an optional LRU bound.
 
-    def __init__(self):
+    A plain mapping from the executors' point of view (``Lb``/``Lf``
+    leaves resolve names through ``__getitem__``, which marks the entry
+    recently used).  With ``max_results`` set, registering a new entry
+    evicts the least-recently-used *unpinned* entries beyond the bound,
+    so long interactive sessions do not pin every :class:`QueryResult`
+    (and its lineage indexes) until ``close()``.  ``pin=True`` exempts
+    an entry from both the bound and eviction — the escape hatch for
+    results that must outlive arbitrary registration traffic (app
+    sessions pin their views until their ``close()``).
+    """
+
+    def __init__(self, max_results: Optional[int] = None):
+        self._entries: "OrderedDict[str, QueryResult]" = OrderedDict()
+        self._pinned: set = set()
+        self.max_results = max_results
+
+    # -- Mapping protocol (what executors and the binder consume) ----------
+
+    def __getitem__(self, name: str) -> "QueryResult":
+        entry = self._entries[name]
+        self._entries.move_to_end(name)
+        return entry
+
+    def __contains__(self, name) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- mutation ----------------------------------------------------------
+
+    def register(self, name: str, result: "QueryResult", pin: bool = False) -> None:
+        self._entries[name] = result
+        self._entries.move_to_end(name)
+        if pin:
+            self._pinned.add(name)
+        else:
+            self._pinned.discard(name)
+        self._evict()
+
+    def drop(self, name: str) -> None:
+        del self._entries[name]
+        self._pinned.discard(name)
+
+    def set_max_results(self, max_results: Optional[int]) -> None:
+        if max_results is not None and max_results < 1:
+            raise PlanError(
+                f"max_results must be a positive bound or None, got {max_results}"
+            )
+        self.max_results = max_results
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_results is None:
+            return
+        excess = (len(self._entries) - len(self._pinned)) - self.max_results
+        if excess <= 0:
+            return
+        for name in list(self._entries):
+            if excess <= 0:
+                break
+            if name in self._pinned:
+                continue
+            del self._entries[name]
+            excess -= 1
+
+
+class Database:
+    """An in-memory lineage-enabled database engine.
+
+    ``max_results`` bounds the registry of named prior results (LRU
+    eviction of unpinned entries, see :class:`ResultRegistry`); ``None``
+    keeps every registration until :meth:`drop_result`.
+    """
+
+    def __init__(self, max_results: Optional[int] = None):
         self.catalog = Catalog()
-        self._results: Dict[str, QueryResult] = {}
+        self._results = ResultRegistry(max_results)
         self._vector = VectorExecutor(self.catalog, results=self._results)
         self._compiled = None  # built lazily; codegen backend is optional
 
@@ -149,7 +228,13 @@ class Database:
 
     # -- named results (lineage-consuming SQL) ---------------------------------
 
-    def register_result(self, name: str, result: "QueryResult") -> None:
+    def register_result(
+        self,
+        name: str,
+        result: "QueryResult",
+        pin: bool = False,
+        max_results: Optional[int] = None,
+    ) -> None:
         """Register a prior result so SQL can consume its lineage.
 
         ``FROM Lb(name, 'relation')`` / ``FROM Lf('relation', name)``
@@ -158,15 +243,23 @@ class Database:
         any plan that references it.  Names must be SQL identifiers that
         are not keywords, so the bare ``Lb(name, ...)`` form always
         parses.
+
+        When the registry is bounded (``Database(max_results=N)``, or
+        ``max_results=N`` here, which updates the bound), the
+        least-recently-used unpinned entries are evicted past the bound;
+        ``pin=True`` exempts this entry from the bound and from eviction
+        until it is dropped.
         """
         _check_result_name(name)
-        self._results[name] = result
+        if max_results is not None:
+            self._results.set_max_results(max_results)
+        self._results.register(name, result, pin=pin)
 
     def drop_result(self, name: str) -> None:
         """Forget a registered result (its indexes become collectable)."""
         if name not in self._results:
             raise PlanError(f"unknown result {name!r}")
-        del self._results[name]
+        self._results.drop(name)
 
     def result(self, name: str) -> "QueryResult":
         """Look up a registered prior result."""
@@ -189,13 +282,19 @@ class Database:
         params: Optional[dict] = None,
         backend: str = "vector",
         name: Optional[str] = None,
+        pin: bool = False,
+        late_materialize: bool = True,
     ) -> QueryResult:
         """Execute a logical plan.
 
         ``capture`` accepts a :class:`CaptureMode` for the common case or a
         full :class:`CaptureConfig` for pruning/hints; ``None`` disables
         capture (the paper's Baseline).  ``name`` registers the result for
-        lineage-consuming SQL (see :meth:`register_result`).
+        lineage-consuming SQL (see :meth:`register_result`; ``pin=True``
+        exempts it from LRU eviction).  ``late_materialize=False``
+        disables the lineage-scan push-down rewrite
+        (:mod:`repro.plan.rewrite`) so ``Lb``/``Lf`` stacks run through
+        the materialize-then-scan path — the benchmarks' baseline.
         """
         if name is not None:
             # Validate up front: a bad name must not discard a finished
@@ -203,14 +302,18 @@ class Database:
             _check_result_name(name)
         config = _as_config(capture)
         if backend == "vector":
-            result = self._vector.execute(plan, config, params)
+            result = self._vector.execute(
+                plan, config, params, late_materialize=late_materialize
+            )
         elif backend == "compiled":
-            result = self._compiled_executor().execute(plan, config, params)
+            result = self._compiled_executor().execute(
+                plan, config, params, late_materialize=late_materialize
+            )
         else:
             raise PlanError(f"unknown backend {backend!r}; use 'vector' or 'compiled'")
         query_result = QueryResult(self, plan, result)
         if name is not None:
-            self.register_result(name, query_result)
+            self.register_result(name, query_result, pin=pin)
         return query_result
 
     def sql(
@@ -220,16 +323,24 @@ class Database:
         params: Optional[dict] = None,
         backend: str = "vector",
         name: Optional[str] = None,
+        pin: bool = False,
+        late_materialize: bool = True,
     ) -> QueryResult:
         """Parse and execute a SQL statement (see :mod:`repro.sql`).
 
         ``name`` registers the result so later statements can consume its
         lineage with ``FROM Lb(name, 'relation')`` / ``Lf('relation',
-        name)``.
+        name)``; see :meth:`execute` for ``pin`` and ``late_materialize``.
         """
         plan = self.parse(statement)
         return self.execute(
-            plan, capture=capture, params=params, backend=backend, name=name
+            plan,
+            capture=capture,
+            params=params,
+            backend=backend,
+            name=name,
+            pin=pin,
+            late_materialize=late_materialize,
         )
 
     def parse(self, statement: str) -> LogicalPlan:

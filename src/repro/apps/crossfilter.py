@@ -97,13 +97,14 @@ class CrossfilterSession:
         self.cube: Dict[Tuple[str, str], np.ndarray] = {}
         self.database = database
         self.relation = relation
+        self.late_materialize = True
         self._result_names: Dict[str, str] = {}
         self._bar_orders: Dict[str, Dict[object, int]] = {}
 
     @classmethod
     def from_database(
         cls, database, relation: str, dimensions: Sequence[str],
-        technique: str = "bt+ft",
+        technique: str = "bt+ft", late_materialize: bool = True,
     ) -> "CrossfilterSession":
         """Build the views *declaratively*: each view is a SQL group-by
         COUNT executed with lineage capture and registered as a named
@@ -112,6 +113,16 @@ class CrossfilterSession:
         the paper advocates, instead of the hand-rolled kernels of the
         direct constructor.  BT / BT+FT interactions on such sessions run
         as lineage-consuming SQL over the registered results.
+
+        Interactions rely on the late-materializing push-down
+        (:mod:`repro.plan.rewrite`): the per-brush ``Lb``
+        filter/aggregate stacks execute in the rid domain, gathering
+        only the brushed and re-aggregated dimensions instead of
+        copying the full traced subset.  ``late_materialize=False``
+        forces the materialize-then-scan path (the Figure 14 benchmark's
+        baseline axis).  View results are registered with ``pin=True``
+        so a bounded result registry (``Database(max_results=...)``)
+        never evicts a live session's views; ``close()`` drops them.
         """
         from ..lineage.capture import CaptureConfig
         from ..plan.logical import AggCall, GroupBy, Scan, col
@@ -121,6 +132,7 @@ class CrossfilterSession:
         session._init_state(
             table, dimensions, technique, database=database, relation=relation
         )
+        session.late_materialize = bool(late_materialize)
         from ..sql.lexer import is_safe_identifier
 
         # The generated SQL (here and per interaction) interpolates the
@@ -143,6 +155,8 @@ class CrossfilterSession:
                     f"SELECT {dim}, COUNT(*) AS cnt FROM {relation} GROUP BY {dim}",
                     capture=capture,
                     name=name,
+                    # Live sessions must survive registry LRU eviction.
+                    pin=name is not None,
                 )
                 if capture.enabled:
                     session._result_names[dim] = name
@@ -292,7 +306,9 @@ class CrossfilterSession:
         the lineage scan produced, so no index is probed by hand.  Only
         the brushed dimension is projected and only backward lineage is
         captured — the interaction reads nothing else, and a forward
-        index would cost O(base rows) per brush."""
+        index would cost O(base rows) per brush.  Under the (default)
+        pushed path the projection runs in the rid domain, so exactly one
+        column is ever gathered."""
         from ..lineage.capture import CaptureConfig
 
         subset = self.database.sql(
@@ -300,6 +316,7 @@ class CrossfilterSession:
             f"'{self.relation}', :bars)",
             params={"bars": np.asarray(list(bars), dtype=np.int64)},
             capture=CaptureConfig.inject(forward=False),
+            late_materialize=self.late_materialize,
         )
         return subset.backward(np.arange(len(subset)), self.relation)
 
@@ -309,7 +326,10 @@ class CrossfilterSession:
         bars — the paper's headline query shape.  Deliberately one
         statement per view (as the paper's BT issues one re-aggregation
         per view), so each statement re-derives the lineage subset; the
-        amortized route is the BT+FT technique."""
+        amortized route is the BT+FT technique.  Each statement is a
+        GroupBy-over-LineageScan stack, so the (default) pushed path
+        aggregates rid-gathered slices of one dimension instead of
+        materializing the full-width subset per view."""
         params = {"bars": np.asarray(list(bars), dtype=np.int64)}
         out = {}
         for other in self._others(brushed_dim):
@@ -319,6 +339,7 @@ class CrossfilterSession:
                 f"'{self.relation}', :bars) "
                 f"GROUP BY {other.dimension}",
                 params=params,
+                late_materialize=self.late_materialize,
             )
             counts = np.zeros(other.num_bars, dtype=np.int64)
             order = self._bar_index(other)

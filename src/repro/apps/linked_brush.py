@@ -18,6 +18,12 @@ The lineage of those statements' own outputs identifies the shared rids
 and highlighted marks, so the whole interaction stays declarative.
 Views whose names are not SQL identifiers fall back to direct index
 probes with identical results.
+
+Both interaction statements are single-column projections over a lineage
+scan, so the late-materializing push-down (:mod:`repro.plan.rewrite`)
+executes them in the rid domain — one narrow gather per brush rather
+than a full-width subset copy.  Views are registered with ``pin=True``
+so a bounded result registry never evicts a live session's views.
 """
 
 from __future__ import annotations
@@ -82,7 +88,8 @@ class LinkedBrushingSession:
         self.views[name] = result
         if name.isidentifier():
             registered = f"_lbrush{self._session_id}_{name}"
-            self.database.register_result(registered, result)
+            # Pinned: a live session's views must survive LRU eviction.
+            self.database.register_result(registered, result, pin=True)
             self._sql_names[name] = registered
         return result
 
@@ -146,6 +153,7 @@ class LinkedBrushingSession:
             f"'{self.shared_relation}', :marks)",
             params={"marks": marks},
             capture=CaptureConfig.inject(forward=False),
+            late_materialize=True,
         )
         # The statement's own lineage identifies the scanned shared rows.
         return subset.backward(np.arange(len(subset)), self.shared_relation)
@@ -161,6 +169,7 @@ class LinkedBrushingSession:
             f"{registered}, :rids)",
             params={"rids": shared},
             capture=CaptureConfig.inject(forward=False),
+            late_materialize=True,
         )
         # An Lf scan's base "relation" is the prior result itself, so the
         # statement's backward lineage is exactly the highlighted marks.

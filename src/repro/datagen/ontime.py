@@ -26,22 +26,31 @@ NUM_AIRPORTS = 301
 GRID = 256  # lat/lon each binned to 256 cells → 65,536 possible bins
 
 
-def make_ontime_table(n: int = 500_000, seed: int = 7) -> Table:
-    """Synthetic flights table with the four crossfilter dimensions."""
+def make_ontime_table(n: int = 500_000, seed: int = 7, payload_cols: int = 0) -> Table:
+    """Synthetic flights table with the four crossfilter dimensions.
+
+    ``payload_cols`` appends that many non-dimension columns
+    (``payload0`` ...), modelling the real BTS records — which carry
+    ~110 fields per row, not just the brushed dimensions.  Benchmarks
+    that measure materialization width (the late-materializing
+    lineage-scan suite) use this; it defaults to 0 so the
+    dimension-only datasets of the other figures are unchanged.
+    """
     rng = np.random.default_rng(seed)
     airports = rng.choice(GRID * GRID, size=NUM_AIRPORTS, replace=False)
     airport_of_flight = airports[sample_zipf(n, NUM_AIRPORTS, 1.0, rng)]
     latlon_bin = airport_of_flight.astype(np.int64)
-    return Table(
-        {
-            "latlon_bin": latlon_bin,
-            "lat_bin": latlon_bin // GRID,
-            "lon_bin": latlon_bin % GRID,
-            "date_bin": sample_zipf(n, NUM_DAYS, 0.2, rng),
-            "delay_bin": sample_zipf(n, NUM_DELAY_BINS, 1.2, rng),
-            "carrier": sample_zipf(n, NUM_CARRIERS, 0.8, rng),
-        }
-    )
+    columns = {
+        "latlon_bin": latlon_bin,
+        "lat_bin": latlon_bin // GRID,
+        "lon_bin": latlon_bin % GRID,
+        "date_bin": sample_zipf(n, NUM_DAYS, 0.2, rng),
+        "delay_bin": sample_zipf(n, NUM_DELAY_BINS, 1.2, rng),
+        "carrier": sample_zipf(n, NUM_CARRIERS, 0.8, rng),
+    }
+    for i in range(payload_cols):
+        columns[f"payload{i}"] = rng.integers(0, 10_000, n, dtype=np.int64)
+    return Table(columns)
 
 
 #: The four crossfilter view dimensions (paper Section 6.5.1).

@@ -21,6 +21,13 @@ contributes code through the classic two calls:
 bindings: one rid expression per lineage source, which is exactly the
 "propagate rids that point to R rather than the intermediate relation"
 behaviour of Section 3.3.
+
+Late-materialized lineage-scan stacks (:mod:`repro.plan.rewrite`) never
+reach code generation: the executor materializes them through the
+backend-agnostic pushed path (:mod:`repro.exec.late_mat`) and hands this
+module a pre-lineaged ``SourceNode`` — the same contract breaker
+children use — so generated blocks only ever loop over plain columnar
+sources.
 """
 
 from __future__ import annotations

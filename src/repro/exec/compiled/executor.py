@@ -39,9 +39,11 @@ from ...plan.logical import (
     ThetaJoin,
     assign_source_keys,
 )
+from ...plan.rewrite import match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import ColumnType, Schema, Table
+from ..late_mat import execute_pushed
 from ..lineage_scan import execute_lineage_scan
 from ..vector.executor import ExecResult, check_relation_pruning
 from .codegen import (
@@ -84,6 +86,7 @@ class CompiledExecutor:
         plan: LogicalPlan,
         capture: Optional[CaptureConfig] = None,
         params: Optional[dict] = None,
+        late_materialize: bool = True,
     ) -> ExecResult:
         config = capture or CaptureConfig.none()
         scan_keys = assign_source_keys(plan)
@@ -91,19 +94,30 @@ class CompiledExecutor:
         # entry must not discard a finished (possibly expensive) run.
         check_relation_pruning(config, plan, scan_keys, self.catalog, self.results)
         start = time.perf_counter()
-        state = _ExecState(self, config, params)
+        state = _ExecState(self, config, params, late_materialize)
         table, node = state.run(plan, scan_keys)
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
-        return ExecResult(table, lineage, {"execute": elapsed})
+        timings = {"execute": elapsed}
+        if state.pushed_subtrees:
+            timings["late_mat_subtrees"] = float(state.pushed_subtrees)
+        return ExecResult(table, lineage, timings)
 
 
 class _ExecState:
-    def __init__(self, executor: CompiledExecutor, config: CaptureConfig, params):
+    def __init__(
+        self,
+        executor: CompiledExecutor,
+        config: CaptureConfig,
+        params,
+        late_mat: bool = True,
+    ):
         self.executor = executor
         self.catalog = executor.catalog
         self.config = config
         self.params = params
+        self.late_mat = bool(late_mat)
+        self.pushed_subtrees = 0
         self.scan_keys = None
         self._scan_counter = 0
         self._tmp_counter = 0
@@ -124,6 +138,24 @@ class _ExecState:
     # -- recursive block execution ---------------------------------------------
 
     def _exec(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
+        if self.late_mat:
+            # Late materialization: a Select/Project/GroupBy stack over a
+            # lineage scan runs in the rid domain via the shared pushed
+            # path (backend-agnostic, like execute_lineage_scan), instead
+            # of compiling per-row code over a materialized subset.
+            pushed = match_late_materialization(plan)
+            if pushed is not None:
+                key = self._next_scan_key()
+                self.pushed_subtrees += 1
+                return execute_pushed(
+                    pushed,
+                    key,
+                    self.catalog,
+                    self.executor.results,
+                    self.config,
+                    self.params,
+                )
+
         if isinstance(plan, SetOp):
             left_t, left_n = self._exec(plan.left)
             right_t, right_n = self._exec(plan.right)
@@ -232,6 +264,13 @@ class _ExecState:
     ) -> Tuple[Emitter, Schema]:
         """Build the per-row emitter tree for ``plan``; breaker children are
         materialized recursively and become block sources."""
+        if self.late_mat and match_late_materialization(plan) is not None:
+            # A pushed lineage-scan stack inside a per-row tree (e.g. the
+            # Lb side of a join) enters the block like a breaker child:
+            # _exec routes it through the pushed path and its narrow
+            # output becomes a pre-lineaged source.
+            return self._materialized_source(plan, sources, child_lineage)
+
         if isinstance(plan, Scan):
             key = self._next_scan_key()
             table = self.catalog.get(plan.table)
@@ -295,6 +334,16 @@ class _ExecState:
             return node, out_schema
 
         # Breaker child: materialize and register as an intermediate source.
+        return self._materialized_source(plan, sources, child_lineage)
+
+    def _materialized_source(
+        self,
+        plan: LogicalPlan,
+        sources: Dict[str, Dict[str, np.ndarray]],
+        child_lineage: Dict[str, NodeLineage],
+    ) -> Tuple[Emitter, Schema]:
+        """Execute a subtree eagerly and register its output (and lineage)
+        as a block source — breaker children and pushed lineage stacks."""
         table, node_lineage = self._exec(plan)
         src_name = f"__tmp{self._tmp_counter}"
         self._tmp_counter += 1

@@ -1,0 +1,139 @@
+"""Late-materializing execution of lineage-scan stacks (rid domain).
+
+Runs a :class:`~repro.plan.rewrite.PushedLineageQuery` — a
+``[Project?][GroupBy?][Select*]`` stack over one
+:class:`~repro.plan.logical.LineageScan` — without ever materializing
+the traced subset:
+
+1. resolve the traced rid array against the result registry
+   (:func:`repro.exec.lineage_scan.resolve_scan_source`, so every
+   schema-drift and shrink guard of the materializing path applies);
+2. evaluate the pushed predicate on rid-gathered slices of **only the
+   predicate's columns**, narrowing the rid array to survivors;
+3. gather the columns the output actually needs — group keys and
+   aggregate arguments, projection inputs, or (predicate-only stacks)
+   the full source schema — at the *surviving* rids only, and feed the
+   aggregation kernel that narrow slice table
+   (:func:`~repro.exec.vector.groupby.execute_groupby`).
+
+Both backends funnel through :func:`execute_pushed` — exactly like
+:func:`~repro.exec.lineage_scan.execute_lineage_scan` — so the pushed
+path is backend-agnostic by construction.  Output rows *and* captured
+lineage are bit-identical to the materializing path: composing the
+scan's rid-array lineage with a selection's local rid array *is* the
+filtered rid array, so :func:`~repro.exec.lineage_scan.scan_node_lineage`
+over the surviving rids equals the materialized path's
+``compose_node(select, scan)``, and the aggregation stage composes
+through the same :func:`~repro.lineage.composer.compose_node` call the
+vector executor makes.  The property suite
+(``tests/property/test_prop_late_mat.py``) asserts this equivalence
+over random stacks on both backends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..lineage.capture import CaptureConfig
+from ..lineage.composer import NodeLineage, compose_node
+from ..plan.rewrite import PushedLineageQuery
+from ..plan.schema import infer_expr_type, infer_schema
+from ..storage.catalog import Catalog
+from ..storage.table import ColumnType, Schema, Table
+from .lineage_scan import resolve_scan_source, scan_node_lineage
+
+
+def _slice_names(source: Table, columns) -> List[str]:
+    """The source columns to gather, in schema order (deterministic
+    narrow schema), or one cheap stand-in column when the stage reads
+    none (``SELECT COUNT(*)``, constant predicates) — a zero-column
+    :class:`Table` cannot carry a row count."""
+    names = [n for n in source.schema.names if n in columns]
+    missing = sorted(set(columns) - set(source.schema.names))
+    if missing:
+        # Same canonical unknown-column error the materializing path's
+        # operators would raise when evaluating over the full subset.
+        source.column(missing[0])
+    if names:
+        return names
+    for name, ctype in source.schema.fields:
+        if ctype is not ColumnType.STR:
+            return [name]
+    return source.schema.names[:1]
+
+
+def _gather(source: Table, rids: np.ndarray, names: Sequence[str]) -> Table:
+    """Narrow gather: one fancy-index per listed column, nothing else."""
+    return Table(
+        {n: source.column(n)[rids] for n in names},
+        Schema([(n, source.schema.type_of(n)) for n in names]),
+    )
+
+
+def execute_pushed(
+    pushed: PushedLineageQuery,
+    key: str,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    config: CaptureConfig,
+    params: Optional[dict],
+) -> Tuple[Table, NodeLineage]:
+    """Execute a pushed stack; returns ``(output table, node lineage)``."""
+    from ..expr.ast import evaluate
+    from .vector.groupby import execute_groupby
+
+    scan = pushed.scan
+    source, rids, source_name, domain = resolve_scan_source(
+        scan, catalog, results, params
+    )
+
+    if pushed.predicate is not None:
+        pred_table = _gather(
+            source, rids, _slice_names(source, pushed.predicate.columns())
+        )
+        mask = np.asarray(
+            evaluate(pushed.predicate, pred_table, params), dtype=bool
+        )
+        rids = rids[mask]
+
+    # Selection in the rid domain composes away: the scan's node lineage
+    # over the *surviving* rids equals the materialized path's
+    # scan-then-select composition (RidArray compose is a gather).
+    node = scan_node_lineage(scan, key, rids, source_name, domain, config)
+
+    if pushed.groupby is None and pushed.project is None:
+        # Predicate-only stack: the output is the traced relation itself,
+        # full schema, late-gathered at the surviving rids.
+        return source.take(rids), node
+
+    table = _gather(source, rids, _slice_names(source, pushed.columns))
+
+    if pushed.groupby is not None:
+        # The stack's static output schema (keys + aggregate types),
+        # inferred against the original child chain like the
+        # materializing executors do.
+        schema = infer_schema(pushed.groupby, catalog)
+        table, local_bw, local_fw = execute_groupby(
+            table, pushed.groupby, config, params, schema
+        )
+        node = compose_node(table.num_rows, node, local_bw, local_fw)
+
+    if pushed.project is not None:
+        # Over the aggregate output when a GroupBy ran (e.g. dropping
+        # hidden HAVING aggregates), else over the gathered slices.
+        columns = {
+            alias: np.asarray(evaluate(expr, table, params))
+            for expr, alias in pushed.project.exprs
+        }
+        schema = Schema(
+            [
+                (alias, infer_expr_type(expr, table.schema))
+                for expr, alias in pushed.project.exprs
+            ]
+        )
+        table = Table(columns, schema)
+        # Bag projection needs no capture: rids are unchanged (3.2.1).
+
+    return table, node

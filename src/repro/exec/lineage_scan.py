@@ -16,6 +16,26 @@ result)`` behave identically on the vector and compiled engines:
   output rows map to the traced base relation's rids, and ``Lf`` output
   rows map to the prior result's output (registered as a pseudo-relation
   under the result's name).
+
+Late materialization
+--------------------
+:func:`execute_lineage_scan` is the *materializing* path: it copies the
+traced subset (``source.take(rids)``, every column) into a fresh table
+that the enclosing operators then scan.  When a ``Select`` / bag
+``Project`` / ``GroupBy`` stack sits directly on the scan, both
+executors instead compile the stack to operate in the rid domain —
+gathering only the columns the stack reads and filtering/aggregating
+the gathered slices — via
+:func:`repro.plan.rewrite.match_late_materialization` and
+:func:`repro.exec.late_mat.execute_pushed`.  The rewrite's match and
+fallback rules are documented in :mod:`repro.plan.rewrite`; shapes it
+does not cover (bare scans, DISTINCT, sorts, joins, set operations at
+the stack root) fall back to this module.  Both paths share
+:func:`resolve_scan_source` (registry lookup, rid resolution, and every
+schema-drift / shrink guard) and :func:`scan_node_lineage`, so output
+rows and captured lineage are identical by construction; pass
+``late_materialize=False`` to :meth:`repro.api.Database.execute` /
+``sql`` to force the materializing path (the benchmarks' baseline).
 """
 
 from __future__ import annotations
@@ -121,15 +141,22 @@ def _scatter_forward(rids: np.ndarray, domain: int) -> RidArray:
     return RidArray(values)
 
 
-def execute_lineage_scan(
+def resolve_scan_source(
     plan: LineageScan,
-    key: str,
     catalog: Catalog,
     results: Optional[Mapping[str, object]],
-    config: CaptureConfig,
     params: Optional[dict],
-) -> Tuple[Table, NodeLineage]:
-    """Materialize a lineage scan's output table and its node lineage."""
+) -> Tuple[Table, np.ndarray, str, int]:
+    """Resolve a lineage scan to ``(source table, traced rids, source
+    name, source domain)`` without materializing any rows.
+
+    The source table is the traced base relation for backward scans and
+    the prior result's output for forward scans; ``rids`` index into it.
+    All registry-resolution and drift guards live here so the
+    materializing path (:func:`execute_lineage_scan`) and the pushed path
+    (:func:`repro.exec.late_mat.execute_pushed`) reject exactly the same
+    states.
+    """
     result = _resolve_result(plan, results)
     lineage = result.lineage
 
@@ -156,29 +183,39 @@ def execute_lineage_scan(
                 f"relation {base_name!r} ({base.num_rows} rows); the base "
                 "table was replaced — re-run the base query"
             )
-        table = base.take(rids)
         # Register under the resolved base table (like an aliased Scan),
         # so downstream lookups and pruning by base name keep working even
         # when the Lb argument was an alias or occurrence key.
-        source_name, domain = base_name, base.num_rows
-    else:
-        if plan.schema is not None and result.table.schema != plan.schema:
-            # The binder froze the prior result's schema into the plan;
-            # silently reading shifted columns would corrupt any operator
-            # bound above this scan.
-            raise PlanError(
-                f"result {plan.result!r} was re-registered with a "
-                f"different schema ({result.table.schema!r} vs bound "
-                f"{plan.schema!r}); re-parse the statement"
-            )
-        index = lineage.forward_index(plan.relation)
-        in_rids = resolve_rid_spec(plan.rids, params, index.num_keys)
-        rids = lineage.forward(plan.relation, in_rids)
-        table = result.table.take(rids)
-        # The prior result's output acts as the scanned (pseudo) relation.
-        source_name, domain = plan.result, result.table.num_rows
+        return base, rids, base_name, base.num_rows
 
-    node = NodeLineage(output_size=table.num_rows)
+    if plan.schema is not None and result.table.schema != plan.schema:
+        # The binder froze the prior result's schema into the plan;
+        # silently reading shifted columns would corrupt any operator
+        # bound above this scan.
+        raise PlanError(
+            f"result {plan.result!r} was re-registered with a "
+            f"different schema ({result.table.schema!r} vs bound "
+            f"{plan.schema!r}); re-parse the statement"
+        )
+    index = lineage.forward_index(plan.relation)
+    in_rids = resolve_rid_spec(plan.rids, params, index.num_keys)
+    rids = lineage.forward(plan.relation, in_rids)
+    # The prior result's output acts as the scanned (pseudo) relation.
+    return result.table, rids, plan.result, result.table.num_rows
+
+
+def scan_node_lineage(
+    plan: LineageScan,
+    key: str,
+    rids: np.ndarray,
+    source_name: str,
+    domain: int,
+    config: CaptureConfig,
+) -> NodeLineage:
+    """The scan's node lineage: output row ``i`` came from source rid
+    ``rids[i]``.  Shared by both materialization paths, so the pushed
+    path composes from the same indexes the materializing path builds."""
+    node = NodeLineage(output_size=int(rids.shape[0]))
     node.names[key] = source_name
     if plan.alias is not None and plan.alias != source_name:
         node.aliases[key] = plan.alias
@@ -188,4 +225,21 @@ def execute_lineage_scan(
             node.backward[key] = RidArray(rids)
         if config.forward:
             node.forward[key] = _scatter_forward(rids, domain)
+    return node
+
+
+def execute_lineage_scan(
+    plan: LineageScan,
+    key: str,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    config: CaptureConfig,
+    params: Optional[dict],
+) -> Tuple[Table, NodeLineage]:
+    """Materialize a lineage scan's output table and its node lineage."""
+    source, rids, source_name, domain = resolve_scan_source(
+        plan, catalog, results, params
+    )
+    table = source.take(rids)
+    node = scan_node_lineage(plan, key, rids, source_name, domain, config)
     return table, node

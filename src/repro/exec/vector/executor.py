@@ -44,7 +44,9 @@ from ...plan.logical import (
     assign_source_keys,
     source_leaves,
 )
+from ..late_mat import execute_pushed
 from ..lineage_scan import execute_lineage_scan
+from ...plan.rewrite import match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import Table
@@ -81,6 +83,24 @@ class ExecResult:
         return self.execute_seconds + self.finalize_seconds
 
 
+@dataclass
+class _RunState:
+    """Per-execution traversal state: the pre-order occurrence-key
+    cursor, whether the late-materialization rewrite is enabled for this
+    run, and how many subtrees it pushed.  Local to one ``execute`` call
+    so runs can never clobber each other's settings (the compiled
+    backend's ``_ExecState`` plays the same role)."""
+
+    late_mat: bool = True
+    pushed_subtrees: int = 0
+    scan_cursor: int = 0
+
+    def next_key(self, scan_keys: List[str]) -> str:
+        key = scan_keys[self.scan_cursor]
+        self.scan_cursor += 1
+        return key
+
+
 class VectorExecutor:
     """Executes logical plans over a catalog with configurable capture.
 
@@ -99,17 +119,22 @@ class VectorExecutor:
         plan: LogicalPlan,
         capture: Optional[CaptureConfig] = None,
         params: Optional[dict] = None,
+        late_materialize: bool = True,
     ) -> ExecResult:
         config = capture or CaptureConfig.none()
         scan_keys = self._assign_scan_keys(plan)
         # Validate pruning entries up front: a misspelled `relations`
         # entry must not discard a finished (possibly expensive) run.
         check_relation_pruning(config, plan, scan_keys, self.catalog, self.results)
+        state = _RunState(late_mat=bool(late_materialize))
         start = time.perf_counter()
-        table, node = self._run(plan, config, params, scan_keys, counter=[0])
+        table, node = self._run(plan, config, params, scan_keys, state)
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
-        return ExecResult(table, lineage, {"execute": elapsed})
+        timings = {"execute": elapsed}
+        if state.pushed_subtrees:
+            timings["late_mat_subtrees"] = float(state.pushed_subtrees)
+        return ExecResult(table, lineage, timings)
 
     # -- helpers -------------------------------------------------------------------
 
@@ -124,11 +149,23 @@ class VectorExecutor:
         config: CaptureConfig,
         params: Optional[dict],
         scan_keys: List[str],
-        counter: List[int],
+        state: "_RunState",
     ) -> Tuple[Table, NodeLineage]:
+        if state.late_mat:
+            # Late materialization: a Select/Project/GroupBy stack over a
+            # lineage scan runs in the rid domain instead of scanning a
+            # materialized subset.  The stack holds exactly one source
+            # leaf, so it consumes exactly one occurrence key.
+            pushed = match_late_materialization(plan)
+            if pushed is not None:
+                key = state.next_key(scan_keys)
+                state.pushed_subtrees += 1
+                return execute_pushed(
+                    pushed, key, self.catalog, self.results, config, params
+                )
+
         if isinstance(plan, Scan):
-            key = scan_keys[counter[0]]
-            counter[0] += 1
+            key = state.next_key(scan_keys)
             table = self.catalog.get(plan.table)
             captured = config.captures_relation(key, plan.table, plan.alias)
             node = NodeLineage.for_scan(
@@ -142,15 +179,14 @@ class VectorExecutor:
             return table, node
 
         if isinstance(plan, LineageScan):
-            key = scan_keys[counter[0]]
-            counter[0] += 1
+            key = state.next_key(scan_keys)
             return execute_lineage_scan(
                 plan, key, self.catalog, self.results, config, params
             )
 
         if isinstance(plan, Select):
             child_table, child_node = self._run(
-                plan.child, config, params, scan_keys, counter
+                plan.child, config, params, scan_keys, state
             )
             out, local_bw, local_fw = execute_select(
                 child_table, plan.predicate, config, params
@@ -160,7 +196,7 @@ class VectorExecutor:
 
         if isinstance(plan, Sort):
             child_table, child_node = self._run(
-                plan.child, config, params, scan_keys, counter
+                plan.child, config, params, scan_keys, state
             )
             out, local_bw, local_fw = execute_sort(child_table, plan, config)
             node = compose_node(out.num_rows, child_node, local_bw, local_fw)
@@ -168,13 +204,13 @@ class VectorExecutor:
 
         if isinstance(plan, Project):
             child_table, child_node = self._run(
-                plan.child, config, params, scan_keys, counter
+                plan.child, config, params, scan_keys, state
             )
             return self._project(plan, child_table, child_node, config, params)
 
         if isinstance(plan, GroupBy):
             child_table, child_node = self._run(
-                plan.child, config, params, scan_keys, counter
+                plan.child, config, params, scan_keys, state
             )
             schema = infer_schema(plan, self.catalog)
             out, local_bw, local_fw = execute_groupby(
@@ -185,10 +221,10 @@ class VectorExecutor:
 
         if isinstance(plan, HashJoin):
             left_table, left_node = self._run(
-                plan.left, config, params, scan_keys, counter
+                plan.left, config, params, scan_keys, state
             )
             right_table, right_node = self._run(
-                plan.right, config, params, scan_keys, counter
+                plan.right, config, params, scan_keys, state
             )
             matches = compute_matches(
                 left_table, right_table, plan.left_keys, plan.right_keys, plan.pkfk
@@ -209,10 +245,10 @@ class VectorExecutor:
 
         if isinstance(plan, ThetaJoin):
             left_table, left_node = self._run(
-                plan.left, config, params, scan_keys, counter
+                plan.left, config, params, scan_keys, state
             )
             right_table, right_node = self._run(
-                plan.right, config, params, scan_keys, counter
+                plan.right, config, params, scan_keys, state
             )
             fields = join_output_fields(left_table.schema, right_table.schema)
             src_names = left_table.schema.names + right_table.schema.names
@@ -231,10 +267,10 @@ class VectorExecutor:
 
         if isinstance(plan, CrossProduct):
             left_table, left_node = self._run(
-                plan.left, config, params, scan_keys, counter
+                plan.left, config, params, scan_keys, state
             )
             right_table, right_node = self._run(
-                plan.right, config, params, scan_keys, counter
+                plan.right, config, params, scan_keys, state
             )
             n_left, n_right = left_table.num_rows, right_table.num_rows
             fields = join_output_fields(left_table.schema, right_table.schema)
@@ -254,10 +290,10 @@ class VectorExecutor:
 
         if isinstance(plan, SetOp):
             left_table, left_node = self._run(
-                plan.left, config, params, scan_keys, counter
+                plan.left, config, params, scan_keys, state
             )
             right_table, right_node = self._run(
-                plan.right, config, params, scan_keys, counter
+                plan.right, config, params, scan_keys, state
             )
             out, (l_bw, l_fw, r_bw, r_fw) = execute_setop(
                 plan.op, plan.all, left_table, right_table, config

@@ -24,6 +24,12 @@ from ...plan.logical import AggCall
 from ...storage.table import Table
 
 
+#: Dense-domain factorize threshold: below this (or 4x the input size) the
+#: combined key codes are scattered into a first-occurrence array instead
+#: of sorted — O(n + width) versus np.unique's O(n log n).
+_DENSE_FACTORIZE_MAX = 1 << 16
+
+
 def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray]:
     """Dense group ids for composite keys, in first-occurrence order.
 
@@ -43,16 +49,40 @@ def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray
         else:
             combined = combined * domain + codes
             width *= domain
+    if width <= max(4 * n, _DENSE_FACTORIZE_MAX):
+        # Dense code domain (the common crossfilter/TPC-H shape): skip the
+        # O(n log n) sort inside np.unique.  A reversed scatter leaves, per
+        # code, its *first* occurrence (later writes win, and we write
+        # positions in descending order), and ranking those first
+        # occurrences — num_groups elements, not n — restores
+        # first-occurrence group numbering in O(n + width).
+        first = np.full(width, -1, dtype=np.int64)
+        first[combined[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+        present = np.flatnonzero(first >= 0)
+        first_idx = first[present]
+        order, rank = _rank_first_occurrence(first_idx)
+        code_map = np.empty(width, dtype=np.int64)
+        code_map[present] = rank
+        return code_map[combined], int(present.shape[0]), first_idx[order]
     uniq, first_idx, inverse = np.unique(
         combined, return_index=True, return_inverse=True
     )
     # np.unique sorts by value; re-rank so group 0 is the first seen.
-    order = np.argsort(first_idx, kind="stable")
-    rank = np.empty(order.shape[0], dtype=np.int64)
-    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    order, rank = _rank_first_occurrence(first_idx)
     group_ids = rank[inverse.reshape(-1)]
     representatives = first_idx[order].astype(np.int64)
     return group_ids, int(uniq.shape[0]), representatives
+
+
+def _rank_first_occurrence(first_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Rank distinct values by their first input occurrence: returns
+    ``(order, rank)`` where ``order`` lists value positions in
+    first-seen order and ``rank`` is its inverse permutation.  Shared by
+    both factorize paths so group numbering cannot diverge."""
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(order.shape[0], dtype=np.int64)
+    rank[order] = np.arange(order.shape[0], dtype=np.int64)
+    return order, rank
 
 
 def _codes_for(arr: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -91,19 +121,28 @@ class GroupLayout:
     ``order`` is a stable argsort of the group ids; ``offsets`` delimit each
     group's segment.  Shared by all aggregates of one GROUP BY so the sort
     happens once (this is also precisely the backward rid index layout —
-    the reuse principle P4 at work).
+    the reuse principle P4 at work).  The sort is deferred until an
+    aggregate (or the backward-index reuse path) actually needs member
+    order: COUNT-style aggregation reads only ``counts()``, so the
+    crossfilter re-aggregation shape never sorts at all.
     """
 
-    __slots__ = ("order", "offsets", "group_ids", "num_groups")
+    __slots__ = ("_order", "offsets", "group_ids", "num_groups")
 
     def __init__(self, group_ids: np.ndarray, num_groups: int):
         self.group_ids = group_ids
         self.num_groups = num_groups
-        self.order = np.argsort(group_ids, kind="stable").astype(np.int64)
+        self._order = None
         counts = np.bincount(group_ids, minlength=num_groups)
         self.offsets = np.empty(num_groups + 1, dtype=np.int64)
         self.offsets[0] = 0
         np.cumsum(counts, out=self.offsets[1:])
+
+    @property
+    def order(self) -> np.ndarray:
+        if self._order is None:
+            self._order = np.argsort(self.group_ids, kind="stable").astype(np.int64)
+        return self._order
 
     def counts(self) -> np.ndarray:
         return np.diff(self.offsets)

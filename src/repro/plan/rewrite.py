@@ -1,0 +1,137 @@
+"""Plan rewrites — late-materializing lineage scans.
+
+PR 1 made ``Lb`` / ``Lf`` SQL table expressions, but a
+:class:`~repro.plan.logical.LineageScan` leaf always *materialized* the
+traced subset — ``base.take(rids)`` over every column — before the
+enclosing operators ran.  Crossfilter-style consuming queries
+(``SELECT d, COUNT(*) FROM Lb(view, 't', :bars) GROUP BY d``) therefore
+paid a full-width copy that the paper's hand-rolled interaction kernels
+never pay: those operate directly on the rid set and touch only the
+columns the interaction reads.
+
+:func:`match_late_materialization` is the rewrite decision.  It
+recognizes a *linear* operator stack over a lineage scan::
+
+    [Project (bag)]  >  [GroupBy]  >  [Select]*  >  LineageScan
+
+and compiles it into a :class:`PushedLineageQuery`: a description both
+executors hand to :func:`repro.exec.late_mat.execute_pushed`, which
+
+* resolves the traced rid array exactly like the materializing path
+  (same registry lookup, same schema-drift and shrink guards),
+* gathers **only the columns the stack reads** at those rid positions,
+* evaluates the predicate on the rid-gathered slices,
+* feeds the aggregation kernel the (narrow) slice table,
+
+producing bit-identical output *and* bit-identical captured lineage
+(the scan's ``NodeLineage`` is built from the same rid array and
+composed through the same :func:`~repro.lineage.composer.compose_node`
+calls).
+
+Fallback rules — shapes where :func:`match_late_materialization`
+returns ``None`` and the materialize-then-scan path runs instead:
+
+* a bare ``LineageScan`` (nothing above it to push);
+* ``DISTINCT`` projection (grouping semantics live above the push; the
+  executor recursion still pushes a matching stack *underneath* it);
+* ``Sort`` / joins / set operations anywhere in the stack — but note
+  that executors attempt the match at **every** recursion level, so the
+  input of an ``ORDER BY`` / ``DISTINCT``, or a *derived table* join
+  input like ``FROM (SELECT * FROM Lb(...) WHERE p) AS s JOIN t``, is
+  still pushed when that subtree matches.  (A plain ``Lb(...) JOIN t
+  WHERE p`` does **not** push: SQL binds the WHERE above the join, so
+  the join input is a bare — unpushable — scan.);
+* anything that is not a linear Select/Project/GroupBy chain.
+
+The rewrite is purely structural — no catalog or registry access — so
+executors can afford to attempt it at every plan node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..expr.ast import BinOp, Expr
+from .logical import GroupBy, LineageScan, LogicalPlan, Project, Select
+
+
+@dataclass(frozen=True)
+class PushedLineageQuery:
+    """A matched Select/Project/GroupBy stack over one lineage scan.
+
+    ``predicate`` is the conjunction of all Select predicates in the
+    stack (``None`` when there is no filter); ``groupby`` / ``project``
+    are the original plan nodes (their ``child`` links are ignored — the
+    pushed executor supplies the rid-gathered slices instead).
+    ``columns`` is the set of base columns the stack reads — the pushed
+    path gathers only these — or ``None`` for a predicate-only stack,
+    whose output is the traced relation's **full** schema (``SELECT *
+    ... WHERE``): every source column is gathered, but only at the rids
+    that survive the predicate.
+    """
+
+    scan: LineageScan
+    predicate: Optional[Expr] = None
+    groupby: Optional[GroupBy] = None
+    project: Optional[Project] = None
+    columns: Optional[FrozenSet[str]] = frozenset()
+
+
+def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery]:
+    """The rewrite decision: a :class:`PushedLineageQuery` when ``plan``
+    is a pushable stack over a lineage scan, else ``None`` (fallback to
+    materialize-then-scan)."""
+    node = plan
+    project: Optional[Project] = None
+    groupby: Optional[GroupBy] = None
+
+    if isinstance(node, Project):
+        if node.distinct:
+            return None  # grouping semantics; push only underneath
+        project = node
+        node = node.child
+    if isinstance(node, GroupBy):
+        groupby = node
+        node = node.child
+    predicate: Optional[Expr] = None
+    while isinstance(node, Select):
+        predicate = (
+            node.predicate
+            if predicate is None
+            else BinOp("and", node.predicate, predicate)
+        )
+        node = node.child
+    if not isinstance(node, LineageScan):
+        return None
+    if project is None and groupby is None and predicate is None:
+        return None  # bare scan: nothing to push
+
+    if groupby is not None:
+        columns: set = set()
+        for expr, _ in groupby.keys:
+            columns |= expr.columns()
+        for agg in groupby.aggs:
+            if agg.arg is not None:
+                columns |= agg.arg.columns()
+        # HAVING runs over the aggregate *output*, not base columns.
+        if predicate is not None:
+            columns |= predicate.columns()
+    elif project is not None:
+        columns = set(predicate.columns()) if predicate is not None else set()
+        for expr, _ in project.exprs:
+            columns |= expr.columns()
+    else:
+        # Predicate-only stack: the output is the full traced relation,
+        # so every source column is (late-)gathered at surviving rids.
+        return PushedLineageQuery(
+            scan=node, predicate=predicate, columns=None
+        )
+
+    return PushedLineageQuery(
+        scan=node,
+        predicate=predicate,
+        groupby=groupby,
+        project=project,
+        columns=frozenset(columns),
+    )

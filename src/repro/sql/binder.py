@@ -280,24 +280,63 @@ class _SelectBinder:
     ) -> List[Tuple[str, str]]:
         pairs = []
         for a, b in clause.conditions:
-            side_a = self.scope_side_for_on(a, clause, boundary, right_names)
-            side_b = self.scope_side_for_on(b, clause, boundary, right_names)
-            if {side_a, side_b} != {"left", "right"}:
-                raise SqlError("JOIN ON condition must relate both sides")
+            side_a, side_b = self._assign_on_sides(
+                self.scope_side_for_on(a, clause, boundary, right_names),
+                self.scope_side_for_on(b, clause, boundary, right_names),
+            )
             left_ref, right_ref = (a, b) if side_a == "left" else (b, a)
             pairs.append((self.scope.resolve(left_ref), right_ref.name))
         return pairs
+
+    @staticmethod
+    def _assign_on_sides(side_a: str, side_b: str) -> Tuple[str, str]:
+        """Settle one ON condition's sides from per-reference candidates.
+
+        A reference may be satisfiable by ``"both"`` sides — e.g. ``FROM
+        Lb(res, 't') JOIN t ON t.z = t.z``, where the qualifier ``t``
+        names the lineage scan's default alias *and* the joining table.
+        An ambiguous reference takes the side its partner cannot, and a
+        fully ambiguous condition breaks the tie left-preferring (the
+        written order: first operand left, second right) — so self-joins
+        back to a FROM item's own base table need no explicit alias.
+
+        This deliberately resolves rather than rejects ambiguity: the
+        "must relate both sides" constraint pins every tied reference to
+        exactly one side (given its partner), and the written-order rule
+        makes the remaining fully-tied case deterministic.  Qualify the
+        reference to override.
+        """
+        if side_a == "both":
+            side_a = "right" if side_b == "left" else "left"
+        if side_b == "both":
+            side_b = "right" if side_a == "left" else "left"
+        if {side_a, side_b} != {"left", "right"}:
+            raise SqlError("JOIN ON condition must relate both sides")
+        return side_a, side_b
 
     def scope_side_for_on(
         self, ref: RawColumn, clause: JoinClause, boundary: int,
         right_names: Sequence[str],
     ) -> str:
+        """Which side(s) of the join can satisfy ``ref``: ``"left"``,
+        ``"right"``, or ``"both"`` (a qualifier tie, settled per
+        condition by :meth:`_assign_on_sides`)."""
         if ref.qualifier is not None:
-            if ref.qualifier in (clause.ref.alias, clause.ref.table):
+            in_left = any(
+                e.alias == ref.qualifier or e.table == ref.qualifier
+                for e in self.scope.entries
+            )
+            in_right = ref.qualifier in (clause.ref.alias, clause.ref.table)
+            if in_left and in_right:
+                return "both"
+            if in_right:
                 return "right"
             return "left"
-        if ref.name in right_names:
-            # Prefer the joining table for unqualified names it can satisfy.
+        in_left = any(ref.name in e.col_map for e in self.scope.entries)
+        in_right = ref.name in right_names
+        if in_left and in_right:
+            return "both"
+        if in_right:
             return "right"
         return "left"
 

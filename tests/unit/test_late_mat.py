@@ -1,0 +1,385 @@
+"""Late-materializing lineage scans: rewrite match/fallback decisions,
+pushed-path equivalence on fixed shapes, the bounded result registry,
+and the binder's left-preferring ON-qualifier tie-break."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ResultRegistry
+from repro.errors import PlanError, SqlError
+from repro.expr.ast import Col
+from repro.lineage.capture import CaptureConfig, CaptureMode
+from repro.plan.logical import (
+    AggCall,
+    GroupBy,
+    HashJoin,
+    LineageScan,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    col,
+)
+from repro.plan.rewrite import match_late_materialization
+from repro.storage import Table
+
+BACKENDS = ("vector", "compiled")
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table(
+        "t",
+        Table(
+            {
+                "z": np.array([1, 1, 2, 2, 2, 3], dtype=np.int64),
+                "v": np.array([10.0, 11.0, 12.0, 13.0, 14.0, 15.0]),
+                "w": np.array([0, 1, 0, 1, 0, 1], dtype=np.int64),
+            }
+        ),
+    )
+    return db
+
+
+@pytest.fixture
+def prev(db):
+    return db.sql(
+        "SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+        capture=CaptureMode.INJECT,
+        name="prev",
+    )
+
+
+def _scan():
+    return LineageScan(result="prev", relation="t", direction="backward")
+
+
+class TestRewriteMatch:
+    def test_bare_scan_not_pushed(self):
+        assert match_late_materialization(_scan()) is None
+
+    def test_select_over_scan_pushed_full_width(self):
+        pushed = match_late_materialization(Select(_scan(), col("v") > 12))
+        assert pushed is not None
+        # Predicate-only stack: the output is the whole traced relation.
+        assert pushed.columns is None
+        assert pushed.groupby is None and pushed.project is None
+
+    def test_stacked_selects_fold_into_one_predicate(self):
+        plan = Project(
+            Select(Select(_scan(), col("v") > 12), col("w").eq(0)),
+            [(col("z"), "z")],
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None
+        assert pushed.columns == frozenset({"v", "w", "z"})
+
+    def test_full_stack_pushed(self, db, prev):
+        plan = db.parse(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') WHERE v > 12 GROUP BY z"
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None
+        assert pushed.project is not None and pushed.groupby is not None
+        assert pushed.columns == frozenset({"z", "v"})
+
+    def test_groupby_columns_include_agg_args_not_having(self):
+        plan = GroupBy(
+            _scan(),
+            [(col("z"), "z")],
+            [AggCall("sum", col("v"), "s")],
+            having=Col("s") > 20,
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed.columns == frozenset({"z", "v"})
+
+    def test_distinct_projection_falls_back(self):
+        plan = Project(_scan(), [(col("z"), "z")], distinct=True)
+        assert match_late_materialization(plan) is None
+
+    def test_join_falls_back(self):
+        plan = HashJoin(_scan(), Scan("t"), ("z",), ("z",))
+        assert match_late_materialization(plan) is None
+
+    def test_sort_root_falls_back(self):
+        plan = Sort(Select(_scan(), col("v") > 12), [("z", False)])
+        assert match_late_materialization(plan) is None
+
+    def test_non_lineage_leaf_falls_back(self):
+        assert match_late_materialization(Select(Scan("t"), col("v") > 12)) is None
+
+
+class TestPushedExecution:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pushed_marks_timings(self, db, prev, backend):
+        res = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+            backend=backend,
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        off = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+            backend=backend,
+            late_materialize=False,
+        )
+        assert "late_mat_subtrees" not in off.timings
+        assert res.table.to_rows() == off.table.to_rows()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sort_over_pushed_stack_still_pushes_below(self, db, prev, backend):
+        res = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') WHERE v > 10 "
+            "GROUP BY z ORDER BY c DESC",
+            backend=backend,
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.table.column("c").tolist() == [3, 1, 1]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_join_input_stack_is_pushed(self, db, prev, backend):
+        """A filtered-Lb *derived table* is a join input whose subtree
+        matches, so it pushes even though the enclosing join does not.
+        (A plain `Lb JOIN ... WHERE` binds the WHERE above the join,
+        leaving a bare — unpushable — scan; see the next test.)"""
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        plan = db.parse(
+            "SELECT label, COUNT(*) AS c FROM "
+            "(SELECT * FROM Lb(prev, 't', :bars) WHERE v > 10) AS s "
+            "JOIN names ON s.z = names.z GROUP BY label"
+        )
+        res = db.execute(plan, params={"bars": [0, 1]}, backend=backend)
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        off = db.execute(
+            plan, params={"bars": [0, 1]}, backend=backend, late_materialize=False
+        )
+        assert res.table.to_rows() == off.table.to_rows()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_plain_join_where_binds_above_and_falls_back(self, db, prev, backend):
+        """`Lb(...) JOIN t WHERE p` binds the WHERE above the join, so the
+        join input is a bare scan and the whole statement falls back."""
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        res = db.sql(
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+            "JOIN names ON t.z = names.z WHERE v > 10 GROUP BY label",
+            params={"bars": [0, 1]},
+            backend=backend,
+        )
+        assert "late_mat_subtrees" not in res.timings
+        assert res.table.column("c").tolist() == [1, 3]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_count_star_only_touches_no_columns(self, db, prev, backend):
+        res = db.sql(
+            "SELECT COUNT(*) AS c FROM Lb(prev, 't')", backend=backend
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.table.column("c").tolist() == [6]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_select_star_with_where_keeps_full_schema(self, db, prev, backend):
+        """Regression: a predicate-only stack must output every source
+        column, not just the predicate's (SELECT * emits no Project)."""
+        res = db.sql(
+            "SELECT * FROM Lb(prev, 't') WHERE v > 12", backend=backend
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.table.schema.names == ["z", "v", "w"]
+        off = db.sql(
+            "SELECT * FROM Lb(prev, 't') WHERE v > 12",
+            backend=backend,
+            late_materialize=False,
+        )
+        assert res.table.to_rows() == off.table.to_rows()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_distinct_over_filtered_scan(self, db, prev, backend):
+        """Regression: DISTINCT above a pushed Select sees all columns."""
+        res = db.sql(
+            "SELECT DISTINCT z FROM Lb(prev, 't') WHERE v > 10",
+            backend=backend,
+        )
+        assert res.table.column("z").tolist() == [1, 2, 3]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_order_by_over_filtered_scan(self, db, prev, backend):
+        res = db.sql(
+            "SELECT * FROM Lb(prev, 't') WHERE v > 12 ORDER BY v DESC",
+            backend=backend,
+        )
+        assert res.table.column("v").tolist() == [15.0, 14.0, 13.0]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_lf_stack_pushed(self, db, prev, backend):
+        res = db.sql(
+            "SELECT z FROM Lf('t', prev, :rows) WHERE c > 1",
+            params={"rows": [0, 2, 5]},
+            backend=backend,
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.table.column("z").tolist() == [1, 2]
+
+    def test_pushed_lineage_identical_to_materialized(self, db, prev):
+        stmt = "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') WHERE v > 10 GROUP BY z"
+        on = db.sql(stmt, capture=CaptureMode.INJECT)
+        off = db.sql(stmt, capture=CaptureMode.INJECT, late_materialize=False)
+        probes = list(range(len(on)))
+        assert np.array_equal(on.backward(probes, "t"), off.backward(probes, "t"))
+        base_probes = list(range(db.table("t").num_rows))
+        assert np.array_equal(
+            on.forward("t", base_probes), off.forward("t", base_probes)
+        )
+
+    def test_pushed_defer_capture(self, db, prev):
+        on = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+            capture=CaptureMode.DEFER,
+        )
+        off = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+            capture=CaptureMode.DEFER,
+            late_materialize=False,
+        )
+        assert np.array_equal(on.backward([1], "t"), off.backward([1], "t"))
+
+    def test_pushed_relations_pruning(self, db, prev):
+        res = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+            capture=CaptureConfig.inject(relations={"t"}),
+        )
+        assert res.lineage.relations == ["t"]
+
+    def test_drift_guards_still_raise_on_pushed_path(self, db, prev):
+        plan = db.parse("SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z")
+        db.create_table(
+            "t",
+            Table({"z": np.array([9], dtype=np.int64),
+                   "v": np.array([0.0]),
+                   "w": np.array([0], dtype=np.int64)}),
+            replace=True,
+        )
+        with pytest.raises(PlanError, match="replaced"):
+            db.execute(plan)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_predicate_column_raises_like_materialized(
+        self, db, prev, backend
+    ):
+        scan = LineageScan(result="prev", relation="t", direction="backward")
+        plan = Select(scan, col("nope") > 1)
+        with pytest.raises(Exception, match="nope"):
+            db.execute(plan, backend=backend)
+        with pytest.raises(Exception, match="nope"):
+            db.execute(plan, backend=backend, late_materialize=False)
+
+
+class TestResultRegistryBounds:
+    def _result(self, db):
+        return db.sql(
+            "SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+            capture=CaptureMode.INJECT,
+        )
+
+    def test_lru_eviction(self, db):
+        db.register_result("a", self._result(db), max_results=2)
+        db.register_result("b", self._result(db))
+        db.register_result("c", self._result(db))
+        assert db.results() == ["b", "c"]
+
+    def test_access_refreshes_recency(self, db):
+        db.register_result("a", self._result(db), max_results=2)
+        db.register_result("b", self._result(db))
+        db.result("a")  # touch: 'b' is now least recently used
+        db.register_result("c", self._result(db))
+        assert db.results() == ["a", "c"]
+
+    def test_sql_consumption_refreshes_recency(self, db):
+        db.sql("SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+               capture=CaptureMode.INJECT, name="a")
+        db.register_result("b", self._result(db), max_results=2)
+        db.sql("SELECT COUNT(*) AS c FROM Lb(a, 't')")  # touches 'a'
+        db.register_result("c", self._result(db))
+        assert db.results() == ["a", "c"]
+
+    def test_pinned_entries_survive(self, db):
+        db.register_result("keep", self._result(db), pin=True, max_results=1)
+        db.register_result("a", self._result(db))
+        db.register_result("b", self._result(db))
+        assert db.results() == ["b", "keep"]
+
+    def test_constructor_bound(self):
+        db = Database(max_results=1)
+        db.create_table("t", Table({"z": np.array([1, 2], dtype=np.int64)}))
+        r = db.sql("SELECT z FROM t", capture=CaptureMode.INJECT)
+        db.register_result("a", r)
+        db.register_result("b", r)
+        assert db.results() == ["b"]
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(PlanError, match="positive"):
+            ResultRegistry().set_max_results(0)
+
+    def test_evicted_result_unknown_to_sql(self, db):
+        db.register_result("a", self._result(db), max_results=1)
+        db.register_result("b", self._result(db))
+        with pytest.raises(SqlError, match="unknown result"):
+            db.parse("SELECT z FROM Lb(a, 't')")
+
+    def test_drop_clears_pin(self, db):
+        db.register_result("a", self._result(db), pin=True)
+        db.drop_result("a")
+        assert db.results() == []
+
+    def test_crossfilter_views_survive_registry_pressure(self, db):
+        from repro.apps.crossfilter import CrossfilterSession
+
+        db.register_result("junk", self._result(db), max_results=1)
+        session = CrossfilterSession.from_database(db, "t", ("z", "w"), "bt")
+        for _ in range(3):
+            db.register_result("junk", self._result(db))
+        counts = session.brush("z", 1)  # still answers via SQL + registry
+        assert counts["w"].sum() == 3
+        session.close()
+
+
+class TestOnQualifierTieBreak:
+    def test_lb_self_join_needs_no_alias(self, db, prev):
+        res = db.sql("SELECT t.v FROM Lb(prev, 't', 0) JOIN t ON t.z = t.z")
+        # Bar 0 traces rows {0, 1} (z=1); joining back on z pairs them.
+        assert sorted(res.table.column("v").tolist()) == [10.0, 10.0, 11.0, 11.0]
+
+    def test_plain_self_join_needs_no_alias(self, db):
+        res = db.sql("SELECT COUNT(*) AS c FROM t JOIN t ON t.z = t.z")
+        assert res.table.column("c").tolist() == [2 * 2 + 3 * 3 + 1]
+
+    def test_one_sided_tie_takes_complement(self, db):
+        # 'a' is left-only, so the tied 't' must read as the joining side.
+        res = db.sql("SELECT a.z FROM t AS a JOIN t ON a.z = t.z")
+        assert len(res) == 14
+
+    def test_unqualified_tie_resolves_against_partner(self, db):
+        db.create_table(
+            "u", Table({"z": np.array([9, 9], dtype=np.int64),
+                        "only_u": np.array([1, 3], dtype=np.int64)})
+        )
+        # 'z' exists on both sides; 'only_u' pins the right, so z = left
+        # (t.z, not u.z — matching z values 1 and 3, never 9).
+        res = db.sql("SELECT COUNT(*) AS c FROM t JOIN u ON z = only_u")
+        assert res.table.column("c").tolist() == [3]
+
+    def test_unrelated_condition_still_rejected(self, db):
+        with pytest.raises(SqlError, match="both sides"):
+            db.sql("SELECT t.z FROM t AS a JOIN t AS b ON a.z = a.z")
