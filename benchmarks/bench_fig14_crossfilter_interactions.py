@@ -3,17 +3,24 @@
 Paper shape: BT+FT under the 150ms threshold for all but a handful of
 very-high-lineage bars; spatiotemporal views respond <10ms.
 
-Beyond the paper's four hand-rolled techniques, two declarative axes
+Beyond the paper's four hand-rolled techniques, three declarative axes
 run the BT interaction as lineage-consuming SQL over registered views
 (``CrossfilterSession.from_database``):
 
-* ``sql-pushed`` — the late-materializing rewrite executes each
-  re-aggregation in the rid domain (:mod:`repro.plan.rewrite`);
-* ``sql-materialized`` — the same statements with the rewrite disabled,
-  i.e. the PR-1 materialize-then-scan baseline.
+* ``sql-prepared`` — the prepared/session path: per-view statements are
+  parsed/bound/rewritten once, ``:bars`` binds into the cached plan, and
+  the session's :class:`~repro.lineage.cache.LineageResolutionCache`
+  resolves each brush's rid set once across all views;
+* ``sql-pushed`` — one-shot statements per interaction, with the
+  late-materializing rewrite executing each re-aggregation in the rid
+  domain (:mod:`repro.plan.rewrite`);
+* ``sql-materialized`` — the same one-shot statements with the rewrite
+  disabled, i.e. the PR-1 materialize-then-scan baseline.
 
-Comparing those two against ``bt`` shows how close crossfilter-over-SQL
-gets to the hand-rolled kernels once materialization is pushed away.
+Comparing those against ``bt`` shows how close crossfilter-over-SQL gets
+to the hand-rolled kernels: pushing materialization away closes most of
+the gap, and preparing the statements (this PR) closes most of the rest
+on repeated-brush traffic.
 """
 
 import pytest
@@ -24,7 +31,10 @@ from repro.api import Database
 from repro.apps.crossfilter import CrossfilterSession
 from repro.datagen import VIEW_DIMENSIONS
 
-TECHNIQUES = ("lazy", "bt", "bt+ft", "cube", "sql-pushed", "sql-materialized")
+TECHNIQUES = (
+    "lazy", "bt", "bt+ft", "cube",
+    "sql-prepared", "sql-pushed", "sql-materialized",
+)
 
 
 @pytest.fixture(scope="module")
@@ -35,11 +45,17 @@ def sessions(ontime_table):
     }
     db = Database()
     db.create_table("ontime", ontime_table)
+    built["sql-prepared"] = CrossfilterSession.from_database(
+        db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=True,
+        prepared=True,
+    )
     built["sql-pushed"] = CrossfilterSession.from_database(
-        db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=True
+        db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=True,
+        prepared=False,
     )
     built["sql-materialized"] = CrossfilterSession.from_database(
-        db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=False
+        db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=False,
+        prepared=False,
     )
     return built
 

@@ -1,4 +1,5 @@
-"""Lineage consuming queries in SQL: Lb(...) and Lf(...) as relations.
+"""Lineage consuming queries in SQL: Lb(...) and Lf(...) as relations,
+one-shot and *prepared*.
 
 The paper's headline use case (Section 2.1) is queries whose *input* is
 the lineage of a prior result.  This walkthrough registers a captured
@@ -11,25 +12,36 @@ aggregate under a name, then drives it entirely from SQL:
 * aggregations, filters, and joins compose over those scans like over any
   other relation, on both the vector and the compiled backend.
 
-Every step cross-checks against the Python-level lineage API, so this is
-an executable specification of the SQL/lineage boundary.
+Execution is configured with :class:`repro.ExecOptions` — the loose
+``capture=`` / ``backend=`` / ``name=`` keyword arguments still work but
+are deprecated (one ``DeprecationWarning`` per call site).
 
-The final section demonstrates *late materialization*
-(:mod:`repro.plan.rewrite`): filter/projection/aggregation stacks over
-``Lb``/``Lf`` execute directly in the rid domain — gathering only the
-columns the statement touches — instead of copying the traced subset
-full-width first.  The rewrite is on by default; ``late_materialize=
-False`` forces the materialize-then-scan path, and the demo shows both
-produce identical rows, identical lineage, and very different timings.
+The second half demonstrates the **prepared / session API**, the way
+interactive workloads should issue these statements:
+
+* ``db.prepare(stmt)`` caches lex/parse/bind and the late-materialization
+  rewrite once; ``run(params=...)`` only binds ``:params`` (including the
+  rid argument of ``Lb``/``Lf`` and ``IN :list`` selections);
+* ``db.session()`` shares one lineage rid-resolution cache across all of
+  a session's statements, so a brush's N per-view statements resolve the
+  brushed rid set once — and repeated identical brushes, zero times.
+
+Every step cross-checks against the Python-level lineage API and the
+one-shot path, so this is an executable specification of the
+SQL/lineage/prepared boundary.
 
 Run:  python examples/lineage_consuming_queries.py
 """
 
+import time
+
 import numpy as np
 
-from repro.api import Database
-from repro.lineage.capture import CaptureMode
+from repro.api import Database, ExecOptions
+from repro.lineage.capture import CaptureConfig, CaptureMode
 from repro.storage import Table
+
+CAPTURE = ExecOptions(capture=CaptureMode.INJECT)
 
 
 def main() -> None:
@@ -52,8 +64,7 @@ def main() -> None:
     # 1. Base query with capture, registered for lineage-consuming SQL.
     prev = db.sql(
         "SELECT region, COUNT(*) AS orders FROM sales GROUP BY region",
-        capture=CaptureMode.INJECT,
-        name="prev",
+        options=CAPTURE.with_(name="prev"),
     )
     print("Base query (registered as 'prev'):")
     for i in range(len(prev)):
@@ -78,7 +89,7 @@ def main() -> None:
         "SELECT product, COUNT(*) AS c, SUM(amount) AS rev "
         "FROM Lb(prev, 'sales', :bars) GROUP BY product",
         params={"bars": [bar]},
-        backend="compiled",
+        options=ExecOptions(backend="compiled"),
     )
     assert np.array_equal(compiled.table.column("c"), drill.table.column("c"))
     print("Compiled backend agrees with the vector backend.")
@@ -88,7 +99,7 @@ def main() -> None:
     traced = db.sql(
         "SELECT * FROM Lb(prev, 'sales', :bars)",
         params={"bars": [bar]},
-        capture=CaptureMode.INJECT,
+        options=CAPTURE,
     )
     rids = traced.backward(np.arange(len(traced)), "sales")
     assert np.array_equal(rids, prev.backward([bar], "sales"))
@@ -100,7 +111,7 @@ def main() -> None:
     marks = db.sql(
         "SELECT * FROM Lf('sales', prev, :rows)",
         params={"rows": rows},
-        capture=CaptureMode.INJECT,
+        options=CAPTURE,
     )
     highlighted = marks.backward(np.arange(len(marks)), "prev")
     assert np.array_equal(highlighted, prev.forward("sales", rows))
@@ -126,41 +137,78 @@ def main() -> None:
     print(f"Join over the lineage scan: label "
           f"{joined.table.column('label')[0]!r} -> {expected_rows} rows")
 
-    # 7. Late materialization: the drill-down statement is a
-    #    GroupBy-over-Lb stack, so by default it runs in the rid domain —
-    #    only `product` and `amount` are ever gathered, never `region`.
-    #    Disabling the rewrite materializes the full traced subset first;
-    #    rows and lineage are identical either way.
-    import time
-
-    plan = db.parse(
-        "SELECT product, COUNT(*) AS c, SUM(amount) AS rev "
-        "FROM Lb(prev, 'sales', :bars) GROUP BY product"
+    # 7. Prepared statements: bind once, run many times.  ``run`` only
+    #    fills the parameter slots — here the Lb rid argument and an
+    #    ``IN :products`` value selection — into the cached plan.
+    stmt = db.prepare(
+        "SELECT product, COUNT(*) AS c FROM Lb(prev, 'sales', :bars) "
+        "WHERE product IN :products GROUP BY product"
     )
-    params = {"bars": [bar]}
+    assert sorted(stmt.param_names) == ["bars", "products"]
+    a = stmt.run(params={"bars": [bar], "products": [1, 2, 3]})
+    b = db.sql(
+        "SELECT product, COUNT(*) AS c FROM Lb(prev, 'sales', :bars) "
+        "WHERE product IN :products GROUP BY product",
+        params={"bars": [bar], "products": [1, 2, 3]},
+    )
+    assert a.table.to_rows() == b.table.to_rows()
+    print(f"\nPrepared statement {stmt!r}\n  matches the one-shot path.")
 
-    def run(late_materialize):
+    # 8. Sessions: a brush's statements share one rid-resolution cache.
+    #    Both statements below trace (prev, 'sales', :bars) — the second
+    #    one reuses the first one's resolved rid set, and a repeated
+    #    brush reuses everything.
+    sess = db.session(options=ExecOptions(
+        capture=CaptureConfig.inject(forward=False)
+    ))
+    for _ in range(2):  # two identical "brushes"
+        sess.sql("SELECT region FROM Lb(prev, 'sales', :bars)",
+                 params={"bars": [bar]})
+        sess.sql("SELECT product, COUNT(*) AS c "
+                 "FROM Lb(prev, 'sales', :bars) GROUP BY product",
+                 params={"bars": [bar]})
+    stats = sess.lineage_cache.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 3
+    print(f"Session lineage cache after 2 brushes x 2 statements: {stats} "
+          "(one resolution served all four).")
+
+    # 9. Re-registering 'prev' advances its epoch: the session re-resolves
+    #    instead of serving stale rids, with no re-preparation needed.
+    db.sql("SELECT region, COUNT(*) AS orders FROM sales GROUP BY region",
+           options=CAPTURE.with_(name="prev"))
+    sess.sql("SELECT region FROM Lb(prev, 'sales', :bars)",
+             params={"bars": [bar]})
+    assert sess.lineage_cache.stats()["misses"] == 2
+    print("Epoch-based invalidation re-resolved after re-registration.")
+
+    # 10. Late materialization + preparation: the drill-down statement is
+    #     a GroupBy-over-Lb stack, so it runs in the rid domain — only
+    #     `product` and `amount` are ever gathered — and the prepared
+    #     path additionally skips re-parse/re-bind/re-match per run.
+    #     Rows and lineage are identical on every path.
+    text = ("SELECT product, COUNT(*) AS c, SUM(amount) AS rev "
+            "FROM Lb(prev, 'sales', :bars) GROUP BY product")
+    params = {"bars": [bar]}
+    prepared = db.prepare(text)
+
+    def timed(fn):
         start = time.perf_counter()
         for _ in range(20):
-            res = db.execute(plan, params=params,
-                             late_materialize=late_materialize)
+            res = fn()
         return res, (time.perf_counter() - start) / 20
 
-    pushed, pushed_s = run(True)
-    materialized, materialized_s = run(False)
-    assert pushed.timings.get("late_mat_subtrees") == 1.0
+    pushed, pushed_s = timed(lambda: db.sql(text, params=params))
+    prepped, prepped_s = timed(lambda: prepared.run(params))
+    materialized, materialized_s = timed(lambda: db.sql(
+        text, params=params, options=ExecOptions(late_materialize=False)
+    ))
+    assert prepped.timings.get("late_mat_subtrees") == 1.0
     assert "late_mat_subtrees" not in materialized.timings
-    assert pushed.table.to_rows() == materialized.table.to_rows()
-    cap_pushed = db.execute(plan, params=params, capture=CaptureMode.INJECT)
-    cap_mat = db.execute(plan, params=params, capture=CaptureMode.INJECT,
-                         late_materialize=False)
-    probes = np.arange(len(cap_pushed))
-    assert np.array_equal(
-        cap_pushed.backward(probes, "sales"), cap_mat.backward(probes, "sales")
-    )
-    print(f"\nLate materialization: pushed {pushed_s * 1e3:.2f}ms vs "
-          f"materialized {materialized_s * 1e3:.2f}ms per drill-down "
-          "(identical rows and lineage).")
+    assert prepped.table.to_rows() == pushed.table.to_rows()
+    assert prepped.table.to_rows() == materialized.table.to_rows()
+    print(f"\nDrill-down per run: prepared {prepped_s * 1e3:.2f}ms vs "
+          f"one-shot pushed {pushed_s * 1e3:.2f}ms vs materialized "
+          f"{materialized_s * 1e3:.2f}ms (identical rows and lineage).")
 
     print("\nAll lineage-consuming SQL cross-checks passed.")
 

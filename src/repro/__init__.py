@@ -3,20 +3,24 @@ Speed* (Psallidas & Wu, VLDB 2018).
 
 Quick tour::
 
-    from repro import Database, CaptureMode, Table
+    from repro import Database, CaptureMode, ExecOptions, Table
 
     db = Database()
     db.create_table("zipf", make_zipf_table(1_000_000, groups=1_000))
     res = db.sql("SELECT z, COUNT(*) AS c FROM zipf GROUP BY z",
-                 capture=CaptureMode.INJECT)
+                 options=ExecOptions(capture=CaptureMode.INJECT))
     rids = res.backward([0], "zipf")       # backward lineage query
     outs = res.forward("zipf", rids)        # forward lineage query
+
+Repeated interactive statements should go through the prepared layer —
+``db.prepare(...)`` / ``db.session()`` — which caches plan binding and
+memoizes lineage rid-resolution across statements (see :mod:`repro.api`).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
 
-from .api import Database, QueryResult
+from .api import Database, ExecOptions, PreparedQuery, QueryResult, Session
 from .errors import (
     CaptureDisabledError,
     CatalogError,
@@ -25,6 +29,7 @@ from .errors import (
     ReproError,
     SchemaError,
     SqlError,
+    StaleBindingError,
     WorkloadError,
 )
 from .lineage.capture import CaptureConfig, CaptureMode, QueryLineage
@@ -50,10 +55,12 @@ __all__ = [
     "CatalogError",
     "ColumnType",
     "Database",
+    "ExecOptions",
     "FilteredBackwardSpec",
     "ForwardSpec",
     "LineageError",
     "PlanError",
+    "PreparedQuery",
     "QueryLineage",
     "QueryResult",
     "ReproError",
@@ -61,8 +68,10 @@ __all__ = [
     "RidIndex",
     "Schema",
     "SchemaError",
+    "Session",
     "SkippingSpec",
     "SqlError",
+    "StaleBindingError",
     "Table",
     "Workload",
     "WorkloadError",

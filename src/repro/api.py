@@ -1,4 +1,4 @@
-"""Public entry point: the :class:`Database` facade.
+"""Public entry point: the :class:`Database` facade and its session layer.
 
 A :class:`Database` owns a catalog of named in-memory tables and executes
 logical plans (or SQL) on either backend, with lineage capture configured
@@ -7,21 +7,62 @@ output table, the lineage handle, and helpers for running *lineage
 consuming queries* — queries whose input relation is the backward (or
 forward) lineage of a previous result (paper Section 2.1).
 
+Execution options
+-----------------
+How a statement runs is described by one value, :class:`ExecOptions` —
+capture configuration, backend, result registration (``name`` / ``pin``),
+and the late-materialization toggle:
+
+>>> db.sql("SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+...        options=ExecOptions(capture=CaptureMode.INJECT, name="prev"))
+
+The pre-existing loose keyword arguments (``capture=``, ``backend=``,
+``name=``, ``pin=``, ``late_materialize=`` on :meth:`Database.execute` /
+:meth:`Database.sql`) still work as thin shims that fold into
+``ExecOptions``, but they are **deprecated** and emit a
+``DeprecationWarning`` once per call site.
+
+Prepared statements and sessions
+--------------------------------
+Interactive workloads (crossfilter, linked brushing) issue the *same*
+statements per interaction, varying only parameters.  The prepared layer
+amortizes every per-statement cost:
+
+>>> stmt = db.prepare("SELECT d, COUNT(*) AS c "
+...                   "FROM Lb(view, 't', :bars) GROUP BY d")
+>>> stmt.run(params={"bars": [0]})        # no re-lex/parse/bind/rewrite
+>>> stmt.run(params={"bars": [3, 4]})     # just bind :bars and execute
+
+A :class:`PreparedQuery` caches the bound logical plan **and** the
+late-materialization rewrite decision (:func:`repro.plan.rewrite.
+precompute_rewrites`); parameter slots — scalar ``:p`` predicates,
+``IN :values`` lists, and the rid argument of ``Lb``/``Lf`` — survive
+binding and are filled at ``run()`` time without re-planning.
+
+A :class:`Session` groups prepared statements under shared defaults and a
+shared :class:`~repro.lineage.cache.LineageResolutionCache`:
+
+>>> sess = db.session(options=ExecOptions(capture=CaptureMode.INJECT))
+>>> sess.sql("SELECT a, COUNT(*) AS c FROM Lb(v, 't', :bars) GROUP BY a",
+...          params={"bars": bars})    # auto-prepared, memoized by text
+
+Within a session, the N per-view statements of one brush resolve the
+brushed lineage **once**: the cache memoizes resolved backward/forward
+rid sets per ``(result, relation, rid-subset)`` and invalidates entries
+by registry epoch when a result name is re-registered.  ``Session.sql``
+also re-prepares transparently when a cached plan's frozen schema drifts
+(:class:`~repro.errors.StaleBindingError`).
+
 Lineage consuming SQL
 ---------------------
-Beyond the Python helpers (:meth:`QueryResult.backward`,
-:meth:`QueryResult.backward_table`, ...), lineage is a first-class SQL
-citizen: register a captured result under a name and use ``Lb`` / ``Lf``
-as table expressions in later statements.
+Register a captured result under a name and use ``Lb`` / ``Lf`` as table
+expressions in later statements:
 
->>> db = Database()
->>> db.create_table("t", Table({"z": [1, 1, 2], "v": [1.0, 2.0, 3.0]}))
 >>> prev = db.sql("SELECT z, COUNT(*) AS c FROM t GROUP BY z",
-...               capture=CaptureMode.INJECT, name="prev")
+...               options=ExecOptions(capture=CaptureMode.INJECT,
+...                                   name="prev"))
 >>> db.sql("SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z")
-...
 >>> db.sql("SELECT * FROM Lf('t', prev, :rows)", params={"rows": [0, 1]})
-...
 
 ``Lb(prev, 't')`` scans the rows of base relation ``t`` that contributed
 to (a subset of) ``prev``'s output; ``Lf('t', prev)`` scans the rows of
@@ -31,36 +72,127 @@ subset; omitted, every row is traced.  Both work on either backend, join
 and aggregate like any other relation, and are themselves captured, so
 lineage chains across interactive sessions.
 
+Registered results live in a bounded registry: ``Database(max_results=N)``
+bounds the entry count, ``Database(max_result_bytes=B)`` bounds the bytes
+held by their lineage indexes (measured by
+:meth:`~repro.lineage.capture.QueryLineage.memory_bytes`); either bound
+evicts least-recently-used unpinned entries.  Replacing a *base table*
+that captured lineage traces to advances a catalog epoch, so consuming
+stale rids raises instead of answering against the new rows.
+
 Relation naming in lineage queries
 ----------------------------------
 Lineage lookups accept the base table name, the ``name#i`` occurrence key
 of a self-join, or the SQL correlation name: after ``FROM t AS a JOIN t
 AS b ...``, ``result.backward([0], "a")`` traces through the first
 occurrence specifically, while ``"t"`` raises for being ambiguous.
-
-Example
--------
->>> db = Database()
->>> db.create_table("zipf", Table({"z": [1, 1, 2], "v": [1.0, 2.0, 3.0]}))
->>> res = db.sql("SELECT z, COUNT(*) AS cnt FROM zipf GROUP BY z",
-...              capture=CaptureMode.INJECT)
->>> res.lineage.backward([0], "zipf")
-array([0, 1])
 """
 
 from __future__ import annotations
 
+import sys
+import warnings
 from collections import OrderedDict
-from typing import Dict, Iterator, Mapping, Optional, Union
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
-from .errors import PlanError
+from .errors import PlanError, StaleBindingError
 from .exec.vector.executor import ExecResult, VectorExecutor
+from .lineage.cache import LineageResolutionCache
 from .lineage.capture import CaptureConfig, CaptureMode, QueryLineage
-from .plan.logical import LogicalPlan
+from .plan.logical import LineageScan, LogicalPlan, walk
+from .plan.rewrite import RewriteIndex, precompute_rewrites
 from .storage.catalog import Catalog
 from .storage.table import Table
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """How one statement (or a whole session) executes.
+
+    Attributes
+    ----------
+    capture:
+        A :class:`CaptureMode` for the common case, a full
+        :class:`CaptureConfig` for pruning/hints, or ``None`` for no
+        capture (the paper's Baseline).
+    backend:
+        ``"vector"`` or ``"compiled"``.
+    name:
+        Register the result under this name for lineage-consuming SQL
+        (``FROM Lb(name, ...)``); re-registering advances the name's
+        epoch, invalidating cached rid resolutions.
+    pin:
+        Exempt the registered result from registry eviction bounds.
+    late_materialize:
+        ``False`` disables the lineage-scan push-down rewrite
+        (:mod:`repro.plan.rewrite`) — the benchmarks' baseline.
+    """
+
+    capture: Union[CaptureConfig, CaptureMode, None] = None
+    backend: str = "vector"
+    name: Optional[str] = None
+    pin: bool = False
+    late_materialize: bool = True
+
+    def with_(self, **changes) -> "ExecOptions":
+        """A copy with the given fields replaced (per-call overrides on
+        top of session-level defaults)."""
+        return _dc_replace(self, **changes)
+
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``.
+_UNSET = object()
+
+#: Call sites (filename, lineno) that already received the legacy-kwarg
+#: deprecation warning — each site warns exactly once per process.
+_LEGACY_WARNED_SITES: set = set()
+
+
+def _warn_legacy_exec_kwargs(names) -> None:
+    try:
+        frame = sys._getframe(3)  # _warn < _resolve_options < sql/execute < user
+        site = (frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:  # pragma: no cover - no caller frame
+        site = None
+    if site in _LEGACY_WARNED_SITES:
+        return
+    _LEGACY_WARNED_SITES.add(site)
+    warnings.warn(
+        f"Database.execute/sql keyword(s) {', '.join(names)} are "
+        "deprecated; pass options=ExecOptions(...) instead "
+        "(session-level defaults via Database.session)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def plan_param_names(plan: LogicalPlan) -> FrozenSet[str]:
+    """Every ``:param`` slot a plan reads at execution time — scalar
+    parameters in predicates/projections, ``IN :list`` bindings, and the
+    rid argument of ``Lb``/``Lf`` scans."""
+    from .expr.ast import Param, collect_params
+
+    names = set()
+    for node in walk(plan):
+        for attr in ("predicate", "having"):
+            expr = getattr(node, attr, None)
+            if expr is not None:
+                names.update(collect_params(expr))
+        for pair_attr in ("exprs", "keys"):
+            pairs = getattr(node, pair_attr, None)
+            if pairs and isinstance(pairs, tuple) and pairs and isinstance(pairs[0], tuple):
+                for expr, _ in pairs:
+                    if hasattr(expr, "columns"):
+                        names.update(collect_params(expr))
+        for agg in getattr(node, "aggs", ()) or ():
+            if agg.arg is not None:
+                names.update(collect_params(agg.arg))
+        if isinstance(node, LineageScan) and isinstance(node.rids, Param):
+            names.add(node.rids.name)
+    return frozenset(names)
 
 
 class QueryResult:
@@ -100,7 +232,13 @@ class QueryResult:
         return self.table.num_rows
 
     def backward(self, out_rids, relation: str) -> np.ndarray:
-        """Distinct base rids contributing to ``out_rids`` (Lb)."""
+        """Distinct base rids contributing to ``out_rids`` (Lb).
+
+        Answers describe the relation *as captured*; they stay available
+        after the base table is replaced (rid-only answers cannot go
+        stale), unlike :meth:`backward_table`, which applies them to the
+        live table and therefore checks the relation's epoch.
+        """
         if self.lineage is None:
             raise PlanError("query was executed without lineage capture")
         return self.lineage.backward(out_rids, relation)
@@ -113,8 +251,19 @@ class QueryResult:
 
     def backward_table(self, out_rids, relation: str) -> Table:
         """The lineage subset of ``relation`` as a relation — the ``FROM
-        Lb(...)`` construct of lineage consuming queries."""
+        Lb(...)`` construct of lineage consuming queries.
+
+        Raises when ``relation``'s base table was replaced since capture
+        (catalog epoch drift): the captured rids index the old rows, and
+        applying them to the new table would silently return wrong data.
+        """
         rids = self.backward(out_rids, relation)
+        captured = self.lineage.base_epoch(relation)
+        if captured is not None and self.database.catalog.epoch(relation) != captured:
+            raise PlanError(
+                f"base relation {relation!r} was replaced since this "
+                "result captured its lineage; re-run the base query"
+            )
         return self.database.table(relation).take(rids)
 
     def __repr__(self) -> str:
@@ -122,23 +271,38 @@ class QueryResult:
 
 
 class ResultRegistry(Mapping):
-    """Named prior results with an optional LRU bound.
+    """Named prior results with optional count and byte bounds.
 
     A plain mapping from the executors' point of view (``Lb``/``Lf``
     leaves resolve names through ``__getitem__``, which marks the entry
-    recently used).  With ``max_results`` set, registering a new entry
-    evicts the least-recently-used *unpinned* entries beyond the bound,
-    so long interactive sessions do not pin every :class:`QueryResult`
-    (and its lineage indexes) until ``close()``.  ``pin=True`` exempts
-    an entry from both the bound and eviction — the escape hatch for
-    results that must outlive arbitrary registration traffic (app
-    sessions pin their views until their ``close()``).
+    recently used).  Two independent bounds trigger LRU eviction of
+    *unpinned* entries:
+
+    * ``max_results`` — entry count (as before);
+    * ``max_result_bytes`` — total bytes held by the entries' lineage
+      indexes, measured by :meth:`QueryLineage.memory_bytes` (which
+      finalizes deferred entries; sizing requires the indexes to exist).
+
+    ``pin=True`` exempts an entry from both bounds and from eviction —
+    the escape hatch for results that must outlive arbitrary
+    registration traffic (app sessions pin their views until ``close()``).
+
+    Every registration of a name advances its **epoch**
+    (:meth:`epoch`), which the lineage rid-resolution cache uses to
+    invalidate memoized resolutions on re-registration.
     """
 
-    def __init__(self, max_results: Optional[int] = None):
+    def __init__(
+        self,
+        max_results: Optional[int] = None,
+        max_result_bytes: Optional[int] = None,
+    ):
         self._entries: "OrderedDict[str, QueryResult]" = OrderedDict()
         self._pinned: set = set()
+        self._epochs: Dict[str, int] = {}
+        self._bytes: Dict[str, int] = {}
         self.max_results = max_results
+        self.max_result_bytes = max_result_bytes
 
     # -- Mapping protocol (what executors and the binder consume) ----------
 
@@ -156,20 +320,30 @@ class ResultRegistry(Mapping):
     def __len__(self) -> int:
         return len(self._entries)
 
+    def epoch(self, name: str) -> int:
+        """Registration epoch of ``name`` (advances on every register,
+        including re-registration after a drop); 0 when never seen."""
+        return self._epochs.get(name, 0)
+
     # -- mutation ----------------------------------------------------------
 
     def register(self, name: str, result: "QueryResult", pin: bool = False) -> None:
         self._entries[name] = result
         self._entries.move_to_end(name)
+        self._epochs[name] = self._epochs.get(name, 0) + 1
         if pin:
             self._pinned.add(name)
         else:
             self._pinned.discard(name)
+        self._bytes.pop(name, None)
+        if self.max_result_bytes is not None:
+            self._bytes[name] = _lineage_bytes(result)
         self._evict()
 
     def drop(self, name: str) -> None:
         del self._entries[name]
         self._pinned.discard(name)
+        self._bytes.pop(name, None)
 
     def set_max_results(self, max_results: Optional[int]) -> None:
         if max_results is not None and max_results < 1:
@@ -179,40 +353,260 @@ class ResultRegistry(Mapping):
         self.max_results = max_results
         self._evict()
 
+    def set_max_result_bytes(self, max_result_bytes: Optional[int]) -> None:
+        if max_result_bytes is not None and max_result_bytes < 1:
+            raise PlanError(
+                "max_result_bytes must be a positive bound or None, "
+                f"got {max_result_bytes}"
+            )
+        self.max_result_bytes = max_result_bytes
+        if max_result_bytes is not None:
+            for name, entry in self._entries.items():
+                if name not in self._bytes:
+                    self._bytes[name] = _lineage_bytes(entry)
+        self._evict()
+
     def _evict(self) -> None:
-        if self.max_results is None:
+        if self.max_results is None and self.max_result_bytes is None:
             return
-        excess = (len(self._entries) - len(self._pinned)) - self.max_results
-        if excess <= 0:
-            return
-        for name in list(self._entries):
-            if excess <= 0:
+        unpinned = [n for n in self._entries if n not in self._pinned]
+        count_excess = (
+            len(unpinned) - self.max_results
+            if self.max_results is not None
+            else 0
+        )
+        bytes_excess = 0
+        if self.max_result_bytes is not None:
+            bytes_excess = (
+                sum(self._bytes.get(n, 0) for n in unpinned)
+                - self.max_result_bytes
+            )
+        for name in unpinned:  # OrderedDict order == LRU order
+            if count_excess <= 0 and bytes_excess <= 0:
                 break
-            if name in self._pinned:
-                continue
+            bytes_excess -= self._bytes.get(name, 0)
+            count_excess -= 1
             del self._entries[name]
-            excess -= 1
+            self._bytes.pop(name, None)
+
+
+def _lineage_bytes(result: "QueryResult") -> int:
+    lineage = result.lineage
+    return int(lineage.memory_bytes()) if lineage is not None else 0
+
+
+class PreparedQuery:
+    """A statement bound once, runnable many times.
+
+    Caches the lex/parse/bind product (the logical plan), the
+    late-materialization rewrite decisions
+    (:class:`~repro.plan.rewrite.RewriteIndex`), and owns (or shares — see
+    :class:`Session`) a :class:`~repro.lineage.cache.LineageResolutionCache`
+    memoizing resolved ``Lb``/``Lf`` rid sets across runs.  ``run()``
+    binds ``:params`` without re-planning; all parameter slots — scalar
+    predicates, ``IN :list``, and lineage-scan rid arguments — survive
+    binding.
+
+    Prepared plans freeze referenced schemas; if a referenced result is
+    re-registered with a different shape, ``run`` raises
+    :class:`~repro.errors.StaleBindingError` — re-prepare the statement
+    (``Session.sql`` does this automatically).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        plan: LogicalPlan,
+        options: ExecOptions,
+        cache: Optional[LineageResolutionCache] = None,
+        statement: Optional[str] = None,
+    ):
+        self.database = database
+        self.plan = plan
+        self.options = options
+        self.statement = statement
+        self.param_names = plan_param_names(plan)
+        self._rewrites: RewriteIndex = precompute_rewrites(plan)
+        self._cache = cache if cache is not None else LineageResolutionCache(
+            database._results
+        )
+
+    @property
+    def lineage_cache(self) -> LineageResolutionCache:
+        """The rid-resolution cache this statement resolves through."""
+        return self._cache
+
+    def run(
+        self,
+        params: Optional[dict] = None,
+        options: Optional[ExecOptions] = None,
+    ) -> QueryResult:
+        """Execute with ``params`` bound into the cached plan.
+
+        ``options`` overrides this statement's options for one run (e.g.
+        ``prepared.options.with_(backend="compiled")``).  Missing
+        parameters raise before execution starts.
+        """
+        missing = self.param_names - set(params or ())
+        if missing:
+            raise PlanError(
+                f"prepared statement is missing parameter(s) "
+                f"{sorted(missing)}; expected {sorted(self.param_names)}"
+            )
+        opts = options if options is not None else self.options
+        return self.database._execute_plan(
+            self.plan, opts, params,
+            rewrites=self._rewrites, cache=self._cache,
+        )
+
+    def explain(self) -> str:
+        """The cached logical plan as an ASCII tree."""
+        return self.plan.describe()
+
+    def __repr__(self) -> str:
+        label = self.statement if self.statement is not None else type(self.plan).__name__
+        return f"PreparedQuery({label!r}, params={sorted(self.param_names)})"
+
+
+class Session:
+    """Shared execution defaults plus shared caches for a group of
+    statements — the unit of interactive work (one dashboard, one
+    notebook cell block).
+
+    * ``options`` are the session-level :class:`ExecOptions` defaults;
+      per-statement ``options=`` arguments override them wholesale (use
+      ``session.options.with_(...)`` for field-wise overrides).
+    * All statements prepared through the session share one
+      :class:`~repro.lineage.cache.LineageResolutionCache`, so the N
+      per-view statements of one brush resolve the brushed lineage once.
+    * :meth:`sql` memoizes prepared statements by text and transparently
+      re-prepares on :class:`~repro.errors.StaleBindingError` (a
+      referenced result re-registered with a different schema).
+    """
+
+    #: Bound on the by-text statement memo — a caller interpolating
+    #: values into SQL instead of using :params would otherwise grow it
+    #: without limit (the rid cache is LRU-bounded for the same reason).
+    MAX_STATEMENTS = 256
+
+    def __init__(self, database: "Database", options: Optional[ExecOptions] = None):
+        self.database = database
+        self.options = options if options is not None else ExecOptions()
+        self.lineage_cache = LineageResolutionCache(database._results)
+        self._statements: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+
+    def prepare(
+        self,
+        statement_or_plan: Union[str, LogicalPlan],
+        options: Optional[ExecOptions] = None,
+    ) -> PreparedQuery:
+        """Prepare a statement (or plan) against this session's defaults
+        and shared lineage cache."""
+        return self.database.prepare(
+            statement_or_plan,
+            options=options if options is not None else self.options,
+            cache=self.lineage_cache,
+        )
+
+    def sql(
+        self,
+        statement: str,
+        params: Optional[dict] = None,
+        options: Optional[ExecOptions] = None,
+    ) -> QueryResult:
+        """Run a statement, auto-preparing and memoizing it by text.
+
+        The second execution of the same text skips lex/parse/bind and
+        the rewrite match entirely.  Statements whose frozen bindings
+        went stale are re-prepared and retried once.
+        """
+        prepared = self._statements.get(statement)
+        if prepared is None:
+            prepared = self._memoize(statement)
+        else:
+            self._statements.move_to_end(statement)
+        try:
+            return prepared.run(params, options=options)
+        except StaleBindingError:
+            prepared = self._memoize(statement)
+            return prepared.run(params, options=options)
+
+    def _memoize(self, statement: str) -> PreparedQuery:
+        prepared = self.prepare(statement)
+        self._statements[statement] = prepared
+        self._statements.move_to_end(statement)
+        while len(self._statements) > self.MAX_STATEMENTS:
+            self._statements.popitem(last=False)
+        return prepared
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        params: Optional[dict] = None,
+        options: Optional[ExecOptions] = None,
+    ) -> QueryResult:
+        """Execute a logical plan under the session defaults, resolving
+        lineage through the shared cache."""
+        opts = options if options is not None else self.options
+        return self.database._execute_plan(
+            plan, opts, params, cache=self.lineage_cache
+        )
+
+    def close(self) -> None:
+        """Release the session's caches (prepared plans and memoized rid
+        resolutions).  Registered results belong to the Database and are
+        not dropped here."""
+        self._statements.clear()
+        self.lineage_cache.invalidate()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class Database:
     """An in-memory lineage-enabled database engine.
 
-    ``max_results`` bounds the registry of named prior results (LRU
-    eviction of unpinned entries, see :class:`ResultRegistry`); ``None``
-    keeps every registration until :meth:`drop_result`.
+    ``max_results`` / ``max_result_bytes`` bound the registry of named
+    prior results (LRU eviction of unpinned entries, see
+    :class:`ResultRegistry`); ``None`` keeps every registration until
+    :meth:`drop_result`.
     """
 
-    def __init__(self, max_results: Optional[int] = None):
+    def __init__(
+        self,
+        max_results: Optional[int] = None,
+        max_result_bytes: Optional[int] = None,
+    ):
         self.catalog = Catalog()
-        self._results = ResultRegistry(max_results)
+        self._results = ResultRegistry(max_results, max_result_bytes)
         self._vector = VectorExecutor(self.catalog, results=self._results)
         self._compiled = None  # built lazily; codegen backend is optional
 
     # -- catalog management -----------------------------------------------------
 
-    def create_table(self, name: str, table: Table, replace: bool = False) -> None:
-        """Register an in-memory relation under ``name``."""
-        self.catalog.register(name, table, replace=replace)
+    def create_table(
+        self,
+        name: str,
+        table: Table,
+        replace: bool = False,
+        preserve_rids: bool = False,
+    ) -> None:
+        """Register an in-memory relation under ``name``.
+
+        Replacing an existing relation advances its epoch, so previously
+        captured lineage refuses to be *applied* to the new rows
+        (``Lb(...)`` scans and :meth:`QueryResult.backward_table` raise;
+        rid-only answers keep working).  ``preserve_rids=True`` asserts
+        the replacement updated rows in place (same positions — what
+        :class:`~repro.lineage.refresh.AggregateRefresher` does) and
+        keeps the epoch.
+        """
+        self.catalog.register(
+            name, table, replace=replace, preserve_rids=preserve_rids
+        )
 
     def drop_table(self, name: str) -> None:
         """Remove a relation from the catalog."""
@@ -234,25 +628,29 @@ class Database:
         result: "QueryResult",
         pin: bool = False,
         max_results: Optional[int] = None,
+        max_result_bytes: Optional[int] = None,
     ) -> None:
         """Register a prior result so SQL can consume its lineage.
 
         ``FROM Lb(name, 'relation')`` / ``FROM Lf('relation', name)``
         resolve ``name`` against this registry at execution time.
         Re-registering a name replaces the previous result, re-targeting
-        any plan that references it.  Names must be SQL identifiers that
-        are not keywords, so the bare ``Lb(name, ...)`` form always
-        parses.
+        any plan that references it and advancing the name's epoch (which
+        invalidates memoized rid resolutions in prepared sessions).
+        Names must be SQL identifiers that are not keywords, so the bare
+        ``Lb(name, ...)`` form always parses.
 
-        When the registry is bounded (``Database(max_results=N)``, or
-        ``max_results=N`` here, which updates the bound), the
-        least-recently-used unpinned entries are evicted past the bound;
-        ``pin=True`` exempts this entry from the bound and from eviction
-        until it is dropped.
+        When the registry is bounded (``Database(max_results=N,
+        max_result_bytes=B)``, or the same keywords here, which update
+        the bounds), least-recently-used unpinned entries are evicted
+        past either bound; ``pin=True`` exempts this entry from the
+        bounds and from eviction until it is dropped.
         """
         _check_result_name(name)
         if max_results is not None:
             self._results.set_max_results(max_results)
+        if max_result_bytes is not None:
+            self._results.set_max_result_bytes(max_result_bytes)
         self._results.register(name, result, pin=pin)
 
     def drop_result(self, name: str) -> None:
@@ -273,75 +671,100 @@ class Database:
         """Sorted names of all registered prior results."""
         return sorted(self._results)
 
+    # -- prepared statements and sessions ---------------------------------------
+
+    def prepare(
+        self,
+        statement_or_plan: Union[str, LogicalPlan],
+        options: Optional[ExecOptions] = None,
+        cache: Optional[LineageResolutionCache] = None,
+    ) -> PreparedQuery:
+        """Bind a statement once and return a reusable
+        :class:`PreparedQuery` (see the module docstring).
+
+        ``cache`` shares an existing lineage rid-resolution cache (what
+        :meth:`Session.prepare` passes); by default the prepared query
+        owns a fresh one, so even a standalone prepared statement
+        memoizes its resolutions across runs.
+        """
+        if isinstance(statement_or_plan, str):
+            plan = self.parse(statement_or_plan)
+            statement = statement_or_plan
+        else:
+            plan = statement_or_plan
+            statement = None
+        return PreparedQuery(
+            self,
+            plan,
+            options if options is not None else ExecOptions(),
+            cache=cache,
+            statement=statement,
+        )
+
+    def session(self, options: Optional[ExecOptions] = None) -> Session:
+        """Open a :class:`Session`: shared execution defaults plus a
+        shared lineage rid-resolution cache for a group of statements."""
+        return Session(self, options)
+
     # -- execution ----------------------------------------------------------------
 
     def execute(
         self,
         plan: LogicalPlan,
-        capture: Union[CaptureConfig, CaptureMode, None] = None,
+        capture=_UNSET,
         params: Optional[dict] = None,
-        backend: str = "vector",
-        name: Optional[str] = None,
-        pin: bool = False,
-        late_materialize: bool = True,
+        backend=_UNSET,
+        name=_UNSET,
+        pin=_UNSET,
+        late_materialize=_UNSET,
+        options: Optional[ExecOptions] = None,
     ) -> QueryResult:
         """Execute a logical plan.
 
-        ``capture`` accepts a :class:`CaptureMode` for the common case or a
-        full :class:`CaptureConfig` for pruning/hints; ``None`` disables
-        capture (the paper's Baseline).  ``name`` registers the result for
-        lineage-consuming SQL (see :meth:`register_result`; ``pin=True``
-        exempts it from LRU eviction).  ``late_materialize=False``
-        disables the lineage-scan push-down rewrite
-        (:mod:`repro.plan.rewrite`) so ``Lb``/``Lf`` stacks run through
-        the materialize-then-scan path — the benchmarks' baseline.
+        Execution behaviour is configured through ``options``
+        (:class:`ExecOptions`).  The loose keyword arguments are
+        **deprecated** shims that fold into the options value (warning
+        once per call site); they override the corresponding ``options``
+        fields when both are given.
         """
-        if name is not None:
-            # Validate up front: a bad name must not discard a finished
-            # (possibly expensive) execution.
-            _check_result_name(name)
-        config = _as_config(capture)
-        if backend == "vector":
-            result = self._vector.execute(
-                plan, config, params, late_materialize=late_materialize
-            )
-        elif backend == "compiled":
-            result = self._compiled_executor().execute(
-                plan, config, params, late_materialize=late_materialize
-            )
-        else:
-            raise PlanError(f"unknown backend {backend!r}; use 'vector' or 'compiled'")
-        query_result = QueryResult(self, plan, result)
-        if name is not None:
-            self.register_result(name, query_result, pin=pin)
-        return query_result
-
-    def sql(
-        self,
-        statement: str,
-        capture: Union[CaptureConfig, CaptureMode, None] = None,
-        params: Optional[dict] = None,
-        backend: str = "vector",
-        name: Optional[str] = None,
-        pin: bool = False,
-        late_materialize: bool = True,
-    ) -> QueryResult:
-        """Parse and execute a SQL statement (see :mod:`repro.sql`).
-
-        ``name`` registers the result so later statements can consume its
-        lineage with ``FROM Lb(name, 'relation')`` / ``Lf('relation',
-        name)``; see :meth:`execute` for ``pin`` and ``late_materialize``.
-        """
-        plan = self.parse(statement)
-        return self.execute(
-            plan,
+        opts = self._resolve_options(
+            options,
             capture=capture,
-            params=params,
             backend=backend,
             name=name,
             pin=pin,
             late_materialize=late_materialize,
         )
+        return self._execute_plan(plan, opts, params)
+
+    def sql(
+        self,
+        statement: str,
+        capture=_UNSET,
+        params: Optional[dict] = None,
+        backend=_UNSET,
+        name=_UNSET,
+        pin=_UNSET,
+        late_materialize=_UNSET,
+        options: Optional[ExecOptions] = None,
+    ) -> QueryResult:
+        """Parse and execute a SQL statement (see :mod:`repro.sql`).
+
+        One-shot form: every call re-parses and re-binds.  Repeated
+        statements should go through :meth:`prepare` or a
+        :meth:`session` (which memoizes by statement text).  The loose
+        keyword arguments are deprecated shims — see :meth:`execute`.
+        """
+        opts = self._resolve_options(
+            options,
+            capture=capture,
+            backend=backend,
+            name=name,
+            pin=pin,
+            late_materialize=late_materialize,
+        )
+        plan = self.parse(statement)
+        return self._execute_plan(plan, opts, params)
 
     def parse(self, statement: str) -> LogicalPlan:
         """Parse + bind a SQL statement into a logical plan (no execution)."""
@@ -352,6 +775,54 @@ class Database:
     def explain(self, statement: str) -> str:
         """The logical plan a SQL statement binds to, as an ASCII tree."""
         return self.parse(statement).describe()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _resolve_options(self, options: Optional[ExecOptions], **legacy) -> ExecOptions:
+        passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+        base = options if options is not None else ExecOptions()
+        if passed:
+            _warn_legacy_exec_kwargs(sorted(passed))
+            base = base.with_(**passed)
+        return base
+
+    def _execute_plan(
+        self,
+        plan: LogicalPlan,
+        options: ExecOptions,
+        params: Optional[dict],
+        rewrites: Optional[RewriteIndex] = None,
+        cache: Optional[LineageResolutionCache] = None,
+    ) -> QueryResult:
+        """The one execution funnel: plain calls, prepared runs, and
+        session statements all end here.  ``rewrites`` / ``cache`` are
+        the prepared-statement fast-path handles threaded through to the
+        executors."""
+        if options.name is not None:
+            # Validate up front: a bad name must not discard a finished
+            # (possibly expensive) execution.
+            _check_result_name(options.name)
+        config = _as_config(options.capture)
+        if options.backend == "vector":
+            executor = self._vector
+        elif options.backend == "compiled":
+            executor = self._compiled_executor()
+        else:
+            raise PlanError(
+                f"unknown backend {options.backend!r}; use 'vector' or 'compiled'"
+            )
+        result = executor.execute(
+            plan,
+            config,
+            params,
+            late_materialize=options.late_materialize,
+            rewrites=rewrites,
+            lineage_cache=cache,
+        )
+        query_result = QueryResult(self, plan, result)
+        if options.name is not None:
+            self.register_result(options.name, query_result, pin=options.pin)
+        return query_result
 
     def _compiled_executor(self):
         if self._compiled is None:

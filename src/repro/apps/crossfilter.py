@@ -25,6 +25,16 @@ re-aggregation is itself a ``GROUP BY`` over that lineage scan (paper
 Section 2.1).  Sessions built directly over a :class:`Table` keep the
 hand-rolled kernels (that construction has no engine to query), which is
 also what the Figure 13/14 benchmarks measure.
+
+Declarative sessions run their interactions through a **prepared
+execution session** (:meth:`repro.api.Database.session`) by default: the
+per-view statements of a brush are parsed/bound/rewritten once and
+memoized by text, and every statement shares one lineage rid-resolution
+cache, so a brush's N re-aggregations resolve the brushed rid set once
+(and repeated identical brushes resolve it zero times).
+``prepared=False`` keeps the one-shot ``Database.sql`` path per
+interaction — the ``sql-pushed`` baseline of the Figure 14 benchmark,
+against which the ``sql-prepared`` axis is measured.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ import numpy as np
 
 import itertools
 
+from ..api import ExecOptions
 from ..errors import WorkloadError
 from ..exec.vector.kernels import factorize
 from ..lineage.indexes import RidIndex
@@ -100,11 +111,16 @@ class CrossfilterSession:
         self.late_materialize = True
         self._result_names: Dict[str, str] = {}
         self._bar_orders: Dict[str, Dict[object, int]] = {}
+        # Prepared execution session (declarative constructions only):
+        # statements memoized by text + shared rid-resolution cache.
+        self._exec_session = None
+        self._rid_options = None
 
     @classmethod
     def from_database(
         cls, database, relation: str, dimensions: Sequence[str],
         technique: str = "bt+ft", late_materialize: bool = True,
+        prepared: bool = True,
     ) -> "CrossfilterSession":
         """Build the views *declaratively*: each view is a SQL group-by
         COUNT executed with lineage capture and registered as a named
@@ -120,9 +136,15 @@ class CrossfilterSession:
         only the brushed and re-aggregated dimensions instead of
         copying the full traced subset.  ``late_materialize=False``
         forces the materialize-then-scan path (the Figure 14 benchmark's
-        baseline axis).  View results are registered with ``pin=True``
-        so a bounded result registry (``Database(max_results=...)``)
-        never evicts a live session's views; ``close()`` drops them.
+        baseline axis).  ``prepared=True`` (default) routes interactions
+        through one prepared :class:`repro.api.Session` — per-view
+        statements bind ``:bars`` into cached plans, and the session's
+        lineage cache resolves each brush's rid set once across all
+        views; ``prepared=False`` re-parses per interaction (the
+        ``sql-pushed`` benchmark baseline).  View results are registered
+        with ``pin=True`` so a bounded result registry
+        (``Database(max_results=...)``) never evicts a live session's
+        views; ``close()`` drops them.
         """
         from ..lineage.capture import CaptureConfig
         from ..plan.logical import AggCall, GroupBy, Scan, col
@@ -143,6 +165,17 @@ class CrossfilterSession:
         )
         session_id = next(_SESSION_IDS)
         start = time.perf_counter()
+        if prepared and sql_ok and technique in ("bt", "bt+ft"):
+            # One execution session for every interaction: statements are
+            # auto-prepared (memoized by text) and share a lineage
+            # rid-resolution cache across the per-view statements.
+            session._exec_session = database.session(
+                options=ExecOptions(late_materialize=session.late_materialize)
+            )
+            session._rid_options = ExecOptions(
+                capture=CaptureConfig.inject(forward=False),
+                late_materialize=session.late_materialize,
+            )
         for dim in session.dimensions:
             capture = (
                 CaptureConfig.none()
@@ -153,10 +186,12 @@ class CrossfilterSession:
                 name = f"_cf{session_id}_{dim}" if capture.enabled else None
                 result = database.sql(
                     f"SELECT {dim}, COUNT(*) AS cnt FROM {relation} GROUP BY {dim}",
-                    capture=capture,
-                    name=name,
-                    # Live sessions must survive registry LRU eviction.
-                    pin=name is not None,
+                    options=ExecOptions(
+                        capture=capture,
+                        name=name,
+                        # Live sessions must survive registry LRU eviction.
+                        pin=name is not None,
+                    ),
                 )
                 if capture.enabled:
                     session._result_names[dim] = name
@@ -164,7 +199,7 @@ class CrossfilterSession:
                 plan = GroupBy(
                     Scan(relation), [(col(dim), dim)], [AggCall("count", None, "cnt")]
                 )
-                result = database.execute(plan, capture=capture)
+                result = database.execute(plan, options=ExecOptions(capture=capture))
             if capture.enabled:
                 backward = result.lineage.backward_index(relation)
                 group_of_row = result.lineage.forward_index(relation).values
@@ -308,16 +343,28 @@ class CrossfilterSession:
         captured — the interaction reads nothing else, and a forward
         index would cost O(base rows) per brush.  Under the (default)
         pushed path the projection runs in the rid domain, so exactly one
-        column is ever gathered."""
+        column is ever gathered.  Prepared sessions bind ``:bars`` into
+        the memoized plan instead of re-parsing."""
         from ..lineage.capture import CaptureConfig
 
-        subset = self.database.sql(
+        statement = (
             f"SELECT {dimension} FROM Lb({self._result_names[dimension]}, "
-            f"'{self.relation}', :bars)",
-            params={"bars": np.asarray(list(bars), dtype=np.int64)},
-            capture=CaptureConfig.inject(forward=False),
-            late_materialize=self.late_materialize,
+            f"'{self.relation}', :bars)"
         )
+        params = {"bars": np.asarray(list(bars), dtype=np.int64)}
+        if self._exec_session is not None:
+            subset = self._exec_session.sql(
+                statement, params=params, options=self._rid_options
+            )
+        else:
+            subset = self.database.sql(
+                statement,
+                params=params,
+                options=ExecOptions(
+                    capture=CaptureConfig.inject(forward=False),
+                    late_materialize=self.late_materialize,
+                ),
+            )
         return subset.backward(np.arange(len(subset)), self.relation)
 
     def _reaggregate_sql(self, brushed_dim: str, bars: Sequence[int]) -> Dict[str, np.ndarray]:
@@ -325,22 +372,31 @@ class CrossfilterSession:
         other view with a GROUP BY *over the lineage scan* of the brushed
         bars — the paper's headline query shape.  Deliberately one
         statement per view (as the paper's BT issues one re-aggregation
-        per view), so each statement re-derives the lineage subset; the
-        amortized route is the BT+FT technique.  Each statement is a
-        GroupBy-over-LineageScan stack, so the (default) pushed path
+        per view); on a prepared session the statements share the lineage
+        cache, so the brushed rid set is resolved once and the N-1
+        remaining statements only gather and aggregate.  Each statement
+        is a GroupBy-over-LineageScan stack, so the (default) pushed path
         aggregates rid-gathered slices of one dimension instead of
         materializing the full-width subset per view."""
         params = {"bars": np.asarray(list(bars), dtype=np.int64)}
         out = {}
         for other in self._others(brushed_dim):
-            res = self.database.sql(
+            statement = (
                 f"SELECT {other.dimension}, COUNT(*) AS cnt "
                 f"FROM Lb({self._result_names[brushed_dim]}, "
                 f"'{self.relation}', :bars) "
-                f"GROUP BY {other.dimension}",
-                params=params,
-                late_materialize=self.late_materialize,
+                f"GROUP BY {other.dimension}"
             )
+            if self._exec_session is not None:
+                res = self._exec_session.sql(statement, params=params)
+            else:
+                res = self.database.sql(
+                    statement,
+                    params=params,
+                    options=ExecOptions(
+                        late_materialize=self.late_materialize
+                    ),
+                )
             counts = np.zeros(other.num_bars, dtype=np.int64)
             order = self._bar_index(other)
             for value, cnt in zip(
@@ -423,6 +479,9 @@ class CrossfilterSession:
                 except PlanError:
                     pass  # already dropped by the user
         self._result_names = {}
+        if self._exec_session is not None:
+            self._exec_session.close()
+            self._exec_session = None
 
     # -- benchmarking helpers -----------------------------------------------------------
 

@@ -22,8 +22,13 @@ probes with identical results.
 Both interaction statements are single-column projections over a lineage
 scan, so the late-materializing push-down (:mod:`repro.plan.rewrite`)
 executes them in the rid domain — one narrow gather per brush rather
-than a full-width subset copy.  Views are registered with ``pin=True``
-so a bounded result registry never evicts a live session's views.
+than a full-width subset copy.  Each view's two statements are
+**prepared once** (:meth:`repro.api.Session.prepare`) when the view is
+added: every brush binds ``:marks`` / ``:rids`` into the cached plan
+instead of re-lexing and re-binding SQL, and all statements share the
+session's lineage rid-resolution cache, so brushing the same marks twice
+resolves their lineage once.  Views are registered with ``pin=True`` so
+a bounded result registry never evicts a live session's views.
 """
 
 from __future__ import annotations
@@ -35,9 +40,14 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from ..api import ExecOptions
 from ..errors import WorkloadError
 from ..lineage.capture import CaptureConfig, CaptureMode
 from ..plan.logical import LogicalPlan
+
+#: Interaction statements capture backward-only: the brush reads nothing
+#: else, and a forward index would cost O(shared rows) per brush.
+_BRUSH_OPTIONS = ExecOptions(capture=CaptureConfig.inject(forward=False))
 
 #: Distinguishes the registry entries of concurrent sessions on one
 #: Database, so equal view names in two sessions cannot cross-talk.
@@ -70,13 +80,22 @@ class LinkedBrushingSession:
         self.views: Dict[str, object] = {}
         self._session_id = next(_SESSION_IDS)
         self._sql_names: Dict[str, str] = {}  # view name -> registered name
+        # One execution session for all interactions: prepared statements
+        # plus a shared lineage rid-resolution cache.
+        self._exec_session = database.session(options=_BRUSH_OPTIONS)
+        self._backward_stmts: Dict[str, object] = {}  # view -> PreparedQuery
+        self._forward_stmts: Dict[str, object] = {}
 
     def add_view(self, name: str, plan: LogicalPlan, params: Optional[dict] = None):
-        """Run a base query with capture and register it as a view."""
+        """Run a base query with capture and register it as a view.
+
+        Identifier-named views also get their two interaction statements
+        (``Lb`` to the shared relation, ``Lf`` into the view) prepared
+        here, once, against the session's shared caches."""
         if name in self.views:
             raise WorkloadError(f"view {name!r} already registered")
         result = self.database.execute(
-            plan, capture=CaptureMode.INJECT, params=params
+            plan, params=params, options=ExecOptions(capture=CaptureMode.INJECT)
         )
         if self.shared_relation not in [
             r.split("#")[0] for r in result.lineage.relations
@@ -91,6 +110,18 @@ class LinkedBrushingSession:
             # Pinned: a live session's views must survive LRU eviction.
             self.database.register_result(registered, result, pin=True)
             self._sql_names[name] = registered
+            shared_col = self._narrow_projection(
+                self.database.table(self.shared_relation)
+            )
+            self._backward_stmts[name] = self._exec_session.prepare(
+                f"SELECT {shared_col} FROM Lb({registered}, "
+                f"'{self.shared_relation}', :marks)"
+            )
+            view_col = self._narrow_projection(result.table)
+            self._forward_stmts[name] = self._exec_session.prepare(
+                f"SELECT {view_col} FROM Lf('{self.shared_relation}', "
+                f"{registered}, :rids)"
+            )
         return result
 
     def brush(self, view_name: str, mark_rids: Sequence[int]) -> BrushResult:
@@ -124,6 +155,9 @@ class LinkedBrushingSession:
             except PlanError:
                 pass  # already dropped by the user
         self._sql_names = {}
+        self._backward_stmts = {}
+        self._forward_stmts = {}
+        self._exec_session.close()
 
     # -- lineage-consuming SQL interaction steps --------------------------------
 
@@ -141,36 +175,21 @@ class LinkedBrushingSession:
 
     def _backward_to_shared(self, view_name: str, marks: np.ndarray) -> np.ndarray:
         """Lb(selection ⊆ view, shared): the shared-relation rids behind
-        the selected marks."""
-        registered = self._sql_names.get(view_name)
-        if registered is None:
+        the selected marks — the view's prepared statement with ``:marks``
+        bound (no re-parse, shared rid-resolution cache)."""
+        stmt = self._backward_stmts.get(view_name)
+        if stmt is None:
             return self.views[view_name].lineage.backward(marks, self.shared_relation)
-        column = self._narrow_projection(self.database.table(self.shared_relation))
-        # Backward-only capture: the interaction reads nothing else, and a
-        # forward index would cost O(shared rows) per brush.
-        subset = self.database.sql(
-            f"SELECT {column} FROM Lb({registered}, "
-            f"'{self.shared_relation}', :marks)",
-            params={"marks": marks},
-            capture=CaptureConfig.inject(forward=False),
-            late_materialize=True,
-        )
+        subset = stmt.run(params={"marks": marks})
         # The statement's own lineage identifies the scanned shared rows.
         return subset.backward(np.arange(len(subset)), self.shared_relation)
 
     def _forward_to_view(self, view_name: str, shared: np.ndarray) -> np.ndarray:
         """Lf(shared rows, view): the view's marks derived from them."""
-        registered = self._sql_names.get(view_name)
-        if registered is None:
+        stmt = self._forward_stmts.get(view_name)
+        if stmt is None:
             return self.views[view_name].lineage.forward(self.shared_relation, shared)
-        column = self._narrow_projection(self.views[view_name].table)
-        derived = self.database.sql(
-            f"SELECT {column} FROM Lf('{self.shared_relation}', "
-            f"{registered}, :rids)",
-            params={"rids": shared},
-            capture=CaptureConfig.inject(forward=False),
-            late_materialize=True,
-        )
+        derived = stmt.run(params={"rids": shared})
         # An Lf scan's base "relation" is the prior result itself, so the
         # statement's backward lineage is exactly the highlighted marks.
-        return derived.backward(np.arange(len(derived)), registered)
+        return derived.backward(np.arange(len(derived)), self._sql_names[view_name])

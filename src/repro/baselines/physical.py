@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 
+from ..api import ExecOptions
 from ..lineage.capture import CaptureConfig
 from ..lineage.indexes import GrowableRidIndex, RidIndex
 from ..plan.logical import LogicalPlan
@@ -97,7 +98,9 @@ def physical_capture(
 ) -> PhysicalCapture:
     """Capture lineage for ``relation`` through a per-edge-call store."""
     start = time.perf_counter()
-    result = database.execute(plan, capture=CaptureConfig.inject(), params=params)
+    result = database.execute(
+        plan, params=params, options=ExecOptions(capture=CaptureConfig.inject())
+    )
     base_seconds = time.perf_counter() - start
     index = result.lineage.backward_index(relation)
     base_size = database.table(relation).num_rows

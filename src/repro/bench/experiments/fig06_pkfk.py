@@ -14,7 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ...api import Database
+from ...api import Database, ExecOptions
 from ...datagen import make_gids_table, make_zipf_table
 from ...plan.logical import HashJoin, LogicalPlan, Scan
 from ...substrate.stats import CardinalityHints
@@ -78,7 +78,7 @@ def run_technique(db: Database, technique: str, groups: int) -> float:
         config = CaptureConfig.inject(hints=hints)
         config.emulate_tuple_appends = True
         start = time.perf_counter()
-        db.execute(plan, capture=config)
+        db.execute(plan, options=ExecOptions(capture=config))
         return time.perf_counter() - start
     return CAPTURE_TECHNIQUES[technique](db, plan).seconds
 

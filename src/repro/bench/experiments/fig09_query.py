@@ -21,7 +21,7 @@ from typing import Dict
 
 import numpy as np
 
-from ...api import Database
+from ...api import Database, ExecOptions
 from ...baselines.lazy import LazyLineageEvaluator
 from ...baselines.logical import logical_capture
 from ...baselines.physical import PhysBdbStore, physical_capture
@@ -42,7 +42,7 @@ def make_context(theta: float, n: int = None) -> Dict:
     db = Database()
     db.create_table("zipf", make_zipf_table(n, GROUPS, theta))
     plan = microbenchmark_query()
-    smoke = db.execute(plan, capture=CaptureMode.INJECT)
+    smoke = db.execute(plan, options=ExecOptions(capture=CaptureMode.INJECT))
     lazy = LazyLineageEvaluator(db, plan)
     lazy.output  # materialize the base query now; queries time scans only
     logic_rid = logical_capture(db.catalog, plan, "rid")

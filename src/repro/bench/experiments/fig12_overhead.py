@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ...api import Database
+from ...api import Database, ExecOptions
 from ...datagen import load_tpch
 from ...lineage.capture import CaptureMode
 from ...plan.logical import AggCall, col
@@ -36,7 +36,7 @@ TITLE = "Figure 12: capture overhead without vs with aggregation push-down"
 def make_context() -> Dict:
     db = Database()
     load_tpch(db, scale_factor=0.1 * scale())
-    base = db.execute(q1(), capture=CaptureMode.INJECT)
+    base = db.execute(q1(), options=ExecOptions(capture=CaptureMode.INJECT))
     return {"db": db, "q1": base}
 
 

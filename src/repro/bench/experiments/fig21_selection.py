@@ -11,7 +11,7 @@ sweep with deliberately biased estimates.
 from __future__ import annotations
 
 
-from ...api import Database
+from ...api import Database, ExecOptions
 from ...datagen import make_zipf_table
 from ...lineage.capture import CaptureConfig
 from ...plan.logical import Scan, Select, col
@@ -47,7 +47,7 @@ def run_technique(db: Database, threshold: float, technique: str,
         config = CaptureConfig.inject(
             hints=CardinalityHints(selectivity={"select": est})
         )
-    db.execute(plan, capture=config)
+    db.execute(plan, options=ExecOptions(capture=config))
     return 0.0
 
 

@@ -10,7 +10,7 @@ is cheapest thanks to the pk-fk rid-array optimization.
 from __future__ import annotations
 
 
-from ...api import Database
+from ...api import Database, ExecOptions
 from ...datagen import load_tpch
 from ...lineage.capture import CaptureConfig
 from ...tpch import q3, q10
@@ -38,7 +38,7 @@ def run_config(db: Database, query: str, relations) -> float:
         config = CaptureConfig.none()
     else:
         config = CaptureConfig.inject(relations=set(relations))
-    res = db.execute(plan, capture=config)
+    res = db.execute(plan, options=ExecOptions(capture=config))
     return res.execute_seconds
 
 

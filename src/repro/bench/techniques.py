@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict
 
+from ..api import ExecOptions
 from ..baselines.logical import build_logic_idx, logical_capture
 from ..baselines.physical import PhysBdbStore, PhysMemStore, physical_capture
 from ..lineage.capture import CaptureConfig
@@ -30,21 +31,27 @@ class CaptureRun:
 
 def run_baseline(db, plan, hints=None, params=None) -> CaptureRun:
     start = time.perf_counter()
-    db.execute(plan, capture=None, params=params)
+    db.execute(plan, params=params, options=ExecOptions(capture=None))
     elapsed = time.perf_counter() - start
     return CaptureRun("baseline", elapsed, elapsed)
 
 
 def run_smoke_i(db, plan, hints=None, params=None) -> CaptureRun:
     start = time.perf_counter()
-    res = db.execute(plan, capture=CaptureConfig.inject(hints=hints), params=params)
+    res = db.execute(
+        plan, params=params,
+        options=ExecOptions(capture=CaptureConfig.inject(hints=hints)),
+    )
     elapsed = time.perf_counter() - start
     return CaptureRun("smoke-i", elapsed, elapsed, res.lineage)
 
 
 def run_smoke_d(db, plan, hints=None, params=None) -> CaptureRun:
     start = time.perf_counter()
-    res = db.execute(plan, capture=CaptureConfig.defer(hints=hints), params=params)
+    res = db.execute(
+        plan, params=params,
+        options=ExecOptions(capture=CaptureConfig.defer(hints=hints)),
+    )
     base = time.perf_counter() - start
     finalize = res.lineage.finalize()
     return CaptureRun(
@@ -56,7 +63,7 @@ def run_smoke_d_deferforw(db, plan, hints=None, params=None) -> CaptureRun:
     config = CaptureConfig.inject(hints=hints)
     config.defer_forward_only = True
     start = time.perf_counter()
-    res = db.execute(plan, capture=config, params=params)
+    res = db.execute(plan, params=params, options=ExecOptions(capture=config))
     base = time.perf_counter() - start
     finalize = res.lineage.finalize()
     return CaptureRun(

@@ -23,6 +23,17 @@ class PlanError(ReproError):
     """A logical or physical plan is malformed or unsupported."""
 
 
+class StaleBindingError(PlanError):
+    """A bound plan no longer matches the live catalog/registry state.
+
+    Raised when a prepared (or otherwise cached) plan's frozen schema
+    drifted — e.g. a named result was re-registered with a different
+    output schema, or its relation reference now resolves to a different
+    base table.  The fix is always the same: re-parse (re-prepare) the
+    statement.  :meth:`repro.api.Session.sql` does this automatically.
+    """
+
+
 class SqlError(ReproError):
     """The SQL front end rejected a statement."""
 

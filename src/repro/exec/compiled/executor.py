@@ -39,7 +39,8 @@ from ...plan.logical import (
     ThetaJoin,
     assign_source_keys,
 )
-from ...plan.rewrite import match_late_materialization
+from ...lineage.cache import LineageResolutionCache
+from ...plan.rewrite import RewriteIndex, match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import ColumnType, Schema, Table
@@ -87,14 +88,21 @@ class CompiledExecutor:
         capture: Optional[CaptureConfig] = None,
         params: Optional[dict] = None,
         late_materialize: bool = True,
+        rewrites: Optional[RewriteIndex] = None,
+        lineage_cache: Optional[LineageResolutionCache] = None,
     ) -> ExecResult:
+        """Run ``plan``.  ``rewrites`` / ``lineage_cache`` are the
+        prepared-statement fast-path handles (see the vector backend)."""
         config = capture or CaptureConfig.none()
         scan_keys = assign_source_keys(plan)
         # Validate pruning entries up front: a misspelled `relations`
         # entry must not discard a finished (possibly expensive) run.
         check_relation_pruning(config, plan, scan_keys, self.catalog, self.results)
         start = time.perf_counter()
-        state = _ExecState(self, config, params, late_materialize)
+        state = _ExecState(
+            self, config, params, late_materialize,
+            rewrites=rewrites, cache=lineage_cache,
+        )
         table, node = state.run(plan, scan_keys)
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
@@ -111,16 +119,30 @@ class _ExecState:
         config: CaptureConfig,
         params,
         late_mat: bool = True,
+        rewrites: Optional[RewriteIndex] = None,
+        cache: Optional[LineageResolutionCache] = None,
     ):
         self.executor = executor
         self.catalog = executor.catalog
         self.config = config
         self.params = params
         self.late_mat = bool(late_mat)
+        self.rewrites = rewrites
+        self.cache = cache
         self.pushed_subtrees = 0
         self.scan_keys = None
         self._scan_counter = 0
         self._tmp_counter = 0
+
+    def _match(self, plan: LogicalPlan):
+        """Late-materialization decision — precomputed index when the
+        statement was prepared, else matched live (see the vector
+        backend's ``_RunState.match``)."""
+        if not self.late_mat:
+            return None
+        if self.rewrites is not None:
+            return self.rewrites.lookup(plan)
+        return match_late_materialization(plan)
 
     # -- key assignment (must match the vector executor's pre-order scheme) --
 
@@ -138,23 +160,23 @@ class _ExecState:
     # -- recursive block execution ---------------------------------------------
 
     def _exec(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
-        if self.late_mat:
-            # Late materialization: a Select/Project/GroupBy stack over a
-            # lineage scan runs in the rid domain via the shared pushed
-            # path (backend-agnostic, like execute_lineage_scan), instead
-            # of compiling per-row code over a materialized subset.
-            pushed = match_late_materialization(plan)
-            if pushed is not None:
-                key = self._next_scan_key()
-                self.pushed_subtrees += 1
-                return execute_pushed(
-                    pushed,
-                    key,
-                    self.catalog,
-                    self.executor.results,
-                    self.config,
-                    self.params,
-                )
+        # Late materialization: a Select/Project/GroupBy stack over a
+        # lineage scan runs in the rid domain via the shared pushed
+        # path (backend-agnostic, like execute_lineage_scan), instead
+        # of compiling per-row code over a materialized subset.
+        pushed = self._match(plan)
+        if pushed is not None:
+            key = self._next_scan_key()
+            self.pushed_subtrees += 1
+            return execute_pushed(
+                pushed,
+                key,
+                self.catalog,
+                self.executor.results,
+                self.config,
+                self.params,
+                cache=self.cache,
+            )
 
         if isinstance(plan, SetOp):
             left_t, left_n = self._exec(plan.left)
@@ -171,6 +193,7 @@ class _ExecState:
                 node.names.update(side.names)
                 node.aliases.update(side.aliases)
                 node.base_sizes.update(side.base_sizes)
+                node.base_epochs.update(side.base_epochs)
                 if not keep:
                     continue
                 for key, entry in side.backward.items():
@@ -182,7 +205,8 @@ class _ExecState:
         if isinstance(plan, LineageScan):
             key = self._next_scan_key()
             return execute_lineage_scan(
-                plan, key, self.catalog, self.executor.results, self.config, self.params
+                plan, key, self.catalog, self.executor.results, self.config,
+                self.params, cache=self.cache,
             )
 
         if isinstance(plan, Sort):
@@ -264,7 +288,7 @@ class _ExecState:
     ) -> Tuple[Emitter, Schema]:
         """Build the per-row emitter tree for ``plan``; breaker children are
         materialized recursively and become block sources."""
-        if self.late_mat and match_late_materialization(plan) is not None:
+        if self._match(plan) is not None:
             # A pushed lineage-scan stack inside a per-row tree (e.g. the
             # Lb side of a join) enters the block like a breaker child:
             # _exec routes it through the pushed path and its narrow
@@ -286,6 +310,7 @@ class _ExecState:
                     backward=self.config.backward,
                     forward=self.config.forward,
                     alias=plan.alias,
+                    epoch=self.catalog.epoch(plan.table),
                 )
             return SourceNode(src_name, table.schema.names, lineage_key), table.schema
 
@@ -388,6 +413,7 @@ class _ExecState:
             node.names.update(child.names)
             node.aliases.update(child.aliases)
             node.base_sizes.update(child.base_sizes)
+            node.base_epochs.update(child.base_epochs)
             for key, entry in child.backward.items():
                 node.backward[key] = _compose_entry(local_bw, entry)
             for key, entry in child.forward.items():

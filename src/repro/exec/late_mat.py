@@ -36,6 +36,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..lineage.cache import LineageResolutionCache
 from ..lineage.capture import CaptureConfig
 from ..lineage.composer import NodeLineage, compose_node
 from ..plan.rewrite import PushedLineageQuery
@@ -79,14 +80,15 @@ def execute_pushed(
     results: Optional[Mapping[str, object]],
     config: CaptureConfig,
     params: Optional[dict],
+    cache: Optional[LineageResolutionCache] = None,
 ) -> Tuple[Table, NodeLineage]:
     """Execute a pushed stack; returns ``(output table, node lineage)``."""
     from ..expr.ast import evaluate
     from .vector.groupby import execute_groupby
 
     scan = pushed.scan
-    source, rids, source_name, domain = resolve_scan_source(
-        scan, catalog, results, params
+    source, rids, source_name, domain, epoch = resolve_scan_source(
+        scan, catalog, results, params, cache
     )
 
     if pushed.predicate is not None:
@@ -101,7 +103,7 @@ def execute_pushed(
     # Selection in the rid domain composes away: the scan's node lineage
     # over the *surviving* rids equals the materialized path's
     # scan-then-select composition (RidArray compose is a gather).
-    node = scan_node_lineage(scan, key, rids, source_name, domain, config)
+    node = scan_node_lineage(scan, key, rids, source_name, domain, config, epoch)
 
     if pushed.groupby is None and pushed.project is None:
         # Predicate-only stack: the output is the traced relation itself,

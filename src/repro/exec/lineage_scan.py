@@ -44,8 +44,9 @@ from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..errors import LineageError, PlanError
+from ..errors import LineageError, PlanError, StaleBindingError
 from ..expr.ast import Const, Param
+from ..lineage.cache import LineageResolutionCache
 from ..lineage.capture import CaptureConfig, QueryLineage
 from ..lineage.composer import NodeLineage
 from ..lineage.indexes import NO_MATCH, RidArray
@@ -146,16 +147,25 @@ def resolve_scan_source(
     catalog: Catalog,
     results: Optional[Mapping[str, object]],
     params: Optional[dict],
-) -> Tuple[Table, np.ndarray, str, int]:
+    cache: Optional[LineageResolutionCache] = None,
+) -> Tuple[Table, np.ndarray, str, int, Optional[int]]:
     """Resolve a lineage scan to ``(source table, traced rids, source
-    name, source domain)`` without materializing any rows.
+    name, source domain, source epoch)`` without materializing any rows.
 
     The source table is the traced base relation for backward scans and
     the prior result's output for forward scans; ``rids`` index into it.
     All registry-resolution and drift guards live here so the
     materializing path (:func:`execute_lineage_scan`) and the pushed path
     (:func:`repro.exec.late_mat.execute_pushed`) reject exactly the same
-    states.
+    states.  ``epoch`` is the traced base relation's catalog replacement
+    epoch (``None`` for forward scans, whose source is a prior result).
+
+    ``cache`` memoizes the (dominant) rid-resolution step per ``(result,
+    relation, rid subset)`` — see
+    :class:`~repro.lineage.cache.LineageResolutionCache`; prepared
+    statements and sessions share one cache so a brush's N per-view
+    statements resolve lineage once.  Cached rid arrays are read-only;
+    both execution paths only gather through them.
     """
     result = _resolve_result(plan, results)
     lineage = result.lineage
@@ -163,18 +173,49 @@ def resolve_scan_source(
     if plan.direction == "backward":
         base_name = resolve_base_table(catalog, lineage, plan.relation)
         base = catalog.get(base_name)
+        epoch = catalog.epoch(base_name)
+        captured_epoch = lineage.base_epoch(plan.relation)
+        if captured_epoch is not None and captured_epoch != epoch:
+            # Same-shape replacement would otherwise answer with stale
+            # rids against the new rows (shrink/schema drift is caught
+            # below even without epochs).
+            raise PlanError(
+                f"base relation {base_name!r} was replaced since result "
+                f"{plan.result!r} captured its lineage (epoch "
+                f"{captured_epoch} vs {epoch}); re-run the base query"
+            )
         if plan.schema is not None and base.schema != plan.schema:
             # Re-registration may re-resolve the relation reference to a
             # different base table (or the table may have been replaced);
             # reading it against the bound schema would corrupt operators
             # above this scan.
-            raise PlanError(
+            raise StaleBindingError(
                 f"relation {plan.relation!r} of result {plan.result!r} now "
                 f"resolves to schema {base.schema!r}, but the plan was "
                 f"bound against {plan.schema!r}; re-parse the statement"
             )
-        out_rids = resolve_rid_spec(plan.rids, params, result.table.num_rows)
-        rids = lineage.backward(out_rids, plan.relation)
+        if plan.rids is None:
+            out_rids = None  # trace every output row
+            subset_key = LineageResolutionCache.subset_key(None)
+        else:
+            out_rids = resolve_rid_spec(plan.rids, params, result.table.num_rows)
+            subset_key = LineageResolutionCache.subset_key(out_rids)
+
+        def compute_backward() -> np.ndarray:
+            probe = (
+                np.arange(result.table.num_rows, dtype=np.int64)
+                if out_rids is None
+                else out_rids
+            )
+            return lineage.backward(probe, plan.relation)
+
+        if cache is not None:
+            rids = cache.resolve(
+                plan.result, result, "backward", plan.relation,
+                subset_key, compute_backward,
+            )
+        else:
+            rids = compute_backward()
         if rids.size and int(rids[-1]) >= base.num_rows:
             # rids are sorted; a captured rid beyond the current table
             # means the base relation shrank since capture.
@@ -186,22 +227,41 @@ def resolve_scan_source(
         # Register under the resolved base table (like an aliased Scan),
         # so downstream lookups and pruning by base name keep working even
         # when the Lb argument was an alias or occurrence key.
-        return base, rids, base_name, base.num_rows
+        return base, rids, base_name, base.num_rows, epoch
 
     if plan.schema is not None and result.table.schema != plan.schema:
         # The binder froze the prior result's schema into the plan;
         # silently reading shifted columns would corrupt any operator
         # bound above this scan.
-        raise PlanError(
+        raise StaleBindingError(
             f"result {plan.result!r} was re-registered with a "
             f"different schema ({result.table.schema!r} vs bound "
             f"{plan.schema!r}); re-parse the statement"
         )
-    index = lineage.forward_index(plan.relation)
-    in_rids = resolve_rid_spec(plan.rids, params, index.num_keys)
-    rids = lineage.forward(plan.relation, in_rids)
+    if plan.rids is None:
+        in_rids = None
+        subset_key = LineageResolutionCache.subset_key(None)
+    else:
+        in_rids = resolve_rid_spec(plan.rids, params, 0)
+        subset_key = LineageResolutionCache.subset_key(in_rids)
+
+    def compute_forward() -> np.ndarray:
+        probe = (
+            np.arange(lineage.forward_index(plan.relation).num_keys, dtype=np.int64)
+            if in_rids is None
+            else in_rids
+        )
+        return lineage.forward(plan.relation, probe)
+
+    if cache is not None:
+        rids = cache.resolve(
+            plan.result, result, "forward", plan.relation,
+            subset_key, compute_forward,
+        )
+    else:
+        rids = compute_forward()
     # The prior result's output acts as the scanned (pseudo) relation.
-    return result.table, rids, plan.result, result.table.num_rows
+    return result.table, rids, plan.result, result.table.num_rows, None
 
 
 def scan_node_lineage(
@@ -211,6 +271,7 @@ def scan_node_lineage(
     source_name: str,
     domain: int,
     config: CaptureConfig,
+    epoch: Optional[int] = None,
 ) -> NodeLineage:
     """The scan's node lineage: output row ``i`` came from source rid
     ``rids[i]``.  Shared by both materialization paths, so the pushed
@@ -220,6 +281,8 @@ def scan_node_lineage(
     if plan.alias is not None and plan.alias != source_name:
         node.aliases[key] = plan.alias
     node.base_sizes[key] = domain
+    if epoch is not None:
+        node.base_epochs[key] = epoch
     if config.captures_relation(key, source_name, plan.alias):
         if config.backward:
             node.backward[key] = RidArray(rids)
@@ -235,11 +298,12 @@ def execute_lineage_scan(
     results: Optional[Mapping[str, object]],
     config: CaptureConfig,
     params: Optional[dict],
+    cache: Optional[LineageResolutionCache] = None,
 ) -> Tuple[Table, NodeLineage]:
     """Materialize a lineage scan's output table and its node lineage."""
-    source, rids, source_name, domain = resolve_scan_source(
-        plan, catalog, results, params
+    source, rids, source_name, domain, epoch = resolve_scan_source(
+        plan, catalog, results, params, cache
     )
     table = source.take(rids)
-    node = scan_node_lineage(plan, key, rids, source_name, domain, config)
+    node = scan_node_lineage(plan, key, rids, source_name, domain, config, epoch)
     return table, node

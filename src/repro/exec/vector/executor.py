@@ -46,7 +46,8 @@ from ...plan.logical import (
 )
 from ..late_mat import execute_pushed
 from ..lineage_scan import execute_lineage_scan
-from ...plan.rewrite import match_late_materialization
+from ...lineage.cache import LineageResolutionCache
+from ...plan.rewrite import RewriteIndex, match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import Table
@@ -89,16 +90,33 @@ class _RunState:
     cursor, whether the late-materialization rewrite is enabled for this
     run, and how many subtrees it pushed.  Local to one ``execute`` call
     so runs can never clobber each other's settings (the compiled
-    backend's ``_ExecState`` plays the same role)."""
+    backend's ``_ExecState`` plays the same role).
+
+    ``rewrites`` is a prepared statement's precomputed
+    :class:`~repro.plan.rewrite.RewriteIndex` (``None`` = match live per
+    node); ``cache`` is the shared lineage rid-resolution cache handle
+    threaded down to the lineage-scan paths.
+    """
 
     late_mat: bool = True
     pushed_subtrees: int = 0
     scan_cursor: int = 0
+    rewrites: Optional[RewriteIndex] = None
+    cache: Optional[LineageResolutionCache] = None
 
     def next_key(self, scan_keys: List[str]) -> str:
         key = scan_keys[self.scan_cursor]
         self.scan_cursor += 1
         return key
+
+    def match(self, plan: LogicalPlan):
+        """The late-materialization decision for ``plan`` — from the
+        precomputed index when one was prepared, else matched live."""
+        if not self.late_mat:
+            return None
+        if self.rewrites is not None:
+            return self.rewrites.lookup(plan)
+        return match_late_materialization(plan)
 
 
 class VectorExecutor:
@@ -120,13 +138,24 @@ class VectorExecutor:
         capture: Optional[CaptureConfig] = None,
         params: Optional[dict] = None,
         late_materialize: bool = True,
+        rewrites: Optional[RewriteIndex] = None,
+        lineage_cache: Optional[LineageResolutionCache] = None,
     ) -> ExecResult:
+        """Run ``plan``.  ``rewrites`` / ``lineage_cache`` are the
+        prepared-statement fast-path handles: a precomputed
+        late-materialization index (skips per-run structural matching)
+        and a shared rid-resolution cache (skips repeated ``Lb``/``Lf``
+        resolution across a session's statements)."""
         config = capture or CaptureConfig.none()
         scan_keys = self._assign_scan_keys(plan)
         # Validate pruning entries up front: a misspelled `relations`
         # entry must not discard a finished (possibly expensive) run.
         check_relation_pruning(config, plan, scan_keys, self.catalog, self.results)
-        state = _RunState(late_mat=bool(late_materialize))
+        state = _RunState(
+            late_mat=bool(late_materialize),
+            rewrites=rewrites,
+            cache=lineage_cache,
+        )
         start = time.perf_counter()
         table, node = self._run(plan, config, params, scan_keys, state)
         elapsed = time.perf_counter() - start
@@ -151,18 +180,18 @@ class VectorExecutor:
         scan_keys: List[str],
         state: "_RunState",
     ) -> Tuple[Table, NodeLineage]:
-        if state.late_mat:
-            # Late materialization: a Select/Project/GroupBy stack over a
-            # lineage scan runs in the rid domain instead of scanning a
-            # materialized subset.  The stack holds exactly one source
-            # leaf, so it consumes exactly one occurrence key.
-            pushed = match_late_materialization(plan)
-            if pushed is not None:
-                key = state.next_key(scan_keys)
-                state.pushed_subtrees += 1
-                return execute_pushed(
-                    pushed, key, self.catalog, self.results, config, params
-                )
+        # Late materialization: a Select/Project/GroupBy stack over a
+        # lineage scan runs in the rid domain instead of scanning a
+        # materialized subset.  The stack holds exactly one source
+        # leaf, so it consumes exactly one occurrence key.
+        pushed = state.match(plan)
+        if pushed is not None:
+            key = state.next_key(scan_keys)
+            state.pushed_subtrees += 1
+            return execute_pushed(
+                pushed, key, self.catalog, self.results, config, params,
+                cache=state.cache,
+            )
 
         if isinstance(plan, Scan):
             key = state.next_key(scan_keys)
@@ -175,13 +204,15 @@ class VectorExecutor:
                 backward=config.backward and captured,
                 forward=config.forward and captured,
                 alias=plan.alias,
+                epoch=self.catalog.epoch(plan.table),
             )
             return table, node
 
         if isinstance(plan, LineageScan):
             key = state.next_key(scan_keys)
             return execute_lineage_scan(
-                plan, key, self.catalog, self.results, config, params
+                plan, key, self.catalog, self.results, config, params,
+                cache=state.cache,
             )
 
         if isinstance(plan, Select):

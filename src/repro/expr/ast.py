@@ -183,13 +183,20 @@ class Func(Expr):
 
 
 class InList(Expr):
-    """``expr IN (v1, v2, ...)`` membership test."""
+    """``expr IN (v1, v2, ...)`` membership test.
+
+    ``choices`` is either a tuple of literals or a :class:`Param` — the
+    SQL form ``expr IN :name`` — whose value (any iterable of literals)
+    is bound at execution time.  Parameterized IN lists are the natural
+    slot for interactive *value* selections in prepared statements, the
+    way the rid argument of ``Lb``/``Lf`` is for positional ones.
+    """
 
     __slots__ = ("operand", "choices")
 
-    def __init__(self, operand: Expr, choices: Tuple):
+    def __init__(self, operand: Expr, choices):
         self.operand = operand
-        self.choices = tuple(choices)
+        self.choices = choices if isinstance(choices, Param) else tuple(choices)
 
     def __repr__(self):
         return f"InList({self.operand!r}, {self.choices!r})"
@@ -219,6 +226,32 @@ def _collect_columns(expr: Expr, out: set) -> None:
         _collect_columns(expr.operand, out)
 
 
+def _in_choices(expr: InList, params: Optional[dict]) -> Tuple:
+    """The concrete choice tuple of an IN list (resolving a Param).
+
+    Elements are normalized to plain Python scalars: the compiled
+    backend repr-interpolates the tuple into generated source, where a
+    numpy scalar would render as ``np.int64(1)`` against a namespace
+    that has no ``np``.
+    """
+    if not isinstance(expr.choices, Param):
+        return expr.choices
+    name = expr.choices.name
+    if params is None or name not in params:
+        raise SchemaError(f"unbound parameter :{name}")
+    value = params[name]
+    if isinstance(value, np.ndarray):
+        return tuple(value.tolist())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return tuple(
+            v.item() if isinstance(v, np.generic) else v for v in value
+        )
+    raise SchemaError(
+        f"IN-list parameter :{name} must bind a list of values, "
+        f"got {type(value).__name__}"
+    )
+
+
 def collect_params(expr: Optional[Expr]) -> List[str]:
     """Names of all :class:`Param` placeholders in an expression tree."""
     names: List[str] = []
@@ -238,6 +271,8 @@ def collect_params(expr: Optional[Expr]) -> List[str]:
                 walk(a)
         elif isinstance(e, InList):
             walk(e.operand)
+            if isinstance(e.choices, Param):
+                names.append(e.choices.name)
 
     walk(expr)
     return names
@@ -256,7 +291,7 @@ def bind_params(expr: Expr, params: dict) -> Expr:
     if isinstance(expr, Func):
         return Func(expr.name, [bind_params(a, params) for a in expr.args])
     if isinstance(expr, InList):
-        return InList(bind_params(expr.operand, params), expr.choices)
+        return InList(bind_params(expr.operand, params), _in_choices(expr, params))
     return expr
 
 
@@ -289,7 +324,7 @@ def evaluate(expr: Expr, table: Table, params: Optional[dict] = None) -> np.ndar
     if isinstance(expr, InList):
         operand = evaluate(expr.operand, table, params)
         mask = np.zeros(n, dtype=bool)
-        for choice in expr.choices:
+        for choice in _in_choices(expr, params):
             mask |= operand == choice
         return mask
     raise SchemaError(f"cannot evaluate expression {expr!r}")

@@ -65,5 +65,16 @@ def to_source(
             raise PlanError(f"cannot compile function {expr.name!r}") from None
     if isinstance(expr, InList):
         operand = to_source(expr.operand, column_ref, params)
-        return f"({operand} in {expr.choices!r})"
+        choices = expr.choices
+        if isinstance(choices, Param):
+            # Parameterized IN list (``x IN :values``): like scalar
+            # params, the binding must exist before code generation.
+            from ..errors import SchemaError
+            from .ast import _in_choices
+
+            try:
+                choices = _in_choices(expr, params)
+            except SchemaError as exc:
+                raise PlanError(str(exc)) from None
+        return f"({operand} in {choices!r})"
     raise PlanError(f"cannot compile expression {expr!r}")

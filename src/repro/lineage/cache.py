@@ -1,0 +1,133 @@
+"""Memoized lineage rid-resolution for repeated interactive statements.
+
+The paper's interactive workloads (crossfilter, linked brushing) issue the
+*same* lineage-consuming statements per interaction — one per view —
+varying only the traced subset.  Every such statement pays a
+``QueryLineage.backward`` / ``forward`` resolution (index lookup plus
+distinct-dedup) even though, within one brush, all N per-view statements
+trace the same ``(result, relation, rid subset)``.
+
+:class:`LineageResolutionCache` memoizes those resolutions.  One cache is
+owned by a :class:`~repro.api.PreparedQuery` and *shared* across every
+statement of a :class:`~repro.api.Session`, so a brush's per-view
+statements resolve lineage once and repeated identical brushes resolve it
+zero times.
+
+Correctness rests on two invariants:
+
+* **Epoch-based invalidation** — every entry records the registry epoch of
+  the named result at resolution time
+  (:meth:`~repro.api.ResultRegistry.epoch` advances on re-registration).
+  A lookup whose stored epoch differs from the live epoch recomputes, so
+  re-registering a name can never serve another result's rids.  Registries
+  without epochs (plain dict fixtures) fall back to the identity of the
+  result object, which changes on replacement all the same.
+* **Immutability** — cached arrays are handed out with the writeable flag
+  cleared; every consumer treats rid arrays as read-only (filters copy via
+  fancy indexing), so sharing one array across statements is safe, and an
+  accidental in-place mutation raises instead of corrupting the cache.
+
+The cache is LRU-bounded (``max_entries``) so a long session brushing
+thousands of distinct subsets cannot hold every resolved rid set alive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+#: Key of one memoized resolution: (result name, direction, relation
+#: reference, rid-subset fingerprint).
+_CacheKey = Tuple[str, str, str, object]
+
+#: Fingerprint of the "trace every row" subset (no rid argument).  The
+#: traced universe only changes when the result is re-registered, which
+#: the epoch check already covers.
+ALL_RIDS = "*"
+
+
+class LineageResolutionCache:
+    """Memoizes resolved backward/forward rid sets per
+    ``(result, relation, rid-subset)`` with epoch-based invalidation.
+
+    ``registry`` is the owning database's result registry (anything with
+    an ``epoch(name) -> int`` method; plain mappings work too, degrading
+    to object-identity invalidation).
+    """
+
+    def __init__(self, registry=None, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._registry = registry
+        self._entries: "OrderedDict[_CacheKey, Tuple[object, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys -----------------------------------------------------------------
+
+    @staticmethod
+    def subset_key(rids: Optional[np.ndarray]) -> object:
+        """Hashable fingerprint of a traced rid subset (``None`` = all)."""
+        if rids is None:
+            return ALL_RIDS
+        return rids.tobytes()
+
+    def _epoch(self, name: str, result: object) -> object:
+        epoch = getattr(self._registry, "epoch", None)
+        if callable(epoch):
+            return epoch(name)
+        return id(result)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def resolve(
+        self,
+        name: str,
+        result: object,
+        direction: str,
+        relation: str,
+        subset_key: object,
+        compute: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        """The memoized resolution: cached rids when the entry is live
+        (same registry epoch), else ``compute()`` — stored read-only."""
+        key = (name, direction, relation, subset_key)
+        epoch = self._epoch(name, result)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == epoch:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+        rids = np.asarray(compute())
+        rids.setflags(write=False)
+        self._entries[key] = (epoch, rids)
+        self._entries.move_to_end(key)
+        self.misses += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return rids
+
+    # -- maintenance ----------------------------------------------------------
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop entries for one result name, or everything when ``None``.
+
+        Epoch checks already catch re-registration; this is for explicit
+        memory release (``Session.close``)."""
+        if name is None:
+            self._entries.clear()
+            return
+        for key in [k for k in self._entries if k[0] == name]:
+            del self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus the live entry count (for benchmarks)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

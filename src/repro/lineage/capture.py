@@ -192,6 +192,7 @@ class QueryLineage:
         self._backward: Dict[str, IndexOrThunk] = {}
         self._forward: Dict[str, IndexOrThunk] = {}
         self._aliases: Dict[str, List[str]] = {}
+        self._base_epochs: Dict[str, int] = {}
         # Per-index dedup scratch: a reusable boolean flag array sized to
         # the index's rid domain (allocated lazily, reset after each use).
         self._dedup_flags: Dict[Tuple[str, str], np.ndarray] = {}
@@ -209,6 +210,11 @@ class QueryLineage:
         self._aliases.setdefault(name, [])
         if key not in self._aliases[name]:
             self._aliases[name].append(key)
+
+    def put_base_epoch(self, key: str, epoch: int) -> None:
+        """Record the catalog replacement epoch of occurrence ``key``'s
+        base relation as of capture time (see :meth:`base_epoch`)."""
+        self._base_epochs[key] = epoch
 
     # -- access -----------------------------------------------------------------
 
@@ -327,6 +333,21 @@ class QueryLineage:
             self._distinct(index.lookup_many(group), "f", key)
             for group in in_rid_groups
         ]
+
+    def base_epoch(self, relation: str) -> Optional[int]:
+        """The catalog epoch of ``relation``'s base table at capture time,
+        or ``None`` when no epoch was recorded (e.g. re-rooted or pseudo
+        relations).  Consumers that *apply* captured rids to the live table
+        (``Lb`` scans, ``backward_table``) compare this against
+        :meth:`~repro.storage.catalog.Catalog.epoch` and raise on mismatch
+        instead of answering with stale positions; rid-only answers
+        (:meth:`backward` / :meth:`forward`) stay available, since they
+        describe the captured snapshot."""
+        for key in self.keys_for(relation):
+            epoch = self._base_epochs.get(key)
+            if epoch is not None:
+                return epoch
+        return None
 
     def keys_for(self, relation: str) -> List[str]:
         """Every occurrence key a relation reference could denote — the

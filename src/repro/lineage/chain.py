@@ -53,7 +53,9 @@ def execute_over_lineage(
     subset = base.take(subset_rids)
     database.create_table(SUBSET_RELATION, subset, replace=True)
     config = capture or CaptureConfig.inject()
-    result = database.execute(plan, capture=config, params=params)
+    from ..api import ExecOptions
+
+    result = database.execute(plan, params=params, options=ExecOptions(capture=config))
     if result.lineage is not None:
         _reroot(result.lineage, subset_rids, base.num_rows, relation)
     return result

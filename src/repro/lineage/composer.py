@@ -46,7 +46,9 @@ class NodeLineage:
     correlation name it was scanned under (both feed alias resolution on
     the public handle); ``base_sizes`` holds the base relation
     cardinalities (needed to allocate forward indexes and to validate
-    composition).
+    composition); ``base_epochs`` records each base relation's catalog
+    replacement epoch at scan time (consumers compare it against the live
+    epoch so a replaced base table cannot silently answer with stale rids).
     """
 
     output_size: int
@@ -55,6 +57,7 @@ class NodeLineage:
     names: Dict[str, str] = field(default_factory=dict)
     aliases: Dict[str, str] = field(default_factory=dict)
     base_sizes: Dict[str, int] = field(default_factory=dict)
+    base_epochs: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def for_scan(
@@ -65,6 +68,7 @@ class NodeLineage:
         backward: bool,
         forward: bool,
         alias: Optional[str] = None,
+        epoch: Optional[int] = None,
     ) -> "NodeLineage":
         node = cls(output_size=size)
         if backward:
@@ -75,6 +79,8 @@ class NodeLineage:
         if alias is not None and alias != name:
             node.aliases[key] = alias
         node.base_sizes[key] = size
+        if epoch is not None:
+            node.base_epochs[key] = epoch
         return node
 
     def to_query_lineage(self) -> QueryLineage:
@@ -88,6 +94,8 @@ class NodeLineage:
             out.register_alias(name, key)
         for key, alias in self.aliases.items():
             out.register_alias(alias, key)
+        for key, epoch in self.base_epochs.items():
+            out.put_base_epoch(key, epoch)
         return out
 
 
@@ -127,6 +135,7 @@ def compose_node(
     node.names.update(child.names)
     node.aliases.update(child.aliases)
     node.base_sizes.update(child.base_sizes)
+    node.base_epochs.update(child.base_epochs)
     for key, entry in child.backward.items():
         node.backward[key] = _compose_entry(local_backward, entry)
     for key, entry in child.forward.items():
@@ -157,6 +166,7 @@ def merge_binary(
         node.names.update(side.names)
         node.aliases.update(side.aliases)
         node.base_sizes.update(side.base_sizes)
+        node.base_epochs.update(side.base_epochs)
         for key, entry in side.backward.items():
             node.backward[key] = _compose_entry(local_bw, entry)
         for key, entry in side.forward.items():

@@ -122,7 +122,11 @@ class AggregateRefresher:
             else:
                 self._delta(agg, col, rids, old_rows, new_rows, group_of_changed, columns)
         self._base = updated_base
-        self.database.create_table(self.relation, updated_base, replace=True)
+        # Positional in-place update: row identities (rids) are unchanged,
+        # so captured lineage stays valid — keep the relation's epoch.
+        self.database.create_table(
+            self.relation, updated_base, replace=True, preserve_rids=True
+        )
         self._current = Table(columns, self._current.schema)
         return self._current, affected
 

@@ -44,16 +44,21 @@ returns ``None`` and the materialize-then-scan path runs instead:
 * anything that is not a linear Select/Project/GroupBy chain.
 
 The rewrite is purely structural — no catalog or registry access — so
-executors can afford to attempt it at every plan node.
+executors can afford to attempt it at every plan node.  Prepared
+statements go one step further: :func:`precompute_rewrites` runs the
+match over every node of a plan **once** at prepare time and hands the
+executors a :class:`RewriteIndex`, so repeated ``run()`` calls skip the
+structural matching entirely (the per-statement cost the interactive
+workloads pay N times per brush).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional
 
 from ..expr.ast import BinOp, Expr
-from .logical import GroupBy, LineageScan, LogicalPlan, Project, Select
+from .logical import GroupBy, LineageScan, LogicalPlan, Project, Select, walk
 
 
 @dataclass(frozen=True)
@@ -135,3 +140,34 @@ def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery
         project=project,
         columns=frozenset(columns),
     )
+
+
+class RewriteIndex:
+    """The late-materialization decision for every node of one plan,
+    computed once (prepare time) instead of per execution.
+
+    Keys are node identities, not equality: two structurally equal
+    subtrees at different positions are distinct nodes consuming distinct
+    occurrence keys, exactly as the executors' recursion sees them.  The
+    index holds a reference to the plan so node ids stay valid for its
+    lifetime; it must only be consulted with nodes of that plan.
+    """
+
+    __slots__ = ("plan", "_matches")
+
+    def __init__(self, plan: LogicalPlan):
+        self.plan = plan
+        self._matches: Dict[int, PushedLineageQuery] = {}
+        for node in walk(plan):
+            matched = match_late_materialization(node)
+            if matched is not None:
+                self._matches[id(node)] = matched
+
+    def lookup(self, node: LogicalPlan) -> Optional[PushedLineageQuery]:
+        return self._matches.get(id(node))
+
+
+def precompute_rewrites(plan: LogicalPlan) -> RewriteIndex:
+    """Run :func:`match_late_materialization` over all of ``plan`` once;
+    executors consult the returned index instead of re-matching per run."""
+    return RewriteIndex(plan)

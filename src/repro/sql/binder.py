@@ -493,7 +493,7 @@ class _SelectBinder:
             if isinstance(node, RawNot):
                 return Not(walk(node.operand))
             if isinstance(node, RawIn):
-                return InList(walk(node.operand), node.choices)
+                return InList(walk(node.operand), _in_choices(node))
             if isinstance(node, RawColumn):
                 # In HAVING scope, names refer to group-key aliases.
                 for expr, alias in keys:
@@ -530,7 +530,7 @@ class _SelectBinder:
         if isinstance(raw, RawFunc):
             return Func(raw.name, [self._scalar(a) for a in raw.args])
         if isinstance(raw, RawIn):
-            return InList(self._scalar(raw.operand), raw.choices)
+            return InList(self._scalar(raw.operand), _in_choices(raw))
         if isinstance(raw, RawAgg):
             raise SqlError("aggregate used where a scalar expression is required")
         raise SqlError(f"cannot bind expression {raw!r}")
@@ -546,6 +546,14 @@ class _SelectBinder:
         from ..plan.schema import infer_schema
 
         return infer_schema(plan, self.catalog).names
+
+
+def _in_choices(raw: RawIn):
+    """IN-list choices: a literal tuple, or a parameter slot (``IN
+    :values``) that survives binding and is filled at execution time."""
+    if isinstance(raw.choices, RawParam):
+        return Param(raw.choices.name)
+    return raw.choices
 
 
 def _split_conjuncts(raw) -> List[object]:

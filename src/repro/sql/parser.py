@@ -429,26 +429,28 @@ class _Parser:
             return RawBin("and", RawBin(">=", left, lo), RawBin("<=", left, hi))
         if tok.is_kw("in"):
             self.advance()
-            self.expect_punct("(")
-            choices = [self._literal_value()]
-            while self.accept_punct(","):
-                choices.append(self._literal_value())
-            self.expect_punct(")")
-            return RawIn(left, tuple(choices))
+            return RawIn(left, self._in_choices())
         if tok.is_kw("not"):
             # X NOT IN (...) / NOT BETWEEN
             save = self.pos
             self.advance()
             if self.current.is_kw("in"):
                 self.advance()
-                self.expect_punct("(")
-                choices = [self._literal_value()]
-                while self.accept_punct(","):
-                    choices.append(self._literal_value())
-                self.expect_punct(")")
-                return RawNot(RawIn(left, tuple(choices)))
+                return RawNot(RawIn(left, self._in_choices()))
             self.pos = save
         return left
+
+    def _in_choices(self):
+        """An IN list: a parenthesized literal list, or a ``:param``
+        bound to a value list at execution time (prepared statements)."""
+        if self.current.kind == "param":
+            return RawParam(self.advance().value)
+        self.expect_punct("(")
+        choices = [self._literal_value()]
+        while self.accept_punct(","):
+            choices.append(self._literal_value())
+        self.expect_punct(")")
+        return tuple(choices)
 
     def _literal_value(self):
         tok = self.advance()

@@ -3,6 +3,19 @@
 The catalog is deliberately small — Smoke is an analytical engine operating
 on immutable in-memory relations — but it is the anchor that lineage
 queries trace *to*: a backward query names a base relation registered here.
+
+Relation epochs
+---------------
+Captured lineage stores *positions* (rids) into the base relations as they
+were at capture time.  Replacing a table invalidates those positions even
+when the new table has the same schema and cardinality, so the catalog
+tracks a per-name **epoch** that advances on every replacement.  Lineage
+handles record the epoch at capture and consumers (``Lb`` scans,
+``backward_table``) compare it against the live epoch, turning silent
+stale-rid answers into errors.  ``preserve_rids=True`` opts a replacement
+out of the bump — the contract that rows were updated *in place* (same
+positions, same identity), which is exactly what
+:class:`~repro.lineage.refresh.AggregateRefresher` does.
 """
 
 from __future__ import annotations
@@ -18,18 +31,39 @@ class Catalog:
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
+        self._epochs: Dict[str, int] = {}
 
-    def register(self, name: str, table: Table, replace: bool = False) -> None:
+    def register(
+        self,
+        name: str,
+        table: Table,
+        replace: bool = False,
+        preserve_rids: bool = False,
+    ) -> None:
         if not name or not name.isidentifier():
             raise CatalogError(f"invalid table name {name!r}")
         if name in self._tables and not replace:
             raise CatalogError(f"table {name!r} already exists")
+        replacing = name in self._tables and self._tables[name] is not table
         self._tables[name] = table
+        if replacing and not preserve_rids:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def drop(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
+        # A later re-registration under this name is a different relation;
+        # advancing here makes drop+create indistinguishable from replace.
+        self._epochs[name] = self._epochs.get(name, 0) + 1
+
+    def epoch(self, name: str) -> int:
+        """Replacement epoch of a relation name (0 until first replaced).
+
+        Unknown names answer their *next* epoch so that lineage captured
+        against a since-dropped table can still be compared.
+        """
+        return self._epochs.get(name, 0)
 
     def get(self, name: str) -> Table:
         try:

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api import ExecOptions
 from ..errors import WorkloadError
 from ..lineage.capture import CaptureMode
 from ..plan.logical import LogicalPlan
@@ -107,7 +108,7 @@ def execute_with_workload(
     """Run ``plan`` with capture tailored to ``workload``."""
     config = prune_capture(workload, mode=mode, hints=hints)
     start = time.perf_counter()
-    result = database.execute(plan, capture=config, params=params)
+    result = database.execute(plan, params=params, options=ExecOptions(capture=config))
     base_seconds = time.perf_counter() - start
 
     optimized = OptimizedResult(
