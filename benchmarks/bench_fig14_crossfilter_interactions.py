@@ -17,24 +17,51 @@ run the BT interaction as lineage-consuming SQL over registered views
 * ``sql-materialized`` — the same one-shot statements with the rewrite
   disabled, i.e. the PR-1 materialize-then-scan baseline.
 
+Two further axes add a *star-schema* view (``carrier_region``: the
+carrier's region, an attribute of a joined ``carriers`` lookup table).
+Every brush then updates that view with a join-shaped lineage-consuming
+statement — ``GROUP BY`` over ``Lb(view, 'ontime', :bars) JOIN
+carriers`` — which the rewrite pushes *through the join*:
+
+* ``sql-pushed-join`` — prepared sessions with the joined view on the
+  late-materializing path (narrow key probe, payload gathered at
+  matching rows only);
+* ``sql-materialized-join`` — identical prepared sessions with only the
+  rewrite disabled, so the axis pair isolates the join push itself:
+  every join-shaped interaction materializes the full-width traced
+  subset before joining.
+
 Comparing those against ``bt`` shows how close crossfilter-over-SQL gets
 to the hand-rolled kernels: pushing materialization away closes most of
-the gap, and preparing the statements (this PR) closes most of the rest
-on repeated-brush traffic.
+the gap, and preparing the statements closes most of the rest on
+repeated-brush traffic.
 """
 
+import numpy as np
 import pytest
 
 from conftest import ROUNDS
 
 from repro.api import Database
-from repro.apps.crossfilter import CrossfilterSession
+from repro.apps.crossfilter import CrossfilterSession, DimensionJoin
 from repro.datagen import VIEW_DIMENSIONS
+from repro.datagen.ontime import NUM_CARRIERS
+from repro.storage import Table
 
 TECHNIQUES = (
     "lazy", "bt", "bt+ft", "cube",
     "sql-prepared", "sql-pushed", "sql-materialized",
+    "sql-pushed-join", "sql-materialized-join",
 )
+
+#: The star-schema axes' dimensions: the four fact views plus a view
+#: binned on the joined carriers.region attribute.
+JOIN_DIMENSIONS = VIEW_DIMENSIONS + ("carrier_region",)
+CARRIER_JOIN = {
+    "carrier_region": DimensionJoin(
+        "carriers", "carrier", "carrier_id", "region"
+    )
+}
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +72,13 @@ def sessions(ontime_table):
     }
     db = Database()
     db.create_table("ontime", ontime_table)
+    db.create_table(
+        "carriers",
+        Table({
+            "carrier_id": np.arange(NUM_CARRIERS, dtype=np.int64),
+            "region": (np.arange(NUM_CARRIERS, dtype=np.int64) % 5),
+        }),
+    )
     built["sql-prepared"] = CrossfilterSession.from_database(
         db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=True,
         prepared=True,
@@ -57,13 +91,23 @@ def sessions(ontime_table):
         db, "ontime", VIEW_DIMENSIONS, "bt", late_materialize=False,
         prepared=False,
     )
+    built["sql-pushed-join"] = CrossfilterSession.from_database(
+        db, "ontime", JOIN_DIMENSIONS, "bt", late_materialize=True,
+        prepared=True, joins=CARRIER_JOIN,
+    )
+    built["sql-materialized-join"] = CrossfilterSession.from_database(
+        db, "ontime", JOIN_DIMENSIONS, "bt", late_materialize=False,
+        prepared=True, joins=CARRIER_JOIN,
+    )
     return built
 
 
 @pytest.mark.parametrize("technique", TECHNIQUES)
-@pytest.mark.parametrize("dimension", list(VIEW_DIMENSIONS))
+@pytest.mark.parametrize("dimension", list(JOIN_DIMENSIONS))
 def test_fig14_single_interaction(benchmark, sessions, technique, dimension):
     session = sessions[technique]
+    if dimension not in session.views:
+        pytest.skip("joined dimension exists on the -join axes only")
     bars = session.views[dimension].num_bars
 
     def run():

@@ -1,7 +1,9 @@
 """Late-materializing LineageScan: pushed vs materialized vs hand-rolled.
 
 Crossfilter-style lineage-consuming statements (filter / narrow
-projection / re-aggregation over ``Lb(view, 'ontime', :bars)``) timed on
+projection / re-aggregation over ``Lb(view, 'ontime', :bars)``, plus the
+star-schema join re-aggregation ``Lb(...) JOIN carriers`` and a DISTINCT
+projection — the shapes this repo's join/DISTINCT push covers) timed on
 three paths:
 
 * **pushed** — the late-materialization rewrite (:mod:`repro.plan.rewrite`):
@@ -44,14 +46,27 @@ NUM_CARRIERS = 29
 PAYLOAD_COLS = 12
 
 
+#: Lookup-table regions for the star-schema join axis.
+NUM_REGIONS = 5
+
+
 @pytest.fixture(scope="module")
 def latemat_db():
     from repro.bench.harness import scaled
     from repro.datagen import make_ontime_table
+    from repro.storage import Table
 
     db = Database()
     db.create_table(
         "ontime", make_ontime_table(scaled(200_000), payload_cols=PAYLOAD_COLS)
+    )
+    # Star-schema lookup: carrier -> region (the joined crossfilter view).
+    db.create_table(
+        "carriers",
+        Table({
+            "carrier_id": np.arange(NUM_CARRIERS, dtype=np.int64),
+            "region": (np.arange(NUM_CARRIERS, dtype=np.int64) % NUM_REGIONS),
+        }),
     )
     db.sql(
         "SELECT latlon_bin, COUNT(*) AS cnt FROM ontime GROUP BY latlon_bin",
@@ -189,13 +204,76 @@ def test_narrow_projection(latemat_db):
     _record("narrow_projection", "hand_rolled", hand_rolled)
 
 
+def test_join_reaggregate(latemat_db):
+    """The star-schema BT re-aggregation: GROUP BY over the brushed
+    bar's lineage joined to the carrier lookup table — the join-pushed
+    acceptance shape (only the fact join key is gathered to probe, only
+    the joined attribute at matching rows)."""
+    db = latemat_db
+    bars = _bars(db)
+    res = _run_both_paths(
+        db,
+        "join_reaggregate",
+        "SELECT region, COUNT(*) AS cnt FROM Lb(view, 'ontime', :bars) "
+        "JOIN carriers ON ontime.carrier = carriers.carrier_id "
+        "GROUP BY region",
+        {"bars": bars},
+    )
+    assert res.timings.get("late_mat_joins") == 1.0
+
+    lineage = db.result("view").lineage
+    table = db.table("ontime")
+    region_of_carrier = db.table("carriers").column("region")
+
+    def hand_rolled():
+        rids = lineage.backward(bars, "ontime")
+        return np.bincount(
+            region_of_carrier[table.column("carrier")[rids]],
+            minlength=NUM_REGIONS,
+        )
+
+    counts = hand_rolled()
+    assert int(counts.sum()) == int(res.table.column("cnt").sum())
+    _record("join_reaggregate", "hand_rolled", hand_rolled)
+
+
+def test_distinct_projection(latemat_db):
+    """DISTINCT in the rid domain: dedup the brushed bar's carriers
+    without materializing the full-width traced subset first."""
+    db = latemat_db
+    bars = _bars(db)
+    res = _run_both_paths(
+        db,
+        "distinct_projection",
+        "SELECT DISTINCT carrier FROM Lb(view, 'ontime', :bars)",
+        {"bars": bars},
+    )
+    assert res.timings.get("late_mat_distincts") == 1.0
+
+    lineage = db.result("view").lineage
+    table = db.table("ontime")
+
+    def hand_rolled():
+        rids = lineage.backward(bars, "ontime")
+        return np.unique(table.column("carrier")[rids])
+
+    assert hand_rolled().shape[0] == len(res.table)
+    _record("distinct_projection", "hand_rolled", hand_rolled)
+
+
 def test_pushed_speedup_gate(latemat_db):
     """Acceptance: pushed ≥ 2x faster than materialized on the
-    crossfilter-style filter-aggregate shapes at the default bench scale
-    (timing gates are meaningless at smoke scales)."""
+    crossfilter-style filter-aggregate shapes — including the pushed
+    *join* re-aggregation and the rid-domain DISTINCT — at the default
+    bench scale (timing gates are meaningless at smoke scales)."""
     if scale() < 1.0:
         pytest.skip("speedup gate applies at REPRO_SCALE >= 1 only")
-    for name in ("reaggregate", "filter_aggregate"):
+    for name in (
+        "reaggregate",
+        "filter_aggregate",
+        "join_reaggregate",
+        "distinct_projection",
+    ):
         variants = RESULTS[name]
         assert variants["materialized"] >= 2.0 * variants["pushed"], (
             name,

@@ -9,8 +9,12 @@ aggregate under a name, then drives it entirely from SQL:
 * ``FROM Lb(prev, 'sales', :bars)`` — only the rows behind selected bars;
 * ``FROM Lf('sales', prev, :rows)`` — prev's output marks derived from
   selected base rows;
-* aggregations, filters, and joins compose over those scans like over any
-  other relation, on both the vector and the compiled backend.
+* aggregations, filters, DISTINCT, and joins compose over those scans
+  like over any other relation, on both the vector and the compiled
+  backend — and all of those shapes now execute **in the rid domain**
+  (late materialization, :mod:`repro.plan.rewrite`): joins probe narrow
+  key slices and gather payload only at matching rows, DISTINCT dedups
+  the gathered slices before materializing anything full-width.
 
 Execution is configured with :class:`repro.ExecOptions` — the loose
 ``capture=`` / ``backend=`` / ``name=`` keyword arguments still work but
@@ -119,7 +123,10 @@ def main() -> None:
           "(matches QueryResult.forward).")
 
     # 6. Lineage scans join like any relation: pair surviving rows with a
-    #    per-region label table.
+    #    per-region label table.  The whole GROUP BY-over-join tree is
+    #    *pushed through the join*: the Lb side resolves its rid set,
+    #    gathers only `region` to probe, and `label` is gathered only at
+    #    rows that matched — the traced subset is never materialized.
     db.create_table(
         "labels",
         Table({
@@ -134,8 +141,29 @@ def main() -> None:
         params={"bars": [bar]},
     )
     assert len(joined) == 1 and int(joined.table.column("c")[0]) == expected_rows
-    print(f"Join over the lineage scan: label "
+    assert joined.timings.get("late_mat_joins") == 1.0  # pushed join core
+    print(f"Join over the lineage scan (pushed through the join): label "
           f"{joined.table.column('label')[0]!r} -> {expected_rows} rows")
+
+    # 6b. DISTINCT dedups in the rid domain: one narrow gather of
+    #     `product`, factorized to representatives — the full-width
+    #     subset is never copied.  Fallback shapes that still
+    #     materialize-then-scan: bare `SELECT * FROM Lb(...)` (nothing
+    #     to push), ORDER BY / set operations at the root, θ-joins and
+    #     cross products, and joins where *neither* input is an
+    #     Lb/Lf-with-filters chain.
+    distinct = db.sql(
+        "SELECT DISTINCT product FROM Lb(prev, 'sales', :bars)",
+        params={"bars": [bar]},
+        options=CAPTURE,
+    )
+    assert distinct.timings.get("late_mat_distincts") == 1.0
+    # Backward over the deduplicated groups is still the full rid set.
+    assert np.array_equal(
+        distinct.backward(np.arange(len(distinct)), "sales"), rids
+    )
+    print(f"DISTINCT in the rid domain: {len(distinct)} products, lineage "
+          f"still covers all {rids.size} traced rows.")
 
     # 7. Prepared statements: bind once, run many times.  ``run`` only
     #    fills the parameter slots — here the Lb rid argument and an

@@ -169,6 +169,71 @@ def _warn_legacy_exec_kwargs(names) -> None:
     )
 
 
+def normalize_statement(text: str) -> str:
+    """The statement-memo key: whitespace runs collapse to one space and
+    *keyword* tokens case-fold, so generated SQL with varying layout or
+    keyword casing hits the same memo entry as its hand-written
+    equivalent.  Everything meaning-bearing stays byte-exact: string
+    literals (``WHERE s = 'Foo'`` vs ``'foo'``) are copied verbatim,
+    identifiers keep their case (the lexer folds keywords only — table
+    ``T`` and table ``t`` are different relations), and so do
+    ``:parameter`` names, even ones spelled like keywords (``:MAX``).
+    """
+    from .sql.lexer import KEYWORDS, LINEAGE_TABLE_FUNCS
+
+    out = []
+    i, n = 0, len(text)
+    pending_space = False
+
+    def emit(fragment: str) -> None:
+        nonlocal pending_space
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        out.append(fragment)
+
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            pending_space = True
+            i += 1
+            continue
+        if ch == "'":
+            # Copy the literal verbatim, including '' escapes.
+            j = i + 1
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            emit(text[i : min(j + 1, n)])
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            # A word directly after ':' is a parameter name — the lexer
+            # keeps its case, so a keyword-spelled one (:MAX) must not
+            # fold into a different statement's :max.
+            is_param_name = i > 0 and text[i - 1] == ":"
+            if not is_param_name and (
+                lowered in KEYWORDS or lowered in LINEAGE_TABLE_FUNCS
+            ):
+                emit(lowered)
+            else:
+                emit(word)
+            i = j
+            continue
+        emit(ch)
+        i += 1
+    return "".join(out)
+
+
 def plan_param_names(plan: LogicalPlan) -> FrozenSet[str]:
     """Every ``:param`` slot a plan reads at execution time — scalar
     parameters in predicates/projections, ``IN :list`` bindings, and the
@@ -479,9 +544,11 @@ class Session:
     * All statements prepared through the session share one
       :class:`~repro.lineage.cache.LineageResolutionCache`, so the N
       per-view statements of one brush resolve the brushed lineage once.
-    * :meth:`sql` memoizes prepared statements by text and transparently
-      re-prepares on :class:`~repro.errors.StaleBindingError` (a
-      referenced result re-registered with a different schema).
+    * :meth:`sql` memoizes prepared statements by normalized text
+      (whitespace collapsed, keywords case-folded — see
+      :func:`normalize_statement`) and transparently re-prepares on
+      :class:`~repro.errors.StaleBindingError` (a referenced result
+      re-registered with a different schema).
     """
 
     #: Bound on the by-text statement memo — a caller interpolating
@@ -514,27 +581,31 @@ class Session:
         params: Optional[dict] = None,
         options: Optional[ExecOptions] = None,
     ) -> QueryResult:
-        """Run a statement, auto-preparing and memoizing it by text.
+        """Run a statement, auto-preparing and memoizing it by
+        *normalized* text (:func:`normalize_statement`: whitespace
+        collapsed, keywords case-folded, literals and identifiers exact).
 
-        The second execution of the same text skips lex/parse/bind and
-        the rewrite match entirely.  Statements whose frozen bindings
-        went stale are re-prepared and retried once.
+        The second execution of an equivalent text — including generated
+        SQL differing only in layout or keyword case — skips
+        lex/parse/bind and the rewrite match entirely.  Statements whose
+        frozen bindings went stale are re-prepared and retried once.
         """
-        prepared = self._statements.get(statement)
+        key = normalize_statement(statement)
+        prepared = self._statements.get(key)
         if prepared is None:
-            prepared = self._memoize(statement)
+            prepared = self._memoize(key, statement)
         else:
-            self._statements.move_to_end(statement)
+            self._statements.move_to_end(key)
         try:
             return prepared.run(params, options=options)
         except StaleBindingError:
-            prepared = self._memoize(statement)
+            prepared = self._memoize(key, statement)
             return prepared.run(params, options=options)
 
-    def _memoize(self, statement: str) -> PreparedQuery:
+    def _memoize(self, key: str, statement: str) -> PreparedQuery:
         prepared = self.prepare(statement)
-        self._statements[statement] = prepared
-        self._statements.move_to_end(statement)
+        self._statements[key] = prepared
+        self._statements.move_to_end(key)
         while len(self._statements) > self.MAX_STATEMENTS:
             self._statements.popitem(last=False)
         return prepared

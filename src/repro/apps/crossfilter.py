@@ -35,6 +35,18 @@ cache, so a brush's N re-aggregations resolve the brushed rid set once
 ``prepared=False`` keeps the one-shot ``Database.sql`` path per
 interaction — the ``sql-pushed`` baseline of the Figure 14 benchmark,
 against which the ``sql-prepared`` axis is measured.
+
+Star-schema dimensions: ``from_database(..., joins={dim:
+DimensionJoin(...)})`` adds views whose binned attribute lives in a
+*joined* lookup table (``SELECT d.attr, COUNT(*) FROM fact JOIN d ON
+fact.fk = d.pk GROUP BY d.attr``).  Their interactions are join-shaped
+lineage-consuming SQL — ``GROUP BY`` over ``Lb(view, fact, :bars) JOIN
+d`` — which the late-materializing rewrite pushes through the join
+(:mod:`repro.plan.rewrite`): the brushed rid set is resolved once, only
+the fact-side join key is gathered to probe, and only the joined
+attribute is gathered at matching rows.  Before this rewrite, every
+join-shaped view paid a full-width materialization of the traced subset
+per brush.
 """
 
 from __future__ import annotations
@@ -58,14 +70,36 @@ from ..storage.table import Table
 _SESSION_IDS = itertools.count()
 
 
+@dataclass(frozen=True)
+class DimensionJoin:
+    """A crossfilter dimension whose binned attribute lives in a joined
+    lookup table (star schema): ``fact.fact_key = table.dim_key`` links
+    the fact relation to ``table``, and ``column`` is the attribute the
+    view bins on.  Views and interactions for such dimensions run as
+    join-shaped SQL riding the late-materializing pushed join path."""
+
+    table: str
+    fact_key: str
+    dim_key: str
+    column: str
+
+    def identifiers(self):
+        return (self.table, self.fact_key, self.dim_key, self.column)
+
+
 @dataclass
 class View:
-    """One crossfilter view: a binned COUNT over a single dimension."""
+    """One crossfilter view: a binned COUNT over a single dimension.
+
+    ``group_of_row`` is ``None`` for joined (star-schema) dimensions:
+    there is no per-fact-row bar array to scatter into, so those views
+    re-aggregate through join-shaped lineage-consuming SQL instead.
+    """
 
     dimension: str
     bin_values: np.ndarray       # distinct dimension values, bar order
     counts: np.ndarray           # initial bar heights
-    group_of_row: np.ndarray     # forward rid array: base row -> bar
+    group_of_row: Optional[np.ndarray]  # forward rid array: base row -> bar
     backward: Optional[RidIndex]  # bar -> base rids (BT/BT+FT only)
 
     @property
@@ -110,6 +144,7 @@ class CrossfilterSession:
         self.relation = relation
         self.late_materialize = True
         self._result_names: Dict[str, str] = {}
+        self._joins: Dict[str, DimensionJoin] = {}
         self._bar_orders: Dict[str, Dict[object, int]] = {}
         # Prepared execution session (declarative constructions only):
         # statements memoized by text + shared rid-resolution cache.
@@ -121,6 +156,7 @@ class CrossfilterSession:
         cls, database, relation: str, dimensions: Sequence[str],
         technique: str = "bt+ft", late_materialize: bool = True,
         prepared: bool = True,
+        joins: Optional[Dict[str, DimensionJoin]] = None,
     ) -> "CrossfilterSession":
         """Build the views *declaratively*: each view is a SQL group-by
         COUNT executed with lineage capture and registered as a named
@@ -145,6 +181,14 @@ class CrossfilterSession:
         with ``pin=True`` so a bounded result registry
         (``Database(max_results=...)``) never evicts a live session's
         views; ``close()`` drops them.
+
+        ``joins`` maps dimension names to :class:`DimensionJoin` specs:
+        those views bin on an attribute of a joined lookup table, and
+        both their construction and their per-brush re-aggregation run
+        as join-shaped statements that the rewrite pushes through the
+        join.  Joined dimensions require a BT-family technique and
+        SQL-safe identifiers (there is no hand-rolled fallback kernel
+        for a column that lives in another relation).
         """
         from ..lineage.capture import CaptureConfig
         from ..plan.logical import AggCall, GroupBy, Scan, col
@@ -155,6 +199,7 @@ class CrossfilterSession:
             table, dimensions, technique, database=database, relation=relation
         )
         session.late_materialize = bool(late_materialize)
+        session._joins = dict(joins) if joins else {}
         from ..sql.lexer import is_safe_identifier
 
         # The generated SQL (here and per interaction) interpolates the
@@ -163,6 +208,27 @@ class CrossfilterSession:
         sql_ok = is_safe_identifier(relation) and all(
             is_safe_identifier(d) for d in session.dimensions
         )
+        if session._joins:
+            unknown = sorted(set(session._joins) - set(session.dimensions))
+            if unknown:
+                raise WorkloadError(
+                    f"joined dimensions {unknown} are not in dimensions"
+                )
+            if technique not in ("bt", "bt+ft"):
+                raise WorkloadError(
+                    "joined dimensions require a lineage-backed technique "
+                    f"('bt' or 'bt+ft'), got {technique!r}"
+                )
+            join_ok = all(
+                is_safe_identifier(part)
+                for dj in session._joins.values()
+                for part in dj.identifiers()
+            )
+            if not (sql_ok and join_ok):
+                raise WorkloadError(
+                    "joined dimensions require SQL-safe relation, "
+                    "dimension, and join identifiers"
+                )
         session_id = next(_SESSION_IDS)
         start = time.perf_counter()
         if prepared and sql_ok and technique in ("bt", "bt+ft"):
@@ -182,10 +248,25 @@ class CrossfilterSession:
                 if technique in ("lazy", "cube")
                 else CaptureConfig.inject()
             )
+            joined = session._joins.get(dim)
             if sql_ok:
                 name = f"_cf{session_id}_{dim}" if capture.enabled else None
+                if joined is not None:
+                    statement = (
+                        f"SELECT {joined.table}.{joined.column} AS {dim}, "
+                        f"COUNT(*) AS cnt FROM {relation} "
+                        f"JOIN {joined.table} "
+                        f"ON {relation}.{joined.fact_key} = "
+                        f"{joined.table}.{joined.dim_key} "
+                        f"GROUP BY {joined.table}.{joined.column}"
+                    )
+                else:
+                    statement = (
+                        f"SELECT {dim}, COUNT(*) AS cnt "
+                        f"FROM {relation} GROUP BY {dim}"
+                    )
                 result = database.sql(
-                    f"SELECT {dim}, COUNT(*) AS cnt FROM {relation} GROUP BY {dim}",
+                    statement,
                     options=ExecOptions(
                         capture=capture,
                         name=name,
@@ -200,7 +281,12 @@ class CrossfilterSession:
                     Scan(relation), [(col(dim), dim)], [AggCall("count", None, "cnt")]
                 )
                 result = database.execute(plan, options=ExecOptions(capture=capture))
-            if capture.enabled:
+            if joined is not None:
+                # No per-fact-row bar array for star-schema views: their
+                # updates run as join-shaped lineage-consuming SQL.
+                backward = None
+                group_of_row = None
+            elif capture.enabled:
                 backward = result.lineage.backward_index(relation)
                 group_of_row = result.lineage.forward_index(relation).values
             else:
@@ -318,10 +404,15 @@ class CrossfilterSession:
         else:
             rids = view.backward.lookup_many(np.asarray(bars, dtype=np.int64))
         if self.technique == "bt+ft":
+            params = {"bars": np.asarray(list(bars), dtype=np.int64)}
             return {
-                other.dimension: np.bincount(
-                    other.group_of_row[rids], minlength=other.num_bars
-                ).astype(np.int64)
+                other.dimension: (
+                    self._reaggregate_sql_one(dimension, other, params)
+                    if other.group_of_row is None
+                    else np.bincount(
+                        other.group_of_row[rids], minlength=other.num_bars
+                    ).astype(np.int64)
+                )
                 for other in self._others(dimension)
             }
         return self._reaggregate(dimension, rids)
@@ -339,17 +430,23 @@ class CrossfilterSession:
 
         The statement's own captured lineage identifies which base rows
         the lineage scan produced, so no index is probed by hand.  Only
-        the brushed dimension is projected and only backward lineage is
-        captured — the interaction reads nothing else, and a forward
-        index would cost O(base rows) per brush.  Under the (default)
-        pushed path the projection runs in the rid domain, so exactly one
-        column is ever gathered.  Prepared sessions bind ``:bars`` into
-        the memoized plan instead of re-parsing."""
+        one fact column is projected — ``SELECT DISTINCT``, since the
+        interaction reads nothing but the statement's lineage and the
+        backward union over the deduplicated groups is the same rid set
+        (the DISTINCT executes in the rid domain under the pushed path,
+        so the materialized output shrinks to the distinct values) — and
+        only backward lineage is captured (a forward index would cost
+        O(base rows) per brush).  A star-schema view projects its fact
+        join key: the joined attribute lives in the lookup table, and
+        the traced rows are fact rows either way.  Prepared sessions
+        bind ``:bars`` into the memoized plan instead of re-parsing."""
         from ..lineage.capture import CaptureConfig
 
+        joined = self._joins.get(dimension)
+        column = joined.fact_key if joined is not None else dimension
         statement = (
-            f"SELECT {dimension} FROM Lb({self._result_names[dimension]}, "
-            f"'{self.relation}', :bars)"
+            f"SELECT DISTINCT {column} FROM "
+            f"Lb({self._result_names[dimension]}, '{self.relation}', :bars)"
         )
         params = {"bars": np.asarray(list(bars), dtype=np.int64)}
         if self._exec_session is not None:
@@ -367,6 +464,52 @@ class CrossfilterSession:
             )
         return subset.backward(np.arange(len(subset)), self.relation)
 
+    def _view_statement(self, other_dim: str, brushed_dim: str) -> str:
+        """The re-aggregation statement updating view ``other_dim`` after
+        a brush on ``brushed_dim``: GROUP BY over the brushed bars'
+        lineage scan, joined to the lookup table for star-schema views —
+        the join-shaped statement the pushed rewrite executes in the rid
+        domain (only the fact join key is gathered to probe, only the
+        joined attribute at matching rows)."""
+        registered = self._result_names[brushed_dim]
+        joined = self._joins.get(other_dim)
+        if joined is not None:
+            return (
+                f"SELECT {joined.table}.{joined.column} AS {other_dim}, "
+                f"COUNT(*) AS cnt "
+                f"FROM Lb({registered}, '{self.relation}', :bars) "
+                f"JOIN {joined.table} "
+                f"ON {self.relation}.{joined.fact_key} = "
+                f"{joined.table}.{joined.dim_key} "
+                f"GROUP BY {joined.table}.{joined.column}"
+            )
+        return (
+            f"SELECT {other_dim}, COUNT(*) AS cnt "
+            f"FROM Lb({registered}, '{self.relation}', :bars) "
+            f"GROUP BY {other_dim}"
+        )
+
+    def _reaggregate_sql_one(
+        self, brushed_dim: str, other: View, params: Dict[str, np.ndarray]
+    ) -> np.ndarray:
+        """One view's updated counts via its re-aggregation statement."""
+        statement = self._view_statement(other.dimension, brushed_dim)
+        if self._exec_session is not None:
+            res = self._exec_session.sql(statement, params=params)
+        else:
+            res = self.database.sql(
+                statement,
+                params=params,
+                options=ExecOptions(late_materialize=self.late_materialize),
+            )
+        counts = np.zeros(other.num_bars, dtype=np.int64)
+        order = self._bar_index(other)
+        for value, cnt in zip(
+            res.table.column(other.dimension), res.table.column("cnt")
+        ):
+            counts[order[value]] = int(cnt)
+        return counts
+
     def _reaggregate_sql(self, brushed_dim: str, bars: Sequence[int]) -> Dict[str, np.ndarray]:
         """BT interaction as pure lineage-consuming SQL: re-aggregate each
         other view with a GROUP BY *over the lineage scan* of the brushed
@@ -375,36 +518,15 @@ class CrossfilterSession:
         per view); on a prepared session the statements share the lineage
         cache, so the brushed rid set is resolved once and the N-1
         remaining statements only gather and aggregate.  Each statement
-        is a GroupBy-over-LineageScan stack, so the (default) pushed path
-        aggregates rid-gathered slices of one dimension instead of
-        materializing the full-width subset per view."""
+        is a GroupBy-over-LineageScan tree — joined to the lookup table
+        for star-schema views — so the (default) pushed path aggregates
+        rid-gathered slices instead of materializing the full-width
+        subset per view."""
         params = {"bars": np.asarray(list(bars), dtype=np.int64)}
-        out = {}
-        for other in self._others(brushed_dim):
-            statement = (
-                f"SELECT {other.dimension}, COUNT(*) AS cnt "
-                f"FROM Lb({self._result_names[brushed_dim]}, "
-                f"'{self.relation}', :bars) "
-                f"GROUP BY {other.dimension}"
-            )
-            if self._exec_session is not None:
-                res = self._exec_session.sql(statement, params=params)
-            else:
-                res = self.database.sql(
-                    statement,
-                    params=params,
-                    options=ExecOptions(
-                        late_materialize=self.late_materialize
-                    ),
-                )
-            counts = np.zeros(other.num_bars, dtype=np.int64)
-            order = self._bar_index(other)
-            for value, cnt in zip(
-                res.table.column(other.dimension), res.table.column("cnt")
-            ):
-                counts[order[value]] = int(cnt)
-            out[other.dimension] = counts
-        return out
+        return {
+            other.dimension: self._reaggregate_sql_one(brushed_dim, other, params)
+            for other in self._others(brushed_dim)
+        }
 
     def _brush_lazy(self, view: View, bar: int) -> Dict[str, np.ndarray]:
         # Shared selection scan: evaluate the brush predicate once, then
@@ -453,6 +575,15 @@ class CrossfilterSession:
             rids = view.backward.lookup(bar)
         out = {}
         for other in self._others(view.dimension):
+            if other.group_of_row is None:
+                # Star-schema view: no per-fact-row bar array exists, so
+                # update through the pushed join-shaped re-aggregation.
+                out[other.dimension] = self._reaggregate_sql_one(
+                    view.dimension,
+                    other,
+                    {"bars": np.asarray([bar], dtype=np.int64)},
+                )
+                continue
             # Forward rid array as a perfect hash: one scatter-add per view.
             out[other.dimension] = np.bincount(
                 other.group_of_row[rids], minlength=other.num_bars

@@ -19,10 +19,14 @@ and highlighted marks, so the whole interaction stays declarative.
 Views whose names are not SQL identifiers fall back to direct index
 probes with identical results.
 
-Both interaction statements are single-column projections over a lineage
-scan, so the late-materializing push-down (:mod:`repro.plan.rewrite`)
-executes them in the rid domain — one narrow gather per brush rather
-than a full-width subset copy.  Each view's two statements are
+Both interaction statements are single-column ``DISTINCT`` projections
+over a lineage scan, so the late-materializing push-down
+(:mod:`repro.plan.rewrite`) executes them in the rid domain — one narrow
+gather plus a rid-domain dedup per brush rather than a full-width subset
+copy (the interaction consumes only the statements' *lineage*, and the
+backward union over deduplicated groups is the same rid set, so DISTINCT
+shrinks the materialized output without changing any answer).  Each
+view's two statements are
 **prepared once** (:meth:`repro.api.Session.prepare`) when the view is
 added: every brush binds ``:marks`` / ``:rids`` into the cached plan
 instead of re-lexing and re-binding SQL, and all statements share the
@@ -110,16 +114,21 @@ class LinkedBrushingSession:
             # Pinned: a live session's views must survive LRU eviction.
             self.database.register_result(registered, result, pin=True)
             self._sql_names[name] = registered
+            # SELECT DISTINCT: the interaction reads only the statement's
+            # lineage, and the backward union over deduplicated groups is
+            # the same rid set — so the pushed path dedups in the rid
+            # domain and materializes one row per distinct value instead
+            # of one per traced row.
             shared_col = self._narrow_projection(
                 self.database.table(self.shared_relation)
             )
             self._backward_stmts[name] = self._exec_session.prepare(
-                f"SELECT {shared_col} FROM Lb({registered}, "
+                f"SELECT DISTINCT {shared_col} FROM Lb({registered}, "
                 f"'{self.shared_relation}', :marks)"
             )
             view_col = self._narrow_projection(result.table)
             self._forward_stmts[name] = self._exec_session.prepare(
-                f"SELECT {view_col} FROM Lf('{self.shared_relation}', "
+                f"SELECT DISTINCT {view_col} FROM Lf('{self.shared_relation}', "
                 f"{registered}, :rids)"
             )
         return result

@@ -23,8 +23,14 @@ import numpy as np
 
 from ...errors import PlanError
 from ...lineage.capture import CaptureConfig
-from ...lineage.composer import NodeLineage, _compose_entry, compose_node
-from ...lineage.indexes import NO_MATCH, RidArray, RidIndex, invert_rid_array
+from ...lineage.composer import NodeLineage, compose_node
+from ...lineage.indexes import (
+    NO_MATCH,
+    RidArray,
+    RidIndex,
+    invert_rid_array,
+    invert_rid_index,
+)
 from ...plan.logical import (
     CrossProduct,
     GroupBy,
@@ -109,6 +115,10 @@ class CompiledExecutor:
         timings = {"execute": elapsed}
         if state.pushed_subtrees:
             timings["late_mat_subtrees"] = float(state.pushed_subtrees)
+        if state.pushed_joins:
+            timings["late_mat_joins"] = float(state.pushed_joins)
+        if state.pushed_distincts:
+            timings["late_mat_distincts"] = float(state.pushed_distincts)
         return ExecResult(table, lineage, timings)
 
 
@@ -130,6 +140,8 @@ class _ExecState:
         self.rewrites = rewrites
         self.cache = cache
         self.pushed_subtrees = 0
+        self.pushed_joins = 0
+        self.pushed_distincts = 0
         self.scan_keys = None
         self._scan_counter = 0
         self._tmp_counter = 0
@@ -160,21 +172,27 @@ class _ExecState:
     # -- recursive block execution ---------------------------------------------
 
     def _exec(self, plan: LogicalPlan) -> Tuple[Table, NodeLineage]:
-        # Late materialization: a Select/Project/GroupBy stack over a
-        # lineage scan runs in the rid domain via the shared pushed
-        # path (backend-agnostic, like execute_lineage_scan), instead
-        # of compiling per-row code over a materialized subset.
+        # Late materialization: a Select/Project/GroupBy tree over a
+        # lineage scan — or over a hash join with lineage-backed
+        # inputs — runs in the rid domain via the shared pushed path
+        # (backend-agnostic, like execute_lineage_scan), instead of
+        # compiling per-row code over a materialized subset.  A join's
+        # non-lineage input re-enters this recursion via run_child.
         pushed = self._match(plan)
         if pushed is not None:
-            key = self._next_scan_key()
             self.pushed_subtrees += 1
+            if pushed.has_join:
+                self.pushed_joins += 1
+            if pushed.has_distinct:
+                self.pushed_distincts += 1
             return execute_pushed(
                 pushed,
-                key,
                 self.catalog,
                 self.executor.results,
                 self.config,
                 self.params,
+                next_key=self._next_scan_key,
+                run_child=self._exec,
                 cache=self.cache,
             )
 
@@ -190,16 +208,7 @@ class _ExecState:
                 # and set): drop the right side rather than letting its
                 # absent locals read as identity maps.
                 keep = not (plan.op == "except" and side is right_n)
-                node.names.update(side.names)
-                node.aliases.update(side.aliases)
-                node.base_sizes.update(side.base_sizes)
-                node.base_epochs.update(side.base_epochs)
-                if not keep:
-                    continue
-                for key, entry in side.backward.items():
-                    node.backward[key] = _compose_entry(bw, entry)
-                for key, entry in side.forward.items():
-                    node.forward[key] = _compose_entry(entry, fw)
+                node.absorb(side, bw, fw, indexes=keep)
             return out, node
 
         if isinstance(plan, LineageScan):
@@ -405,19 +414,14 @@ class _ExecState:
                 local_bw = RidIndex.from_buckets(
                     [np.asarray(b, dtype=np.int64) for b in buckets]
                 )
-                fw_vals = np.full(child.output_size, NO_MATCH, dtype=np.int64)
-                for oid, bucket in enumerate(buckets):
-                    if bucket:
-                        fw_vals[np.asarray(bucket, dtype=np.int64)] = oid
-                local_fw = RidArray(fw_vals)
-            node.names.update(child.names)
-            node.aliases.update(child.aliases)
-            node.base_sizes.update(child.base_sizes)
-            node.base_epochs.update(child.base_epochs)
-            for key, entry in child.backward.items():
-                node.backward[key] = _compose_entry(local_bw, entry)
-            for key, entry in child.forward.items():
-                node.forward[key] = _compose_entry(entry, local_fw)
+                # A block-source row can reach *several* groups when an
+                # m:n join sits inside the block (one probe row fans out
+                # to many join outputs, which may land in different
+                # buckets), so the local forward map is 1-to-N: invert
+                # the bucket index rather than scattering into a rid
+                # array, where later groups would overwrite earlier ones.
+                local_fw = invert_rid_index(local_bw, child.output_size)
+            node.absorb(child, local_bw, local_fw)
         return node
 
 

@@ -1,49 +1,70 @@
-"""Late-materializing execution of lineage-scan stacks (rid domain).
+"""Late-materializing execution of lineage-scan trees (rid domain).
 
 Runs a :class:`~repro.plan.rewrite.PushedLineageQuery` — a
-``[Project?][GroupBy?][Select*]`` stack over one
-:class:`~repro.plan.logical.LineageScan` — without ever materializing
-the traced subset:
+``[Project?][GroupBy?][Select*]`` tree over one
+:class:`~repro.plan.logical.LineageScan` or over a
+:class:`~repro.plan.logical.HashJoin` with lineage-backed input(s) —
+without ever materializing the traced subset:
 
-1. resolve the traced rid array against the result registry
+1. resolve the traced rid array(s) against the result registry
    (:func:`repro.exec.lineage_scan.resolve_scan_source`, so every
    schema-drift and shrink guard of the materializing path applies);
-2. evaluate the pushed predicate on rid-gathered slices of **only the
-   predicate's columns**, narrowing the rid array to survivors;
-3. gather the columns the output actually needs — group keys and
-   aggregate arguments, projection inputs, or (predicate-only stacks)
+2. evaluate pushed predicates on rid-gathered slices of **only the
+   predicates' columns**, narrowing the rid arrays to survivors;
+3. for a join core, gather **only the join keys** on each lineage side,
+   probe the shared hash-join kernel on those narrow slices
+   (:func:`~repro.exec.vector.join.compute_matches_narrow`), and gather
+   the remaining referenced columns only at rids that actually matched;
+4. gather the columns the output actually needs — group keys and
+   aggregate arguments, projection inputs, or (predicate-only trees)
    the full source schema — at the *surviving* rids only, and feed the
-   aggregation kernel that narrow slice table
-   (:func:`~repro.exec.vector.groupby.execute_groupby`).
+   aggregation / DISTINCT kernels that narrow slice table
+   (:func:`~repro.exec.vector.groupby.execute_groupby` /
+   :func:`~repro.exec.vector.groupby.execute_distinct`).
 
 Both backends funnel through :func:`execute_pushed` — exactly like
 :func:`~repro.exec.lineage_scan.execute_lineage_scan` — so the pushed
-path is backend-agnostic by construction.  Output rows *and* captured
-lineage are bit-identical to the materializing path: composing the
-scan's rid-array lineage with a selection's local rid array *is* the
-filtered rid array, so :func:`~repro.exec.lineage_scan.scan_node_lineage`
-over the surviving rids equals the materialized path's
-``compose_node(select, scan)``, and the aggregation stage composes
-through the same :func:`~repro.lineage.composer.compose_node` call the
-vector executor makes.  The property suite
-(``tests/property/test_prop_late_mat.py``) asserts this equivalence
-over random stacks on both backends.
+path is backend-agnostic by construction.  ``run_child`` hands the
+non-lineage side of a pushed join back to the calling backend's own
+recursion (so e.g. a derived-table join input executes — and possibly
+pushes — exactly as it would outside the rewrite), and ``next_key``
+consumes the backend's pre-order occurrence keys, one per lineage leaf.
+
+Output rows *and* captured lineage are bit-identical to the
+materializing path: composing the scan's rid-array lineage with a
+selection's local rid array *is* the filtered rid array, so
+:func:`~repro.exec.lineage_scan.scan_node_lineage` over the surviving
+rids equals the materialized path's ``compose_node(select, scan)``;
+joins compose the probe's match arrays through the same
+:func:`~repro.exec.vector.join.join_lineage_locals` /
+:func:`~repro.lineage.composer.merge_binary` calls the vector executor
+makes, and aggregation / DISTINCT stages compose through the same
+:func:`~repro.lineage.composer.compose_node`.  The property suites
+(``tests/property/test_prop_late_mat.py``,
+``tests/property/test_prop_late_mat_join.py``) assert this equivalence
+over random trees on both backends.
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import SchemaError
 from ..lineage.cache import LineageResolutionCache
 from ..lineage.capture import CaptureConfig
 from ..lineage.composer import NodeLineage, compose_node
-from ..plan.rewrite import PushedLineageQuery
-from ..plan.schema import infer_expr_type, infer_schema
+from ..plan.logical import LogicalPlan
+from ..plan.rewrite import PushedJoinSide, PushedLineageQuery
+from ..plan.schema import infer_expr_type, infer_schema, join_output_fields
 from ..storage.catalog import Catalog
 from ..storage.table import ColumnType, Schema, Table
 from .lineage_scan import resolve_scan_source, scan_node_lineage
+
+#: Executes one plan subtree through the calling backend's own recursion
+#: (used for the non-lineage side of a pushed join).
+RunChild = Callable[[LogicalPlan], Tuple[Table, NodeLineage]]
 
 
 def _slice_names(source: Table, columns) -> List[str]:
@@ -73,47 +94,217 @@ def _gather(source: Table, rids: np.ndarray, names: Sequence[str]) -> Table:
     )
 
 
-def execute_pushed(
-    pushed: PushedLineageQuery,
+class _JoinInput:
+    """One resolved input of a pushed join: either a lineage side held as
+    ``(source, rids)`` — rows are *never* materialized here, payload
+    columns are gathered through ``rids`` at probe-matched positions
+    only — or a plain side already executed to a table."""
+
+    __slots__ = ("source", "rids", "table", "node")
+
+    def __init__(self, source=None, rids=None, table=None, node=None):
+        self.source = source
+        self.rids = rids
+        self.table = table
+        self.node = node
+
+    @property
+    def schema(self) -> Schema:
+        # The *full* side schema: join-output renaming must see every
+        # column, exactly as the materializing path's subset table would.
+        return (self.source if self.table is None else self.table).schema
+
+    def key_column(self, name: str) -> np.ndarray:
+        """A join-key column, rid-gathered for lineage sides."""
+        if self.table is not None:
+            return self.table.column(name)
+        return self.source.column(name)[self.rids]
+
+    def output_column(self, name: str, matched: np.ndarray) -> np.ndarray:
+        """A payload column at probe-matched side positions only — the
+        late gather: unmatched rows never surface their payload."""
+        if self.table is not None:
+            return self.table.column(name)[matched]
+        return self.source.column(name)[self.rids[matched]]
+
+
+def _resolve_scan_side(
+    side: PushedJoinSide,
     key: str,
     catalog: Catalog,
     results: Optional[Mapping[str, object]],
     config: CaptureConfig,
     params: Optional[dict],
-    cache: Optional[LineageResolutionCache] = None,
-) -> Tuple[Table, NodeLineage]:
-    """Execute a pushed stack; returns ``(output table, node lineage)``."""
+    cache: Optional[LineageResolutionCache],
+) -> _JoinInput:
+    """Resolve a lineage-backed join side to ``(source, surviving rids)``
+    plus its node lineage, filtering in the rid domain (identical to the
+    linear pushed path's scan+Select handling)."""
     from ..expr.ast import evaluate
-    from .vector.groupby import execute_groupby
 
-    scan = pushed.scan
     source, rids, source_name, domain, epoch = resolve_scan_source(
-        scan, catalog, results, params, cache
+        side.scan, catalog, results, params, cache
     )
-
-    if pushed.predicate is not None:
+    if side.predicate is not None:
         pred_table = _gather(
-            source, rids, _slice_names(source, pushed.predicate.columns())
+            source, rids, _slice_names(source, side.predicate.columns())
         )
         mask = np.asarray(
-            evaluate(pushed.predicate, pred_table, params), dtype=bool
+            evaluate(side.predicate, pred_table, params), dtype=bool
         )
         rids = rids[mask]
+    node = scan_node_lineage(
+        side.scan, key, rids, source_name, domain, config, epoch
+    )
+    return _JoinInput(source=source, rids=rids, node=node)
 
-    # Selection in the rid domain composes away: the scan's node lineage
-    # over the *surviving* rids equals the materialized path's
-    # scan-then-select composition (RidArray compose is a gather).
-    node = scan_node_lineage(scan, key, rids, source_name, domain, config, epoch)
 
-    if pushed.groupby is None and pushed.project is None:
-        # Predicate-only stack: the output is the traced relation itself,
-        # full schema, late-gathered at the surviving rids.
-        return source.take(rids), node
+def _run_join(
+    pushed: PushedLineageQuery,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    config: CaptureConfig,
+    params: Optional[dict],
+    next_key: Callable[[], str],
+    run_child: RunChild,
+    cache: Optional[LineageResolutionCache],
+) -> Tuple[Table, NodeLineage]:
+    """Execute a pushed join core: narrow key probe, late payload gather,
+    and the same local-lineage merge the vector executor performs."""
+    from .vector.join import compute_matches_narrow, join_lineage_locals
+    from ..lineage.composer import merge_binary
 
-    table = _gather(source, rids, _slice_names(source, pushed.columns))
+    pj = pushed.join
+    join = pj.join
+    inputs: List[_JoinInput] = []
+    # Strict left-then-right order: occurrence keys are assigned in leaf
+    # pre-order, and run_child consumes the plain side's keys itself.
+    for side in (pj.left, pj.right):
+        if side.scan is not None:
+            inputs.append(
+                _resolve_scan_side(
+                    side, next_key(), catalog, results, config, params, cache
+                )
+            )
+        else:
+            table, node = run_child(side.plan)
+            inputs.append(_JoinInput(table=table, node=node))
+    left, right = inputs
+
+    matches = compute_matches_narrow(
+        [left.key_column(k) for k in join.left_keys],
+        [right.key_column(k) for k in join.right_keys],
+        join.pkfk,
+    )
+
+    fields = join_output_fields(left.schema, right.schema)
+    src_names = left.schema.names + right.schema.names
+    out_names = [name for name, _, _ in fields]
+    needed = None if pushed.columns is None else set(pushed.columns)
+    if needed is not None:
+        missing = sorted(needed - set(out_names))
+        if missing:
+            # Same canonical error the materializing path raises when an
+            # operator evaluates the name over the full join output.
+            raise SchemaError(
+                f"unknown column {missing[0]!r}; available: {out_names}"
+            )
+    n_left_cols = len(left.schema.names)
+    keep = [
+        i
+        for i in range(len(fields))
+        if needed is None or fields[i][0] in needed
+    ]
+    if not keep:
+        # Nothing referenced (SELECT COUNT(*) over a join): one cheap
+        # stand-in column carries the row count.
+        keep = [
+            next(
+                (i for i, (_, t, _) in enumerate(fields) if t is not ColumnType.STR),
+                0,
+            )
+        ]
+    columns = {}
+    out_fields = []
+    for i in keep:
+        out_name, ctype, _ = fields[i]
+        side = left if i < n_left_cols else right
+        matched = matches.out_left if i < n_left_cols else matches.out_right
+        columns[out_name] = side.output_column(src_names[i], matched)
+        out_fields.append((out_name, ctype))
+    out = Table(columns, Schema(out_fields))
+
+    l_bw, l_fw, r_bw, r_fw = join_lineage_locals(matches, config, join.pkfk)
+    node = merge_binary(
+        out.num_rows, left.node, right.node, l_bw, l_fw, r_bw, r_fw
+    )
+    return out, node
+
+
+def execute_pushed(
+    pushed: PushedLineageQuery,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    config: CaptureConfig,
+    params: Optional[dict],
+    next_key: Callable[[], str],
+    run_child: RunChild,
+    cache: Optional[LineageResolutionCache] = None,
+) -> Tuple[Table, NodeLineage]:
+    """Execute a pushed tree; returns ``(output table, node lineage)``.
+
+    ``next_key`` yields the backend's pre-order occurrence keys (one per
+    lineage-scan leaf); ``run_child`` executes a non-lineage join input
+    through the backend's own recursion.
+    """
+    from ..expr.ast import evaluate
+    from .vector.groupby import execute_distinct, execute_groupby
+
+    if pushed.join is not None:
+        table, node = _run_join(
+            pushed, catalog, results, config, params, next_key, run_child, cache
+        )
+        if pushed.predicate is not None:
+            # The residual WHERE binds above the join; run it over the
+            # narrow join output with standard selection lineage.
+            from .vector.select import execute_select
+
+            table, local_bw, local_fw = execute_select(
+                table, pushed.predicate, config, params
+            )
+            node = compose_node(table.num_rows, node, local_bw, local_fw)
+    else:
+        scan = pushed.scan
+        source, rids, source_name, domain, epoch = resolve_scan_source(
+            scan, catalog, results, params, cache
+        )
+
+        if pushed.predicate is not None:
+            pred_table = _gather(
+                source, rids, _slice_names(source, pushed.predicate.columns())
+            )
+            mask = np.asarray(
+                evaluate(pushed.predicate, pred_table, params), dtype=bool
+            )
+            rids = rids[mask]
+
+        # Selection in the rid domain composes away: the scan's node
+        # lineage over the *surviving* rids equals the materialized
+        # path's scan-then-select composition (RidArray compose is a
+        # gather).
+        node = scan_node_lineage(
+            scan, next_key(), rids, source_name, domain, config, epoch
+        )
+
+        if pushed.groupby is None and pushed.project is None:
+            # Predicate-only tree: the output is the traced relation
+            # itself, full schema, late-gathered at the surviving rids.
+            return source.take(rids), node
+
+        table = _gather(source, rids, _slice_names(source, pushed.columns))
 
     if pushed.groupby is not None:
-        # The stack's static output schema (keys + aggregate types),
+        # The tree's static output schema (keys + aggregate types),
         # inferred against the original child chain like the
         # materializing executors do.
         schema = infer_schema(pushed.groupby, catalog)
@@ -136,6 +327,11 @@ def execute_pushed(
             ]
         )
         table = Table(columns, schema)
+        if pushed.project.distinct:
+            # Set semantics: dedup the projected slices with group
+            # lineage, exactly as the executors' DISTINCT does (3.2.1).
+            table, local_bw, local_fw = execute_distinct(table, config)
+            node = compose_node(table.num_rows, node, local_bw, local_fw)
         # Bag projection needs no capture: rids are unchanged (3.2.1).
 
     return table, node

@@ -21,16 +21,18 @@ Late materialization
 --------------------
 :func:`execute_lineage_scan` is the *materializing* path: it copies the
 traced subset (``source.take(rids)``, every column) into a fresh table
-that the enclosing operators then scan.  When a ``Select`` / bag
-``Project`` / ``GroupBy`` stack sits directly on the scan, both
-executors instead compile the stack to operate in the rid domain —
-gathering only the columns the stack reads and filtering/aggregating
+that the enclosing operators then scan.  When a ``Select`` / ``Project``
+(bag or DISTINCT) / ``GroupBy`` tree sits on the scan — directly, or
+through a hash join whose input(s) are ``Select*``-over-``LineageScan``
+chains — both executors instead compile the tree to operate in the rid
+domain — gathering only the columns the tree reads (join keys first,
+payload at matched rids only) and filtering/deduplicating/aggregating
 the gathered slices — via
 :func:`repro.plan.rewrite.match_late_materialization` and
 :func:`repro.exec.late_mat.execute_pushed`.  The rewrite's match and
 fallback rules are documented in :mod:`repro.plan.rewrite`; shapes it
-does not cover (bare scans, DISTINCT, sorts, joins, set operations at
-the stack root) fall back to this module.  Both paths share
+does not cover (bare scans, sorts, θ-joins/cross products, set
+operations at the tree root) fall back to this module.  Both paths share
 :func:`resolve_scan_source` (registry lookup, rid resolution, and every
 schema-drift / shrink guard) and :func:`scan_node_lineage`, so output
 rows and captured lineage are identical by construction; pass

@@ -23,12 +23,10 @@ import numpy as np
 from ...errors import LineageError, PlanError
 from ...lineage.capture import (
     CaptureConfig,
-    CaptureMode,
     QueryLineage,
     unmatched_capture_relations,
 )
 from ...lineage.composer import NodeLineage, compose_node, merge_binary
-from ...lineage.indexes import RidArray, RidIndex
 from ...plan.logical import (
     CrossProduct,
     GroupBy,
@@ -51,9 +49,8 @@ from ...plan.rewrite import RewriteIndex, match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import Table
-from .groupby import execute_groupby
+from .groupby import execute_distinct, execute_groupby
 from .join import compute_matches, join_lineage_locals, materialize_join_output
-from .kernels import factorize
 from .nested import cross_product_lineage, theta_lineage_locals, theta_matches
 from .select import execute_select
 from .setops import execute_setop
@@ -100,6 +97,8 @@ class _RunState:
 
     late_mat: bool = True
     pushed_subtrees: int = 0
+    pushed_joins: int = 0
+    pushed_distincts: int = 0
     scan_cursor: int = 0
     rewrites: Optional[RewriteIndex] = None
     cache: Optional[LineageResolutionCache] = None
@@ -163,6 +162,10 @@ class VectorExecutor:
         timings = {"execute": elapsed}
         if state.pushed_subtrees:
             timings["late_mat_subtrees"] = float(state.pushed_subtrees)
+        if state.pushed_joins:
+            timings["late_mat_joins"] = float(state.pushed_joins)
+        if state.pushed_distincts:
+            timings["late_mat_distincts"] = float(state.pushed_distincts)
         return ExecResult(table, lineage, timings)
 
     # -- helpers -------------------------------------------------------------------
@@ -180,16 +183,23 @@ class VectorExecutor:
         scan_keys: List[str],
         state: "_RunState",
     ) -> Tuple[Table, NodeLineage]:
-        # Late materialization: a Select/Project/GroupBy stack over a
-        # lineage scan runs in the rid domain instead of scanning a
-        # materialized subset.  The stack holds exactly one source
-        # leaf, so it consumes exactly one occurrence key.
+        # Late materialization: a Select/Project/GroupBy tree over a
+        # lineage scan — or over a hash join with lineage-backed inputs —
+        # runs in the rid domain instead of scanning a materialized
+        # subset.  Occurrence keys are consumed per lineage leaf through
+        # next_key (pre-order), and a join's non-lineage input runs
+        # through this very recursion via run_child.
         pushed = state.match(plan)
         if pushed is not None:
-            key = state.next_key(scan_keys)
             state.pushed_subtrees += 1
+            if pushed.has_join:
+                state.pushed_joins += 1
+            if pushed.has_distinct:
+                state.pushed_distincts += 1
             return execute_pushed(
-                pushed, key, self.catalog, self.results, config, params,
+                pushed, self.catalog, self.results, config, params,
+                next_key=lambda: state.next_key(scan_keys),
+                run_child=lambda p: self._run(p, config, params, scan_keys, state),
                 cache=state.cache,
             )
 
@@ -367,23 +377,7 @@ class VectorExecutor:
             # Bag projection needs no capture: rids are unchanged (3.2.1).
             node = compose_node(projected.num_rows, child_node, None, None)
             return projected, node
-        if projected.num_rows == 0:
-            node = compose_node(0, child_node, RidIndex.empty(0), RidArray.full_no_match(0))
-            return projected, node
-        group_ids, num_groups, representatives = factorize(
-            [projected.column(n) for n in schema.names]
-        )
-        output = projected.take(representatives)
-        local_bw = None
-        local_fw = None
-        if config.enabled:
-            if config.backward:
-                if config.mode is CaptureMode.DEFER:
-                    local_bw = lambda g=group_ids, n=num_groups: RidIndex.from_group_ids(g, n)
-                else:
-                    local_bw = RidIndex.from_group_ids(group_ids, num_groups)
-            if config.forward:
-                local_fw = RidArray(group_ids.copy())
+        output, local_bw, local_fw = execute_distinct(projected, config)
         node = compose_node(output.num_rows, child_node, local_bw, local_fw)
         return output, node
 

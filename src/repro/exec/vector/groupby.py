@@ -150,6 +150,40 @@ def execute_groupby(
     return output, local_backward, local_forward
 
 
+def execute_distinct(
+    projected: Table,
+    config: CaptureConfig,
+) -> Tuple[Table, Optional[IndexOrThunk], Optional[IndexOrThunk]]:
+    """Deduplicate an already-projected table (set-semantics projection,
+    paper Section 3.2.1): one representative row per distinct value tuple,
+    with group lineage — backward rid index (output row → member input
+    rids), forward rid array (input rid → output row).
+
+    Shared by the vector executor's ``DISTINCT`` projection and the
+    late-materializing pushed path (:mod:`repro.exec.late_mat`), so both
+    produce bit-identical rows and indexes by construction.
+    """
+    if projected.num_rows == 0:
+        return projected, RidIndex.empty(0), RidArray(np.empty(0, np.int64))
+    group_ids, num_groups, representatives = factorize(
+        [projected.column(n) for n in projected.schema.names]
+    )
+    output = projected.take(representatives)
+    local_backward: Optional[IndexOrThunk] = None
+    local_forward: Optional[IndexOrThunk] = None
+    if config.enabled:
+        if config.backward:
+            if config.mode is CaptureMode.DEFER:
+                local_backward = (
+                    lambda g=group_ids, n=num_groups: RidIndex.from_group_ids(g, n)
+                )
+            else:
+                local_backward = RidIndex.from_group_ids(group_ids, num_groups)
+        if config.forward:
+            local_forward = RidArray(group_ids.copy())
+    return output, local_backward, local_forward
+
+
 def _filter_backward(entry, kept: np.ndarray):
     """Restrict a (possibly deferred) group backward index to kept groups."""
     if entry is None:

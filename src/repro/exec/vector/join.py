@@ -113,13 +113,27 @@ def compute_matches(  # the single entry point the executor and benches use
     right_keys: Sequence[str],
     pkfk: bool,
 ) -> JoinMatches:
-    left_ids, right_ids, num_keys = _key_ids(
+    return compute_matches_narrow(
         [left.column(k) for k in left_keys],
         [right.column(k) for k in right_keys],
+        pkfk,
     )
+
+
+def compute_matches_narrow(
+    left_key_cols: Sequence[np.ndarray],
+    right_key_cols: Sequence[np.ndarray],
+    pkfk: bool,
+) -> JoinMatches:
+    """Probe with pre-gathered key columns only — the late-materializing
+    join path (:mod:`repro.exec.late_mat`) hands in one rid-gathered
+    array per join key instead of a full table, so the probe never sees
+    (or forces materialization of) any non-key column."""
+    left_ids, right_ids, num_keys = _key_ids(left_key_cols, right_key_cols)
+    num_left = int(left_key_cols[0].shape[0])
     if pkfk:
-        return probe_pkfk(left_ids, right_ids, num_keys, left.num_rows)
-    return probe_mn(left_ids, right_ids, num_keys, left.num_rows)
+        return probe_pkfk(left_ids, right_ids, num_keys, num_left)
+    return probe_mn(left_ids, right_ids, num_keys, num_left)
 
 
 def inject_forward_index(

@@ -33,6 +33,7 @@ thousands of distinct subsets cannot hold every resolved rid set alive.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
@@ -46,6 +47,13 @@ _CacheKey = Tuple[str, str, str, object]
 #: traced universe only changes when the result is re-registered, which
 #: the epoch check already covers.
 ALL_RIDS = "*"
+
+#: Rid subsets at most this many bytes are keyed by their raw bytes
+#: (exact, collision-free, cheap to hold).  Larger subsets — a brush
+#: selecting a million explicit rids — are keyed by ``(length, blake2b
+#: digest)`` instead, so a cache entry's key stays O(1)-sized rather
+#: than pinning a second copy of the whole rid array's bytes.
+SUBSET_KEY_INLINE_BYTES = 4096
 
 
 class LineageResolutionCache:
@@ -72,10 +80,21 @@ class LineageResolutionCache:
 
     @staticmethod
     def subset_key(rids: Optional[np.ndarray]) -> object:
-        """Hashable fingerprint of a traced rid subset (``None`` = all)."""
+        """Hashable fingerprint of a traced rid subset (``None`` = all).
+
+        Small subsets key by their raw bytes; subsets beyond
+        :data:`SUBSET_KEY_INLINE_BYTES` key by ``(length, blake2b-128
+        digest)`` so the stored key is O(1)-sized regardless of brush
+        size (the length is included so a truncated-prefix collision
+        would also have to collide the digest).
+        """
         if rids is None:
             return ALL_RIDS
-        return rids.tobytes()
+        data = rids.tobytes()
+        if len(data) <= SUBSET_KEY_INLINE_BYTES:
+            return data
+        digest = hashlib.blake2b(data, digest_size=16).digest()
+        return (rids.shape[0], digest)
 
     def _epoch(self, name: str, result: object) -> object:
         epoch = getattr(self._registry, "epoch", None)

@@ -83,6 +83,31 @@ class NodeLineage:
             node.base_epochs[key] = epoch
         return node
 
+    def absorb(
+        self,
+        child: "NodeLineage",
+        local_backward: "MaybeIndex",
+        local_forward: "MaybeIndex",
+        indexes: bool = True,
+    ) -> None:
+        """Fold one input's lineage into this node: copy its occurrence
+        metadata and compose every backward/forward entry through the
+        operator's local maps.  ``indexes=False`` copies metadata only
+        (set difference drops the right side's indexes but must keep its
+        names for alias resolution).  This is the one composition step
+        behind :func:`compose_node`, :func:`merge_binary`, and the pushed
+        join path (:mod:`repro.exec.late_mat`)."""
+        self.names.update(child.names)
+        self.aliases.update(child.aliases)
+        self.base_sizes.update(child.base_sizes)
+        self.base_epochs.update(child.base_epochs)
+        if not indexes:
+            return
+        for key, entry in child.backward.items():
+            self.backward[key] = _compose_entry(local_backward, entry)
+        for key, entry in child.forward.items():
+            self.forward[key] = _compose_entry(entry, local_forward)
+
     def to_query_lineage(self) -> QueryLineage:
         """Materialize identity entries and hand over to the public handle."""
         out = QueryLineage(self.output_size)
@@ -132,14 +157,7 @@ def compose_node(
     ``local_forward``: child-output rid → output rid(s).
     """
     node = NodeLineage(output_size=output_size)
-    node.names.update(child.names)
-    node.aliases.update(child.aliases)
-    node.base_sizes.update(child.base_sizes)
-    node.base_epochs.update(child.base_epochs)
-    for key, entry in child.backward.items():
-        node.backward[key] = _compose_entry(local_backward, entry)
-    for key, entry in child.forward.items():
-        node.forward[key] = _compose_entry(entry, local_forward)
+    node.absorb(child, local_backward, local_forward)
     return node
 
 
@@ -159,16 +177,6 @@ def merge_binary(
     merged (occurrence keys are globally unique, so no collisions).
     """
     node = NodeLineage(output_size=output_size)
-    for side, local_bw, local_fw in (
-        (left, left_backward, left_forward),
-        (right, right_backward, right_forward),
-    ):
-        node.names.update(side.names)
-        node.aliases.update(side.aliases)
-        node.base_sizes.update(side.base_sizes)
-        node.base_epochs.update(side.base_epochs)
-        for key, entry in side.backward.items():
-            node.backward[key] = _compose_entry(local_bw, entry)
-        for key, entry in side.forward.items():
-            node.forward[key] = _compose_entry(entry, local_fw)
+    node.absorb(left, left_backward, left_forward)
+    node.absorb(right, right_backward, right_forward)
     return node

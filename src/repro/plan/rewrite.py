@@ -10,38 +10,47 @@ never pay: those operate directly on the rid set and touch only the
 columns the interaction reads.
 
 :func:`match_late_materialization` is the rewrite decision.  It
-recognizes a *linear* operator stack over a lineage scan::
+recognizes a *tree* of pushable operators over lineage scans::
 
-    [Project (bag)]  >  [GroupBy]  >  [Select]*  >  LineageScan
+    [Project (bag or DISTINCT)]  >  [GroupBy]  >  [Select]*  >  Core
+    Core := LineageScan
+          | HashJoin(Side, Side)     -- at least one lineage-backed side
+    Side := [Select]*  >  LineageScan
+          | any other plan           -- executed by the backend as usual
 
 and compiles it into a :class:`PushedLineageQuery`: a description both
 executors hand to :func:`repro.exec.late_mat.execute_pushed`, which
 
-* resolves the traced rid array exactly like the materializing path
+* resolves the traced rid array(s) exactly like the materializing path
   (same registry lookup, same schema-drift and shrink guards),
-* gathers **only the columns the stack reads** at those rid positions,
-* evaluates the predicate on the rid-gathered slices,
-* feeds the aggregation kernel the (narrow) slice table,
+* gathers **only the columns the stack reads** at those rid positions —
+  for joins, only each side's join keys plus the columns the enclosing
+  stack references, and the non-key payload only at rids that actually
+  matched the probe,
+* evaluates predicates on the rid-gathered slices,
+* feeds the aggregation / DISTINCT kernels the (narrow) slice table,
+* deduplicates ``DISTINCT`` output in the rid domain (group lineage over
+  the narrow slices, composed like the vector executor's set projection),
 
 producing bit-identical output *and* bit-identical captured lineage
-(the scan's ``NodeLineage`` is built from the same rid array and
-composed through the same :func:`~repro.lineage.composer.compose_node`
-calls).
+(scan ``NodeLineage`` is built from the same rid arrays and composed
+through the same :func:`~repro.lineage.composer.compose_node` /
+:func:`~repro.lineage.composer.merge_binary` calls).
 
 Fallback rules — shapes where :func:`match_late_materialization`
 returns ``None`` and the materialize-then-scan path runs instead:
 
 * a bare ``LineageScan`` (nothing above it to push);
-* ``DISTINCT`` projection (grouping semantics live above the push; the
-  executor recursion still pushes a matching stack *underneath* it);
-* ``Sort`` / joins / set operations anywhere in the stack — but note
-  that executors attempt the match at **every** recursion level, so the
-  input of an ``ORDER BY`` / ``DISTINCT``, or a *derived table* join
-  input like ``FROM (SELECT * FROM Lb(...) WHERE p) AS s JOIN t``, is
-  still pushed when that subtree matches.  (A plain ``Lb(...) JOIN t
-  WHERE p`` does **not** push: SQL binds the WHERE above the join, so
-  the join input is a bare — unpushable — scan.);
-* anything that is not a linear Select/Project/GroupBy chain.
+* ``Sort`` / set operations / θ-joins / cross products anywhere in the
+  stack — but note that executors attempt the match at **every**
+  recursion level, so the input of an ``ORDER BY`` / ``UNION`` branch,
+  or a derived-table join input like ``FROM (SELECT * FROM Lb(...)
+  WHERE p) AS s CROSS JOIN t``, is still pushed when that subtree
+  matches;
+* a ``HashJoin`` neither of whose inputs is a ``[Select*] LineageScan``
+  chain (the non-lineage side of a matched join is executed by the
+  backend's own recursion, which may in turn push subtrees of it);
+* anything that is not the Project/GroupBy/Select tree above.
 
 The rewrite is purely structural — no catalog or registry access — so
 executors can afford to attempt it at every plan node.  Prepared
@@ -55,50 +64,85 @@ workloads pay N times per brush).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..expr.ast import BinOp, Expr
-from .logical import GroupBy, LineageScan, LogicalPlan, Project, Select, walk
+from .logical import (
+    GroupBy,
+    HashJoin,
+    LineageScan,
+    LogicalPlan,
+    Project,
+    Select,
+    walk,
+)
+
+
+@dataclass(frozen=True)
+class PushedJoinSide:
+    """One input of a pushed join.
+
+    A *lineage-backed* side (``scan`` set) is a ``[Select*] LineageScan``
+    chain the pushed executor runs in the rid domain: resolve rids, filter
+    on rid-gathered predicate slices, gather join keys only, and gather
+    payload columns only at probe-matched rids.  A plain side (``scan``
+    is ``None``) is the untouched subtree ``plan``, executed through the
+    backend's own recursion (which may push subtrees of it in turn).
+    """
+
+    scan: Optional[LineageScan]
+    predicate: Optional[Expr]
+    plan: LogicalPlan
+
+
+@dataclass(frozen=True)
+class PushedJoin:
+    """A hash equi-join core with at least one lineage-backed input."""
+
+    join: HashJoin
+    left: PushedJoinSide
+    right: PushedJoinSide
 
 
 @dataclass(frozen=True)
 class PushedLineageQuery:
-    """A matched Select/Project/GroupBy stack over one lineage scan.
+    """A matched Project/GroupBy/Select tree over a pushable core.
 
-    ``predicate`` is the conjunction of all Select predicates in the
-    stack (``None`` when there is no filter); ``groupby`` / ``project``
+    ``predicate`` is the conjunction of all Select predicates *above the
+    core* (``None`` when there is no filter); ``groupby`` / ``project``
     are the original plan nodes (their ``child`` links are ignored — the
-    pushed executor supplies the rid-gathered slices instead).
-    ``columns`` is the set of base columns the stack reads — the pushed
-    path gathers only these — or ``None`` for a predicate-only stack,
-    whose output is the traced relation's **full** schema (``SELECT *
-    ... WHERE``): every source column is gathered, but only at the rids
-    that survive the predicate.
+    pushed executor supplies the rid-gathered slices instead; ``project``
+    may carry ``distinct=True``, which the pushed path deduplicates with
+    the same group-lineage semantics as the executors).
+
+    Exactly one of ``scan`` (linear stack over one lineage scan) and
+    ``join`` (hash-join core) is set.  ``columns`` is the set of columns
+    the stack reads — scan-source columns for a linear core, join
+    *output* (post-rename) columns for a join core; the pushed path
+    gathers only these.  ``None`` means the stack's output is the core's
+    **full** schema (``SELECT * ... [WHERE]``): every column is gathered,
+    but only at the rids that survive (for joins: that matched).
     """
 
-    scan: LineageScan
+    scan: Optional[LineageScan] = None
     predicate: Optional[Expr] = None
     groupby: Optional[GroupBy] = None
     project: Optional[Project] = None
     columns: Optional[FrozenSet[str]] = frozenset()
+    join: Optional[PushedJoin] = None
+
+    @property
+    def has_join(self) -> bool:
+        return self.join is not None
+
+    @property
+    def has_distinct(self) -> bool:
+        return self.project is not None and self.project.distinct
 
 
-def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery]:
-    """The rewrite decision: a :class:`PushedLineageQuery` when ``plan``
-    is a pushable stack over a lineage scan, else ``None`` (fallback to
-    materialize-then-scan)."""
-    node = plan
-    project: Optional[Project] = None
-    groupby: Optional[GroupBy] = None
-
-    if isinstance(node, Project):
-        if node.distinct:
-            return None  # grouping semantics; push only underneath
-        project = node
-        node = node.child
-    if isinstance(node, GroupBy):
-        groupby = node
-        node = node.child
+def _fold_selects(node: LogicalPlan) -> Tuple[Optional[Expr], LogicalPlan]:
+    """Fold a chain of Select nodes into one conjunction (child order:
+    outer predicates land on the right, matching evaluation order)."""
     predicate: Optional[Expr] = None
     while isinstance(node, Select):
         predicate = (
@@ -107,10 +151,44 @@ def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery
             else BinOp("and", node.predicate, predicate)
         )
         node = node.child
-    if not isinstance(node, LineageScan):
+    return predicate, node
+
+
+def _match_join_side(plan: LogicalPlan) -> PushedJoinSide:
+    predicate, node = _fold_selects(plan)
+    if isinstance(node, LineageScan):
+        return PushedJoinSide(scan=node, predicate=predicate, plan=plan)
+    return PushedJoinSide(scan=None, predicate=None, plan=plan)
+
+
+def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery]:
+    """The rewrite decision: a :class:`PushedLineageQuery` when ``plan``
+    is a pushable tree over lineage scans, else ``None`` (fallback to
+    materialize-then-scan)."""
+    node = plan
+    project: Optional[Project] = None
+    groupby: Optional[GroupBy] = None
+
+    if isinstance(node, Project):
+        project = node
+        node = node.child
+    if isinstance(node, GroupBy):
+        groupby = node
+        node = node.child
+    predicate, node = _fold_selects(node)
+
+    join: Optional[PushedJoin] = None
+    if isinstance(node, HashJoin):
+        left = _match_join_side(node.left)
+        right = _match_join_side(node.right)
+        if left.scan is None and right.scan is None:
+            return None  # no lineage input: nothing to late-materialize
+        join = PushedJoin(join=node, left=left, right=right)
+    elif isinstance(node, LineageScan):
+        if project is None and groupby is None and predicate is None:
+            return None  # bare scan: nothing to push
+    else:
         return None
-    if project is None and groupby is None and predicate is None:
-        return None  # bare scan: nothing to push
 
     if groupby is not None:
         columns: set = set()
@@ -127,18 +205,23 @@ def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery
         for expr, _ in project.exprs:
             columns |= expr.columns()
     else:
-        # Predicate-only stack: the output is the full traced relation,
-        # so every source column is (late-)gathered at surviving rids.
+        # Predicate-only (or, for joins, bare) core: the output is the
+        # core's full schema, so every column is (late-)gathered at
+        # surviving/matched rids.
         return PushedLineageQuery(
-            scan=node, predicate=predicate, columns=None
+            scan=None if join is not None else node,
+            predicate=predicate,
+            columns=None,
+            join=join,
         )
 
     return PushedLineageQuery(
-        scan=node,
+        scan=None if join is not None else node,
         predicate=predicate,
         groupby=groupby,
         project=project,
         columns=frozenset(columns),
+        join=join,
     )
 
 

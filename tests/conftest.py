@@ -1,11 +1,36 @@
-"""Shared fixtures: small deterministic databases for every suite."""
+"""Shared fixtures: small deterministic databases for every suite, plus
+the Hypothesis profiles the property suites run under.
+
+* ``tier1`` (default) — the budget the fast tier-1 gate runs with.
+* ``ci-deep`` — the scheduled CI job's profile
+  (``--hypothesis-profile=ci-deep``): an order of magnitude more
+  examples for the randomized plan-equivalence harnesses.
+
+Property tests that want the profile to govern their example count set
+``@settings(deadline=None)`` without pinning ``max_examples``.
+"""
+
+import sys
 
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.api import Database
 from repro.datagen import load_tpch, make_gids_table, make_zipf_table
 from repro.storage import Table
+
+hypothesis_settings.register_profile(
+    "tier1", max_examples=60, deadline=None
+)
+hypothesis_settings.register_profile(
+    "ci-deep", max_examples=600, deadline=None, print_blob=True
+)
+if not any(arg.startswith("--hypothesis-profile") for arg in sys.argv):
+    # This conftest loads at collection time — after the hypothesis
+    # plugin applied any --hypothesis-profile option — so only install
+    # the tier-1 default when no profile was requested explicitly.
+    hypothesis_settings.load_profile("tier1")
 
 
 @pytest.fixture

@@ -91,7 +91,7 @@ def _assert_same_lineage(db, pushed, materialized):
     st.lists(st.integers(min_value=0, max_value=4), max_size=6),
     st.sampled_from(["vector", "compiled"]),
 )
-@settings(max_examples=60, deadline=None)
+@settings(deadline=None)  # example budget governed by the profile
 def test_pushed_path_matches_materialized(rows, cut, stmt_idx, subset, backend):
     db = _db(rows)
     prev = db.result("prev")
@@ -123,7 +123,7 @@ def test_pushed_path_matches_materialized(rows, cut, stmt_idx, subset, backend):
     st.integers(min_value=0, max_value=31),
     st.integers(min_value=0, max_value=len(STATEMENTS) - 1),
 )
-@settings(max_examples=30, deadline=None)
+@settings(deadline=None)  # example budget governed by the profile
 def test_backends_agree_on_pushed_path(rows, cut, stmt_idx):
     db = _db(rows)
     stmt = STATEMENTS[stmt_idx]

@@ -1,0 +1,224 @@
+"""Property tests: late materialization *through joins and DISTINCT* is
+indistinguishable from the materialize-then-scan path — identical output
+rows *and* identical captured lineage — across random tables, join
+shapes, predicates, aggregates, and rid subsets, on both backends.
+
+This is the randomized plan-equivalence harness for the tree-shaped
+rewrite (:mod:`repro.plan.rewrite`): every statement here contains a
+``HashJoin`` or a ``DISTINCT`` over ``Lb``/``Lf`` scans — the shapes the
+linear-stack suite (``test_prop_late_mat.py``) never exercises.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Database, ExecOptions
+from repro.lineage.capture import CaptureMode
+
+from repro.storage import Table
+
+fact_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),    # join/group key k
+        st.integers(min_value=0, max_value=30),   # value v
+        st.integers(min_value=0, max_value=2),    # second dimension w
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+# Dimension rows keyed 0..4; keys may repeat (m:n joins) or be missing
+# (fact rows that match nothing — the late-gather's skip case).
+dim_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),    # join key k
+        st.integers(min_value=0, max_value=3),    # group g
+        st.sampled_from(["red", "green", "blue"]),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+# Join- and DISTINCT-shaped consuming statements: re-aggregations through
+# a dimension join, narrow/star join projections, residual WHEREs above
+# the join, DISTINCT in the rid domain, lineage sides on either side of
+# the join, both-sides-lineage self joins, and derived-table plain sides.
+STATEMENTS = [
+    "SELECT g, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+    "JOIN d ON t.k = d.k GROUP BY g",
+    "SELECT name, SUM(v) AS s, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+    "JOIN d ON t.k = d.k WHERE v >= :cut GROUP BY name",
+    "SELECT * FROM Lb(prev, 't', :bars) JOIN d ON t.k = d.k",
+    "SELECT v, name FROM Lb(prev, 't', :bars) JOIN d ON t.k = d.k "
+    "WHERE w = 1",
+    "SELECT g, COUNT(*) AS c FROM d JOIN Lb(prev, 't', :bars) "
+    "ON d.k = t.k GROUP BY g",
+    "SELECT g, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+    "JOIN d ON t.k = d.k GROUP BY g HAVING COUNT(*) > 1",
+    "SELECT COUNT(*) AS c FROM Lb(prev, 't', :bars) JOIN d ON t.k = d.k",
+    "SELECT prev.c, d.g FROM Lf('t', prev, :rows) JOIN d ON prev.k = d.k",
+    "SELECT a.v AS av, b.v AS bv FROM Lb(prev, 't', :bars) AS a "
+    "JOIN Lb(prev, 't', :bars) AS b ON a.k = b.k WHERE a.v >= :cut",
+    "SELECT gmax, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+    "JOIN (SELECT k, MAX(g) AS gmax FROM d GROUP BY k) AS dd "
+    "ON t.k = dd.k GROUP BY gmax",
+    "SELECT DISTINCT k FROM Lb(prev, 't', :bars)",
+    "SELECT DISTINCT w, v FROM Lb(prev, 't', :bars) WHERE v >= :cut",
+    "SELECT DISTINCT * FROM Lb(prev, 't', :bars) WHERE v >= :cut",
+    "SELECT DISTINCT v + k AS x FROM Lb(prev, 't', :bars)",
+    "SELECT DISTINCT k FROM Lf('t', prev, :rows) WHERE c > 1",
+    "SELECT DISTINCT g FROM Lb(prev, 't', :bars) "
+    "JOIN d ON t.k = d.k WHERE v >= :cut",
+]
+
+
+def _db(rows, drows):
+    db = Database()
+    db.create_table(
+        "t",
+        Table(
+            {
+                "k": np.array([r[0] for r in rows], dtype=np.int64),
+                "v": np.array([r[1] for r in rows], dtype=np.int64),
+                "w": np.array([r[2] for r in rows], dtype=np.int64),
+            }
+        ),
+    )
+    dim = np.empty(len(drows), dtype=object)
+    dim[:] = [r[2] for r in drows]
+    db.create_table(
+        "d",
+        Table(
+            {
+                "k": np.array([r[0] for r in drows], dtype=np.int64),
+                "g": np.array([r[1] for r in drows], dtype=np.int64),
+                "name": dim,
+            }
+        ),
+    )
+    db.sql(
+        "SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+        options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
+    )
+    return db
+
+
+def _assert_same_lineage(db, pushed, materialized):
+    assert (pushed.lineage is None) == (materialized.lineage is None)
+    if pushed.lineage is None:
+        return
+    assert pushed.lineage.relations == materialized.lineage.relations
+    out_probes = list(range(len(pushed)))
+    for rel in pushed.lineage.relations:
+        assert np.array_equal(
+            pushed.backward(out_probes, rel),
+            materialized.backward(out_probes, rel),
+        )
+        base = rel.split("#")[0]
+        domain = (
+            db.table(base).num_rows
+            if base in db.tables()
+            else len(db.result(base))
+        )
+        in_probes = list(range(domain))
+        assert np.array_equal(
+            pushed.forward(rel, in_probes),
+            materialized.forward(rel, in_probes),
+        )
+
+
+@given(
+    fact_rows,
+    dim_rows,
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=len(STATEMENTS) - 1),
+    st.lists(st.integers(min_value=0, max_value=4), max_size=6),
+    st.sampled_from(["vector", "compiled"]),
+)
+@settings(deadline=None)  # example budget governed by the profile
+def test_pushed_join_distinct_matches_materialized(
+    rows, drows, cut, stmt_idx, subset, backend
+):
+    db = _db(rows, drows)
+    prev = db.result("prev")
+    stmt = STATEMENTS[stmt_idx]
+    domain = len(prev) if ":bars" in stmt else db.table("t").num_rows
+    rids = sorted({r % max(domain, 1) for r in subset}) if domain else []
+    params = {"cut": cut, "bars": rids, "rows": rids}
+
+    plan = db.parse(stmt)
+    pushed = db.execute(
+        plan,
+        params=params,
+        options=ExecOptions(capture=CaptureMode.INJECT, backend=backend),
+    )
+    materialized = db.execute(
+        plan,
+        params=params,
+        options=ExecOptions(
+            capture=CaptureMode.INJECT, backend=backend, late_materialize=False
+        ),
+    )
+    assert pushed.timings.get("late_mat_subtrees", 0) >= 1
+    assert "late_mat_subtrees" not in materialized.timings
+    if " JOIN " in stmt:
+        assert pushed.timings.get("late_mat_joins", 0) >= 1
+    if "DISTINCT" in stmt:
+        assert pushed.timings.get("late_mat_distincts") == 1.0
+    assert pushed.table.schema == materialized.table.schema
+    assert pushed.table.to_rows() == materialized.table.to_rows()
+    _assert_same_lineage(db, pushed, materialized)
+
+
+@given(
+    fact_rows,
+    dim_rows,
+    st.integers(min_value=0, max_value=31),
+    st.integers(min_value=0, max_value=len(STATEMENTS) - 1),
+)
+@settings(deadline=None)  # example budget governed by the profile
+def test_backends_agree_on_pushed_join_distinct(rows, drows, cut, stmt_idx):
+    db = _db(rows, drows)
+    stmt = STATEMENTS[stmt_idx]
+    params = {"cut": cut, "bars": [0], "rows": [0]}
+    vec = db.sql(
+        stmt, params=params, options=ExecOptions(capture=CaptureMode.INJECT)
+    )
+    comp = db.sql(
+        stmt,
+        params=params,
+        options=ExecOptions(capture=CaptureMode.INJECT, backend="compiled"),
+    )
+    assert vec.table.to_rows() == comp.table.to_rows()
+    _assert_same_lineage(db, vec, comp)
+
+
+@given(
+    fact_rows,
+    dim_rows,
+    st.lists(st.integers(min_value=0, max_value=4), max_size=6),
+    st.sampled_from(["vector", "compiled"]),
+)
+@settings(deadline=None)  # example budget governed by the profile
+def test_prepared_join_pushes_match_one_shot(rows, drows, subset, backend):
+    """The precomputed RewriteIndex takes the same join/DISTINCT push
+    decisions as live matching: prepared runs == one-shot runs."""
+    db = _db(rows, drows)
+    rids = sorted({r % max(len(db.result("prev")), 1) for r in subset})
+    stmt = (
+        "SELECT g, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+        "JOIN d ON t.k = d.k GROUP BY g"
+    )
+    prepared = db.prepare(
+        stmt, options=ExecOptions(capture=CaptureMode.INJECT, backend=backend)
+    )
+    via_prepared = prepared.run(params={"bars": rids})
+    one_shot = db.sql(
+        stmt,
+        params={"bars": rids},
+        options=ExecOptions(capture=CaptureMode.INJECT, backend=backend),
+    )
+    assert via_prepared.timings.get("late_mat_joins") == 1.0
+    assert via_prepared.table.to_rows() == one_shot.table.to_rows()
+    _assert_same_lineage(db, via_prepared, one_shot)

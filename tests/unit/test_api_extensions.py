@@ -134,6 +134,128 @@ class TestDeclarativeCrossfilter:
         with pytest.raises(WorkloadError):
             CrossfilterSession.from_database(db, "flights", ("carrier",), "nope")
 
+class TestStarSchemaCrossfilter:
+    """Joined (star-schema) dimensions: views bin on an attribute of a
+    lookup table, interactions ride the pushed join path."""
+
+    DIMS = ("carrier", "delay_bin", "region")
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        from repro.storage import Table
+
+        table = make_ontime_table(6_000, seed=12)
+        db = Database()
+        db.create_table("flights", table)
+        num_carriers = int(table.column("carrier").max()) + 1
+        rng = np.random.default_rng(5)
+        db.create_table(
+            "carriers",
+            Table({
+                "carrier_id": np.arange(num_carriers, dtype=np.int64),
+                "region": rng.integers(0, 4, num_carriers).astype(np.int64),
+            }),
+        )
+        return db
+
+    def _join(self):
+        from repro.apps.crossfilter import DimensionJoin
+
+        return {"region": DimensionJoin("carriers", "carrier", "carrier_id", "region")}
+
+    def _region_of_row(self, db):
+        region_of_carrier = db.table("carriers").column("region")
+        return region_of_carrier[db.table("flights").column("carrier")]
+
+    @pytest.mark.parametrize("technique", ("bt", "bt+ft"))
+    def test_joined_view_counts_match_ground_truth(self, db, technique):
+        session = CrossfilterSession.from_database(
+            db, "flights", self.DIMS, technique, joins=self._join()
+        )
+        view = session.views["region"]
+        row_region = self._region_of_row(db)
+        for bar in range(view.num_bars):
+            assert view.counts[bar] == int(
+                (row_region == view.bin_values[bar]).sum()
+            )
+        session.close()
+
+    @pytest.mark.parametrize("technique", ("bt", "bt+ft"))
+    @pytest.mark.parametrize("prepared", (True, False))
+    def test_brush_base_dim_updates_joined_view(self, db, technique, prepared):
+        session = CrossfilterSession.from_database(
+            db, "flights", self.DIMS, technique,
+            prepared=prepared, joins=self._join(),
+        )
+        view = session.views["delay_bin"]
+        got = session.brush("delay_bin", 1)
+        mask = db.table("flights").column("delay_bin") == view.bin_values[1]
+        row_region = self._region_of_row(db)
+        region_view = session.views["region"]
+        expected = np.array([
+            int((mask & (row_region == v)).sum())
+            for v in region_view.bin_values
+        ])
+        assert np.array_equal(got["region"], expected)
+        session.close()
+
+    @pytest.mark.parametrize("technique", ("bt", "bt+ft"))
+    def test_brush_joined_view_updates_base_dims(self, db, technique):
+        session = CrossfilterSession.from_database(
+            db, "flights", self.DIMS, technique, joins=self._join()
+        )
+        region_view = session.views["region"]
+        got = session.brush("region", 0)
+        row_region = self._region_of_row(db)
+        mask = row_region == region_view.bin_values[0]
+        carrier_view = session.views["carrier"]
+        expected = np.array([
+            int((mask & (db.table("flights").column("carrier") == v)).sum())
+            for v in carrier_view.bin_values
+        ])
+        assert np.array_equal(got["carrier"], expected)
+        session.close()
+
+    def test_brush_many_on_joined_session(self, db):
+        session = CrossfilterSession.from_database(
+            db, "flights", self.DIMS, "bt+ft", joins=self._join()
+        )
+        singles = [session.brush("carrier", b)["region"] for b in (0, 2)]
+        combined = session.brush_many("carrier", [0, 2])["region"]
+        assert np.array_equal(combined, singles[0] + singles[1])
+        session.close()
+
+    def test_materialized_fallback_agrees(self, db):
+        pushed = CrossfilterSession.from_database(
+            db, "flights", self.DIMS, "bt", joins=self._join()
+        )
+        materialized = CrossfilterSession.from_database(
+            db, "flights", self.DIMS, "bt",
+            late_materialize=False, prepared=False, joins=self._join(),
+        )
+        for dim in self.DIMS:
+            got = pushed.brush(dim, 0)
+            expected = materialized.brush(dim, 0)
+            for other in got:
+                assert np.array_equal(got[other], expected[other])
+        pushed.close()
+        materialized.close()
+
+    def test_joins_require_lineage_technique(self, db):
+        for technique in ("lazy", "cube"):
+            with pytest.raises(WorkloadError, match="lineage-backed"):
+                CrossfilterSession.from_database(
+                    db, "flights", self.DIMS, technique, joins=self._join()
+                )
+
+    def test_unknown_joined_dimension_rejected(self, db):
+        with pytest.raises(WorkloadError, match="not in dimensions"):
+            CrossfilterSession.from_database(
+                db, "flights", ("carrier",), "bt", joins=self._join()
+            )
+
+
+class TestDeclarativeCrossfilterKeywords:
     @pytest.mark.parametrize("technique", CrossfilterSession.TECHNIQUES)
     def test_from_database_keyword_dimension_names(self, technique):
         """Dimensions named after SQL keywords must fall back to the

@@ -93,6 +93,33 @@ class TestBackendEquivalence:
                 comp.lineage.forward(rel, list(range(base_n))),
             ), (name, rel)
 
+    def test_mn_join_under_groupby_forward_fanout(self):
+        """Regression (found by the randomized plan-equivalence harness):
+        a build row fanning out through an m:n join into *several* groups
+        must keep every forward edge — the compiled group-by block used a
+        1-to-1 scatter where later groups overwrote earlier ones."""
+        from repro.api import Database, ExecOptions
+        from repro.storage import Table
+
+        db = Database()
+        db.create_table("t", Table({"k": np.array([1], dtype=np.int64)}))
+        db.create_table(
+            "d",
+            Table({
+                "k": np.array([1, 1], dtype=np.int64),
+                "g": np.array([0, 1], dtype=np.int64),
+            }),
+        )
+        stmt = "SELECT g, COUNT(*) AS c FROM t JOIN d ON t.k = d.k GROUP BY g"
+        for backend in ("vector", "compiled"):
+            res = db.sql(
+                stmt,
+                options=ExecOptions(capture=CaptureMode.INJECT, backend=backend),
+            )
+            # The single t row reaches both output groups.
+            assert res.forward("t", [0]).tolist() == [0, 1], backend
+            assert res.forward("d", [0, 1]).tolist() == [0, 1], backend
+
 
 class TestCodegen:
     def test_generated_source_is_exposed(self, small_db, cex):

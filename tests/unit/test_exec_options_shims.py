@@ -1,0 +1,139 @@
+"""The deprecated loose ``Database.execute``/``sql`` keywords: each call
+site warns exactly once, and every shim folds into the same
+:class:`~repro.api.ExecOptions` the explicit form would use."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ExecOptions
+from repro.lineage.capture import CaptureMode
+from repro.storage import Table
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table(
+        "t",
+        Table(
+            {
+                "z": np.array([1, 1, 2], dtype=np.int64),
+                "v": np.array([10, 20, 30], dtype=np.int64),
+            }
+        ),
+    )
+    return db
+
+
+def _caught(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarnOncePerCallSite:
+    def test_sql_kwarg_warns_once_for_repeated_site(self, db):
+        deprecations = _caught(
+            lambda: [
+                db.sql("SELECT z FROM t", capture=CaptureMode.INJECT)
+                for _ in range(5)  # one call site, five calls
+            ]
+        )
+        assert len(deprecations) == 1
+        assert "capture" in str(deprecations[0].message)
+        assert "ExecOptions" in str(deprecations[0].message)
+
+    def test_distinct_call_sites_each_warn(self, db):
+        first = _caught(lambda: db.sql("SELECT z FROM t", backend="vector"))
+        second = _caught(lambda: db.sql("SELECT z FROM t", backend="vector"))
+        assert len(first) == 1
+        assert len(second) == 1  # a different source line is a new site
+
+    def test_execute_kwarg_warns_and_names_every_kwarg(self, db):
+        plan = db.parse("SELECT z FROM t")
+        deprecations = _caught(
+            lambda: db.execute(plan, capture=CaptureMode.INJECT, name="r1", pin=True)
+        )
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "capture" in message and "name" in message and "pin" in message
+
+    def test_options_only_calls_never_warn(self, db):
+        deprecations = _caught(
+            lambda: db.sql(
+                "SELECT z FROM t",
+                options=ExecOptions(capture=CaptureMode.INJECT),
+            )
+        )
+        assert deprecations == []
+
+
+class TestShimFolding:
+    def test_each_loose_kwarg_folds_to_the_explicit_option(self, db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = db.sql(
+                "SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+                capture=CaptureMode.INJECT,
+                backend="compiled",
+                name="legacy_r",
+                pin=True,
+            )
+        explicit = db.sql(
+            "SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+            options=ExecOptions(
+                capture=CaptureMode.INJECT,
+                backend="compiled",
+                name="explicit_r",
+                pin=True,
+            ),
+        )
+        assert legacy.table.to_rows() == explicit.table.to_rows()
+        assert legacy.lineage is not None and explicit.lineage is not None
+        assert "legacy_r" in db.results() and "explicit_r" in db.results()
+        # pin folded: neither entry is evicted by a tight bound.
+        db.register_result("evictme", explicit, max_results=1)
+        assert "legacy_r" in db.results() and "explicit_r" in db.results()
+
+    def test_late_materialize_kwarg_folds(self, db):
+        db.sql(
+            "SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+            options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = db.sql(
+                "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+                late_materialize=False,
+            )
+        explicit = db.sql(
+            "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+            options=ExecOptions(late_materialize=False),
+        )
+        assert "late_mat_subtrees" not in legacy.timings
+        assert "late_mat_subtrees" not in explicit.timings
+        assert legacy.table.to_rows() == explicit.table.to_rows()
+
+    def test_loose_kwarg_overrides_options_field(self, db):
+        db.sql(
+            "SELECT z, COUNT(*) AS c FROM t GROUP BY z",
+            options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            res = db.sql(
+                "SELECT z, COUNT(*) AS c FROM Lb(prev, 't') GROUP BY z",
+                options=ExecOptions(late_materialize=True),
+                late_materialize=False,  # kwarg wins over the options field
+            )
+        assert "late_mat_subtrees" not in res.timings
+
+    def test_unset_kwargs_leave_options_untouched(self, db):
+        res = db.sql(
+            "SELECT z FROM t",
+            options=ExecOptions(capture=CaptureMode.INJECT),
+        )
+        assert res.lineage is not None  # capture not reset by absent shims

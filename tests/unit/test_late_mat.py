@@ -94,13 +94,51 @@ class TestRewriteMatch:
         pushed = match_late_materialization(plan)
         assert pushed.columns == frozenset({"z", "v"})
 
-    def test_distinct_projection_falls_back(self):
+    def test_distinct_projection_now_pushes(self):
         plan = Project(_scan(), [(col("z"), "z")], distinct=True)
+        pushed = match_late_materialization(plan)
+        assert pushed is not None and pushed.has_distinct
+        assert pushed.columns == frozenset({"z"})
+
+    def test_lineage_join_now_pushes(self):
+        plan = HashJoin(_scan(), Scan("t"), ("z",), ("z",))
+        pushed = match_late_materialization(plan)
+        assert pushed is not None and pushed.has_join
+        assert pushed.join.left.scan is not None
+        assert pushed.join.right.scan is None  # plain side: run_child
+        # Bare join core: the output is the full join schema.
+        assert pushed.columns is None
+
+    def test_join_side_selects_fold_into_side_predicate(self):
+        plan = HashJoin(
+            Select(Select(_scan(), col("v") > 12), col("w").eq(0)),
+            Scan("t"),
+            ("z",),
+            ("z",),
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None and pushed.join.left.predicate is not None
+
+    def test_join_without_lineage_side_falls_back(self):
+        plan = HashJoin(Scan("t"), Scan("t"), ("z",), ("z",))
         assert match_late_materialization(plan) is None
 
-    def test_join_falls_back(self):
-        plan = HashJoin(_scan(), Scan("t"), ("z",), ("z",))
-        assert match_late_materialization(plan) is None
+    def test_join_stack_columns_are_output_names(self, db, prev):
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        plan = db.parse(
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't') "
+            "JOIN names ON t.z = names.z WHERE v > 12 GROUP BY label"
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None and pushed.has_join
+        # Join-core column sets name *output* (post-rename) columns.
+        assert pushed.columns == frozenset({"label", "v"})
 
     def test_sort_root_falls_back(self):
         plan = Sort(Select(_scan(), col("v") > 12), [("z", False)])
@@ -138,10 +176,9 @@ class TestPushedExecution:
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_join_input_stack_is_pushed(self, db, prev, backend):
-        """A filtered-Lb *derived table* is a join input whose subtree
-        matches, so it pushes even though the enclosing join does not.
-        (A plain `Lb JOIN ... WHERE` binds the WHERE above the join,
-        leaving a bare — unpushable — scan; see the next test.)"""
+        """A filtered-Lb *derived table* join input is a
+        ``[Select*] LineageScan`` chain, so the whole tree matches as one
+        join core (side predicate filtered in the rid domain)."""
         db.create_table(
             "names",
             Table({
@@ -162,9 +199,10 @@ class TestPushedExecution:
         assert res.table.to_rows() == off.table.to_rows()
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_plain_join_where_binds_above_and_falls_back(self, db, prev, backend):
-        """`Lb(...) JOIN t WHERE p` binds the WHERE above the join, so the
-        join input is a bare scan and the whole statement falls back."""
+    def test_plain_join_where_now_pushes_through_the_join(self, db, prev, backend):
+        """`Lb(...) JOIN t WHERE p` binds the WHERE above the join; the
+        whole tree now pushes as a join core (rid-domain Lb side, narrow
+        key probe, residual WHERE over the narrow join output)."""
         db.create_table(
             "names",
             Table({
@@ -178,8 +216,101 @@ class TestPushedExecution:
             params={"bars": [0, 1]},
             backend=backend,
         )
-        assert "late_mat_subtrees" not in res.timings
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.timings.get("late_mat_joins") == 1.0
         assert res.table.column("c").tolist() == [1, 3]
+        off = db.sql(
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+            "JOIN names ON t.z = names.z WHERE v > 10 GROUP BY label",
+            params={"bars": [0, 1]},
+            backend=backend,
+            late_materialize=False,
+        )
+        assert "late_mat_joins" not in off.timings
+        assert res.table.to_rows() == off.table.to_rows()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_distinct_pushes_in_rid_domain(self, db, prev, backend):
+        res = db.sql(
+            "SELECT DISTINCT z FROM Lb(prev, 't', :bars)",
+            params={"bars": [0, 1]},
+            backend=backend,
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.timings.get("late_mat_distincts") == 1.0
+        off = db.sql(
+            "SELECT DISTINCT z FROM Lb(prev, 't', :bars)",
+            params={"bars": [0, 1]},
+            backend=backend,
+            late_materialize=False,
+        )
+        assert res.table.to_rows() == off.table.to_rows()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_distinct_lineage_identical_to_materialized(self, db, prev, backend):
+        stmt = "SELECT DISTINCT w FROM Lb(prev, 't') WHERE v > 10"
+        on = db.sql(stmt, capture=CaptureMode.INJECT, backend=backend)
+        off = db.sql(
+            stmt, capture=CaptureMode.INJECT, backend=backend,
+            late_materialize=False,
+        )
+        probes = list(range(len(on)))
+        assert np.array_equal(on.backward(probes, "t"), off.backward(probes, "t"))
+        base_probes = list(range(db.table("t").num_rows))
+        assert np.array_equal(
+            on.forward("t", base_probes), off.forward("t", base_probes)
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_join_lineage_identical_to_materialized(self, db, prev, backend):
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        stmt = (
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+            "JOIN names ON t.z = names.z GROUP BY label"
+        )
+        on = db.sql(
+            stmt, capture=CaptureMode.INJECT, params={"bars": [0, 2]},
+            backend=backend,
+        )
+        off = db.sql(
+            stmt, capture=CaptureMode.INJECT, params={"bars": [0, 2]},
+            backend=backend, late_materialize=False,
+        )
+        probes = list(range(len(on)))
+        for rel in ("t", "names"):
+            assert np.array_equal(
+                on.backward(probes, rel), off.backward(probes, rel)
+            )
+            base_probes = list(range(db.table(rel).num_rows))
+            assert np.array_equal(
+                on.forward(rel, base_probes), off.forward(rel, base_probes)
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_join_unknown_column_raises_like_materialized(self, db, prev, backend):
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        scan = LineageScan(result="prev", relation="t", direction="backward")
+        plan = GroupBy(
+            HashJoin(scan, Scan("names"), ("z",), ("z",)),
+            [(col("nope"), "nope")],
+            [AggCall("count", None, "c")],
+        )
+        with pytest.raises(Exception, match="nope"):
+            db.execute(plan, backend=backend)
+        with pytest.raises(Exception, match="nope"):
+            db.execute(plan, backend=backend, late_materialize=False)
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_count_star_only_touches_no_columns(self, db, prev, backend):

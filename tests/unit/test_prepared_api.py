@@ -182,9 +182,60 @@ class TestSession:
         session = db.session()
         stmt = "SELECT z FROM Lb(prev, 't', :bars)"
         session.sql(stmt, params={"bars": [0]})
-        first = session._statements[stmt]
+        first = session._statements[api.normalize_statement(stmt)]
         session.sql(stmt, params={"bars": [1]})
-        assert session._statements[stmt] is first
+        assert session._statements[api.normalize_statement(stmt)] is first
+
+    def test_sql_memo_normalizes_whitespace_and_keyword_case(self, db, prev):
+        """Generated SQL differing only in layout or keyword casing must
+        hit the same memo entry (ROADMAP follow-up from PR 3)."""
+        session = db.session()
+        session.sql(
+            "SELECT z FROM Lb(prev, 't', :bars)", params={"bars": [0]}
+        )
+        equivalents = [
+            "select   z\n  from Lb(prev, 't', :bars)",
+            "SELECT z FROM LB(prev, 't', :bars)",
+            "  Select z  From  lb(prev, 't',  :bars)  ",
+        ]
+        for text in equivalents:
+            res = session.sql(text, params={"bars": [0]})
+            assert len(res) == 2
+        assert len(session._statements) == 1  # all four share one entry
+
+    def test_sql_memo_keeps_literals_and_identifiers_exact(self, db, prev):
+        """Normalization must never conflate meaning-bearing case: string
+        literals and identifiers stay byte-exact in the memo key."""
+        db.create_table(
+            "s",
+            Table({"name": np.array(["Foo", "foo"], dtype=object)}),
+        )
+        session = db.session()
+        lower = session.sql("SELECT name FROM s WHERE name = 'foo'")
+        upper = session.sql("SELECT name FROM s WHERE name = 'Foo'")
+        assert lower.table.column("name").tolist() == ["foo"]
+        assert upper.table.column("name").tolist() == ["Foo"]
+        assert len(session._statements) == 2
+        # Identifier case distinguishes relations as well.
+        assert api.normalize_statement(
+            "SELECT z FROM t"
+        ) != api.normalize_statement("SELECT z FROM T")
+        # Whitespace inside literals is preserved too.
+        assert "'a  b'" in api.normalize_statement("SELECT  'a  b'  FROM t")
+
+    def test_sql_memo_keeps_param_name_case(self, db, prev):
+        """Regression: a parameter named like a keyword (:MAX) must not
+        fold into :max — the lexer keeps parameter-name case, so the two
+        statements expect different params."""
+        session = db.session()
+        upper = session.sql(
+            "SELECT z FROM t WHERE v < :MAX", params={"MAX": 3.0}
+        )
+        lower = session.sql(
+            "SELECT z FROM t WHERE v < :max", params={"max": 2.0}
+        )
+        assert len(session._statements) == 2
+        assert len(upper) == 2 and len(lower) == 1
 
     def test_reregistration_invalidates_cache(self, db, prev):
         session = db.session()
@@ -257,6 +308,42 @@ class TestLineageResolutionCache:
         cache.resolve("b", marker, "backward", "t", "*", lambda: np.array([2]))
         cache.invalidate("a")
         assert len(cache) == 1
+
+    def test_subset_key_small_subsets_stay_exact(self):
+        a = LineageResolutionCache.subset_key(np.arange(16, dtype=np.int64))
+        b = LineageResolutionCache.subset_key(np.arange(16, dtype=np.int64))
+        c = LineageResolutionCache.subset_key(np.arange(1, 17, dtype=np.int64))
+        assert a == b and a != c
+        assert isinstance(a, bytes) and len(a) == 16 * 8
+
+    def test_subset_key_large_subsets_hash_to_constant_size(self):
+        """A 1M-rid brush must not pin a second megabyte-scale byte copy
+        in every cache key: large subsets key by (length, digest)."""
+        rids = np.arange(1_000_000, dtype=np.int64)
+        key = LineageResolutionCache.subset_key(rids)
+        size, digest = key
+        assert size == 1_000_000
+        assert isinstance(digest, bytes) and len(digest) == 16  # O(1)-sized
+        assert key == LineageResolutionCache.subset_key(rids.copy())
+        changed = rids.copy()
+        changed[123_456] += 1
+        assert key != LineageResolutionCache.subset_key(changed)
+
+    def test_large_subset_resolution_still_memoizes(self):
+        cache = LineageResolutionCache()
+        marker = object()
+        rids = np.arange(1_000_000, dtype=np.int64)
+        key = LineageResolutionCache.subset_key(rids)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.array([7])
+
+        cache.resolve("a", marker, "backward", "t", key, compute)
+        cache.resolve("a", marker, "backward", "t", key, compute)
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1
 
 
 class TestResultRegistryByteBudget:
