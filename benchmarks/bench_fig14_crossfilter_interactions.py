@@ -31,6 +31,17 @@ carriers`` — which the rewrite pushes *through the join*:
   every join-shaped interaction materializes the full-width traced
   subset before joining.
 
+A final axis adds a *snowflake* view (``region_name``: an attribute two
+lookup hops from the fact table, ``ontime → carriers → regions``).  Its
+per-brush re-aggregation is a multi-join chain — ``GROUP BY`` over
+``Lb(view, 'ontime', :bars) JOIN carriers JOIN regions`` — which the
+rewrite flattens into **one** pushed rid-domain core with stats-chosen
+build sides per hop:
+
+* ``sql-pushed-chain`` — prepared snowflake sessions on the
+  late-materializing chain path (before the chain rewrite, the outer
+  join fell back to materializing the inner join's full output).
+
 Comparing those against ``bt`` shows how close crossfilter-over-SQL gets
 to the hand-rolled kernels: pushing materialization away closes most of
 the gap, and preparing the statements closes most of the rest on
@@ -51,7 +62,7 @@ from repro.storage import Table
 TECHNIQUES = (
     "lazy", "bt", "bt+ft", "cube",
     "sql-prepared", "sql-pushed", "sql-materialized",
-    "sql-pushed-join", "sql-materialized-join",
+    "sql-pushed-join", "sql-materialized-join", "sql-pushed-chain",
 )
 
 #: The star-schema axes' dimensions: the four fact views plus a view
@@ -62,6 +73,20 @@ CARRIER_JOIN = {
         "carriers", "carrier", "carrier_id", "region"
     )
 }
+
+#: The snowflake axis' dimensions: the binned attribute lives two lookup
+#: hops out (ontime.carrier -> carriers.region -> regions.region_name).
+NUM_REGIONS = 5
+CHAIN_DIMENSIONS = VIEW_DIMENSIONS + ("region_name",)
+SNOWFLAKE_JOIN = {
+    "region_name": DimensionJoin(
+        "regions", "region", "region", "region_name",
+        parent=DimensionJoin("carriers", "carrier", "carrier_id", "region"),
+    )
+}
+
+#: Every dimension any axis exposes (tests skip absent ones per session).
+ALL_DIMENSIONS = VIEW_DIMENSIONS + ("carrier_region", "region_name")
 
 
 @pytest.fixture(scope="module")
@@ -99,15 +124,28 @@ def sessions(ontime_table):
         db, "ontime", JOIN_DIMENSIONS, "bt", late_materialize=False,
         prepared=True, joins=CARRIER_JOIN,
     )
+    region_names = np.empty(NUM_REGIONS, dtype=object)
+    region_names[:] = [f"region_{i}" for i in range(NUM_REGIONS)]
+    db.create_table(
+        "regions",
+        Table({
+            "region": np.arange(NUM_REGIONS, dtype=np.int64),
+            "region_name": region_names,
+        }),
+    )
+    built["sql-pushed-chain"] = CrossfilterSession.from_database(
+        db, "ontime", CHAIN_DIMENSIONS, "bt", late_materialize=True,
+        prepared=True, joins=SNOWFLAKE_JOIN,
+    )
     return built
 
 
 @pytest.mark.parametrize("technique", TECHNIQUES)
-@pytest.mark.parametrize("dimension", list(JOIN_DIMENSIONS))
+@pytest.mark.parametrize("dimension", list(ALL_DIMENSIONS))
 def test_fig14_single_interaction(benchmark, sessions, technique, dimension):
     session = sessions[technique]
     if dimension not in session.views:
-        pytest.skip("joined dimension exists on the -join axes only")
+        pytest.skip("joined dimension exists on the -join/-chain axes only")
     bars = session.views[dimension].num_bars
 
     def run():

@@ -2,9 +2,10 @@
 
 Crossfilter-style lineage-consuming statements (filter / narrow
 projection / re-aggregation over ``Lb(view, 'ontime', :bars)``, plus the
-star-schema join re-aggregation ``Lb(...) JOIN carriers`` and a DISTINCT
-projection — the shapes this repo's join/DISTINCT push covers) timed on
-three paths:
+star-schema join re-aggregation ``Lb(...) JOIN carriers``, the snowflake
+**chain** re-aggregation ``Lb(...) JOIN carriers JOIN regions JOIN
+continents`` — three joins flattened into one pushed rid-domain core —
+and a DISTINCT projection) timed on three paths:
 
 * **pushed** — the late-materialization rewrite (:mod:`repro.plan.rewrite`):
   operators run in the rid domain, gathering only the touched columns;
@@ -49,6 +50,10 @@ PAYLOAD_COLS = 12
 #: Lookup-table regions for the star-schema join axis.
 NUM_REGIONS = 5
 
+#: Second-level lookups for the snowflake chain axis.
+NUM_CONTINENTS = 3
+NUM_HEMISPHERES = 2
+
 
 @pytest.fixture(scope="module")
 def latemat_db():
@@ -66,6 +71,25 @@ def latemat_db():
         Table({
             "carrier_id": np.arange(NUM_CARRIERS, dtype=np.int64),
             "region": (np.arange(NUM_CARRIERS, dtype=np.int64) % NUM_REGIONS),
+        }),
+    )
+    # Snowflake hops: region -> continent -> hemisphere (the 3-join chain
+    # axis; the binned attribute sits two lookups past the carrier dim,
+    # like the other axes' binned-integer view attributes).
+    db.create_table(
+        "regions",
+        Table({
+            "region": np.arange(NUM_REGIONS, dtype=np.int64),
+            "continent": (np.arange(NUM_REGIONS, dtype=np.int64) % NUM_CONTINENTS),
+        }),
+    )
+    db.create_table(
+        "continents",
+        Table({
+            "continent": np.arange(NUM_CONTINENTS, dtype=np.int64),
+            "hemisphere": (
+                np.arange(NUM_CONTINENTS, dtype=np.int64) % NUM_HEMISPHERES
+            ),
         }),
     )
     db.sql(
@@ -237,6 +261,51 @@ def test_join_reaggregate(latemat_db):
     _record("join_reaggregate", "hand_rolled", hand_rolled)
 
 
+def test_chain_reaggregate(latemat_db):
+    """The snowflake-chain BT re-aggregation: GROUP BY over the brushed
+    bar's lineage joined through **three** lookup hops (carrier → region
+    → continent) — the whole chain flattens into one pushed rid-domain
+    core (``late_mat_chain_hops == 2``: two joins beyond PR 4's single
+    pushed join), probing narrow key columns per hop with stats-chosen
+    build sides and gathering only ``hemisphere`` at chain-surviving
+    rows."""
+    db = latemat_db
+    bars = _bars(db)
+    res = _run_both_paths(
+        db,
+        "chain_reaggregate",
+        "SELECT hemisphere, COUNT(*) AS cnt FROM Lb(view, 'ontime', :bars) "
+        "JOIN carriers ON ontime.carrier = carriers.carrier_id "
+        "JOIN regions ON carriers.region = regions.region "
+        "JOIN continents ON regions.continent = continents.continent "
+        "GROUP BY hemisphere",
+        {"bars": bars},
+    )
+    assert res.timings.get("late_mat_joins") == 1.0
+    assert res.timings.get("late_mat_chain_hops") == 2.0
+
+    lineage = db.result("view").lineage
+    table = db.table("ontime")
+    region_of_carrier = db.table("carriers").column("region")
+    continent_of_region = db.table("regions").column("continent")
+    hemisphere_of_continent = db.table("continents").column("hemisphere")
+
+    def hand_rolled():
+        rids = lineage.backward(bars, "ontime")
+        return np.bincount(
+            hemisphere_of_continent[
+                continent_of_region[
+                    region_of_carrier[table.column("carrier")[rids]]
+                ]
+            ],
+            minlength=NUM_HEMISPHERES,
+        )
+
+    counts = hand_rolled()
+    assert int(counts.sum()) == int(res.table.column("cnt").sum())
+    _record("chain_reaggregate", "hand_rolled", hand_rolled)
+
+
 def test_distinct_projection(latemat_db):
     """DISTINCT in the rid domain: dedup the brushed bar's carriers
     without materializing the full-width traced subset first."""
@@ -272,6 +341,7 @@ def test_pushed_speedup_gate(latemat_db):
         "reaggregate",
         "filter_aggregate",
         "join_reaggregate",
+        "chain_reaggregate",
         "distinct_projection",
     ):
         variants = RESULTS[name]

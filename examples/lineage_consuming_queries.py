@@ -145,12 +145,41 @@ def main() -> None:
     print(f"Join over the lineage scan (pushed through the join): label "
           f"{joined.table.column('label')[0]!r} -> {expected_rows} rows")
 
+    # 6a. Snowflake chains flatten into ONE pushed core: a second lookup
+    #     hop (labels -> zones) makes the re-aggregation a multi-join
+    #     chain, and the rewrite executes *all* hops in the rid domain —
+    #     the inner join's output is never materialized; each hop probes
+    #     narrow key columns and only `zone` is gathered at rows that
+    #     survived every hop.  `late_mat_chain_hops` counts the joins
+    #     beyond the first; build sides are chosen per hop from column
+    #     statistics (both lookup keys here are unique, so both hops
+    #     take the pk-fk fast probe the plan never asserted).
+    db.create_table(
+        "zones",
+        Table({
+            "label": np.array(["N", "S", "E", "W"], dtype=object),
+            "zone": np.array([0, 1, 0, 1], dtype=np.int64),
+        }),
+    )
+    chained = db.sql(
+        "SELECT zone, COUNT(*) AS c FROM Lb(prev, 'sales', :bars) "
+        "JOIN labels ON sales.region = labels.region "
+        "JOIN zones ON labels.label = zones.label GROUP BY zone",
+        params={"bars": [bar]},
+    )
+    assert chained.timings.get("late_mat_joins") == 1.0   # one chain core
+    assert chained.timings.get("late_mat_chain_hops") == 1.0
+    assert chained.timings.get("late_mat_pkfk_detected") == 2.0
+    assert int(np.sum(chained.table.column("c"))) == expected_rows
+    print(f"Snowflake chain (2 joins, one pushed core): "
+          f"{len(chained)} zones over {expected_rows} rows")
+
     # 6b. DISTINCT dedups in the rid domain: one narrow gather of
     #     `product`, factorized to representatives — the full-width
     #     subset is never copied.  Fallback shapes that still
     #     materialize-then-scan: bare `SELECT * FROM Lb(...)` (nothing
     #     to push), ORDER BY / set operations at the root, θ-joins and
-    #     cross products, and joins where *neither* input is an
+    #     cross products, and joins where *no* leaf is an
     #     Lb/Lf-with-filters chain.
     distinct = db.sql(
         "SELECT DISTINCT product FROM Lb(prev, 'sales', :bars)",

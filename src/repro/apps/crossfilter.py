@@ -76,15 +76,51 @@ class DimensionJoin:
     lookup table (star schema): ``fact.fact_key = table.dim_key`` links
     the fact relation to ``table``, and ``column`` is the attribute the
     view bins on.  Views and interactions for such dimensions run as
-    join-shaped SQL riding the late-materializing pushed join path."""
+    join-shaped SQL riding the late-materializing pushed join path.
+
+    ``parent`` turns the dimension into a **snowflake** view: the binned
+    attribute lives one (or more) lookup hops away from the fact table —
+    ``fact → parent.table → table`` — and ``fact_key`` then names a
+    column of ``parent.table`` rather than of the fact relation (the
+    parent's own ``column`` is unused by the child view).  The generated
+    statements join hop by hop, and the whole multi-join chain executes
+    as **one** pushed rid-domain core (:mod:`repro.plan.rewrite`): the
+    brushed rid set resolves once, each hop probes narrow key columns
+    with a stats-chosen build side, and only the snowflake attribute is
+    gathered at rows that survived every hop.
+    """
 
     table: str
     fact_key: str
     dim_key: str
     column: str
+    parent: Optional["DimensionJoin"] = None
 
     def identifiers(self):
-        return (self.table, self.fact_key, self.dim_key, self.column)
+        own = (self.table, self.fact_key, self.dim_key, self.column)
+        return own if self.parent is None else self.parent.identifiers() + own
+
+    def hops(self) -> Tuple["DimensionJoin", ...]:
+        """The join path fact-outward: parents first, this table last."""
+        return ((self,) if self.parent is None
+                else self.parent.hops() + (self,))
+
+    def root_fact_key(self) -> str:
+        """The *fact-relation* column the (snowflake) path hangs off."""
+        return self.hops()[0].fact_key
+
+    def join_sql(self, relation: str) -> str:
+        """``JOIN ... ON ...`` clauses from the fact relation out to
+        ``table``, one per hop."""
+        clauses = []
+        previous = relation
+        for hop in self.hops():
+            clauses.append(
+                f"JOIN {hop.table} "
+                f"ON {previous}.{hop.fact_key} = {hop.table}.{hop.dim_key}"
+            )
+            previous = hop.table
+        return " ".join(clauses)
 
 
 @dataclass
@@ -186,9 +222,12 @@ class CrossfilterSession:
         those views bin on an attribute of a joined lookup table, and
         both their construction and their per-brush re-aggregation run
         as join-shaped statements that the rewrite pushes through the
-        join.  Joined dimensions require a BT-family technique and
-        SQL-safe identifiers (there is no hand-rolled fallback kernel
-        for a column that lives in another relation).
+        join — snowflake specs (``DimensionJoin(..., parent=...)``,
+        ``dim → sub-dim``) generate multi-join chains that execute as
+        one pushed rid-domain core.  Joined dimensions require a
+        BT-family technique and SQL-safe identifiers (there is no
+        hand-rolled fallback kernel for a column that lives in another
+        relation).
         """
         from ..lineage.capture import CaptureConfig
         from ..plan.logical import AggCall, GroupBy, Scan, col
@@ -255,9 +294,7 @@ class CrossfilterSession:
                     statement = (
                         f"SELECT {joined.table}.{joined.column} AS {dim}, "
                         f"COUNT(*) AS cnt FROM {relation} "
-                        f"JOIN {joined.table} "
-                        f"ON {relation}.{joined.fact_key} = "
-                        f"{joined.table}.{joined.dim_key} "
+                        f"{joined.join_sql(relation)} "
                         f"GROUP BY {joined.table}.{joined.column}"
                     )
                 else:
@@ -443,7 +480,7 @@ class CrossfilterSession:
         from ..lineage.capture import CaptureConfig
 
         joined = self._joins.get(dimension)
-        column = joined.fact_key if joined is not None else dimension
+        column = joined.root_fact_key() if joined is not None else dimension
         statement = (
             f"SELECT DISTINCT {column} FROM "
             f"Lb({self._result_names[dimension]}, '{self.relation}', :bars)"
@@ -478,9 +515,7 @@ class CrossfilterSession:
                 f"SELECT {joined.table}.{joined.column} AS {other_dim}, "
                 f"COUNT(*) AS cnt "
                 f"FROM Lb({registered}, '{self.relation}', :bars) "
-                f"JOIN {joined.table} "
-                f"ON {self.relation}.{joined.fact_key} = "
-                f"{joined.table}.{joined.dim_key} "
+                f"{joined.join_sql(self.relation)} "
                 f"GROUP BY {joined.table}.{joined.column}"
             )
         return (

@@ -50,7 +50,7 @@ from ...plan.rewrite import RewriteIndex, match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
 from ...storage.catalog import Catalog
 from ...storage.table import ColumnType, Schema, Table
-from ..late_mat import execute_pushed
+from ..late_mat import PushedStats, execute_pushed, fold_push_stats
 from ..lineage_scan import execute_lineage_scan
 from ..vector.executor import ExecResult, check_relation_pruning
 from .codegen import (
@@ -119,6 +119,7 @@ class CompiledExecutor:
             timings["late_mat_joins"] = float(state.pushed_joins)
         if state.pushed_distincts:
             timings["late_mat_distincts"] = float(state.pushed_distincts)
+        fold_push_stats(timings, state.push_stats)
         return ExecResult(table, lineage, timings)
 
 
@@ -142,6 +143,7 @@ class _ExecState:
         self.pushed_subtrees = 0
         self.pushed_joins = 0
         self.pushed_distincts = 0
+        self.push_stats = PushedStats()
         self.scan_keys = None
         self._scan_counter = 0
         self._tmp_counter = 0
@@ -194,6 +196,7 @@ class _ExecState:
                 next_key=self._next_scan_key,
                 run_child=self._exec,
                 cache=self.cache,
+                stats=self.push_stats,
             )
 
         if isinstance(plan, SetOp):

@@ -2,69 +2,111 @@
 
 Runs a :class:`~repro.plan.rewrite.PushedLineageQuery` — a
 ``[Project?][GroupBy?][Select*]`` tree over one
-:class:`~repro.plan.logical.LineageScan` or over a
-:class:`~repro.plan.logical.HashJoin` with lineage-backed input(s) —
-without ever materializing the traced subset:
+:class:`~repro.plan.logical.LineageScan` or over a flattened **chain**
+(or snowflake tree) of hash equi-joins with lineage-backed leaves —
+without ever materializing the traced subset *or any intermediate join
+output*:
 
 1. resolve the traced rid array(s) against the result registry
    (:func:`repro.exec.lineage_scan.resolve_scan_source`, so every
    schema-drift and shrink guard of the materializing path applies);
 2. evaluate pushed predicates on rid-gathered slices of **only the
    predicates' columns**, narrowing the rid arrays to survivors;
-3. for a join core, gather **only the join keys** on each lineage side,
-   probe the shared hash-join kernel on those narrow slices
-   (:func:`~repro.exec.vector.join.compute_matches_narrow`), and gather
-   the remaining referenced columns only at rids that actually matched;
+3. for a join core, probe the chain hop by hop: each hop gathers **only
+   its join keys** through the per-leaf position arrays accumulated so
+   far (:func:`~repro.exec.vector.join.compute_matches_oriented`),
+   picks its hash-build side from cardinality statistics
+   (:func:`~repro.substrate.stats.choose_build_side` — the pk-fk fast
+   probe when one side's keys are known unique, e.g. a lineage scan
+   over a dimension table), and composes the match arrays into the
+   position arrays — a join output row is represented as one position
+   per leaf, never as materialized payload;
 4. gather the columns the output actually needs — group keys and
    aggregate arguments, projection inputs, or (predicate-only trees)
-   the full source schema — at the *surviving* rids only, and feed the
-   aggregation / DISTINCT kernels that narrow slice table
+   the full core schema — at the *final surviving* positions only, and
+   feed the aggregation / DISTINCT kernels that narrow slice table
    (:func:`~repro.exec.vector.groupby.execute_groupby` /
    :func:`~repro.exec.vector.groupby.execute_distinct`).
 
 Both backends funnel through :func:`execute_pushed` — exactly like
 :func:`~repro.exec.lineage_scan.execute_lineage_scan` — so the pushed
-path is backend-agnostic by construction.  ``run_child`` hands the
-non-lineage side of a pushed join back to the calling backend's own
-recursion (so e.g. a derived-table join input executes — and possibly
-pushes — exactly as it would outside the rewrite), and ``next_key``
-consumes the backend's pre-order occurrence keys, one per lineage leaf.
+path is backend-agnostic by construction.  ``run_child`` hands plain
+(non-lineage) chain leaves back to the calling backend's own recursion
+(so e.g. a derived-table join input executes — and possibly pushes —
+exactly as it would outside the rewrite), and ``next_key`` consumes the
+backend's pre-order occurrence keys, one per lineage leaf.
 
 Output rows *and* captured lineage are bit-identical to the
 materializing path: composing the scan's rid-array lineage with a
 selection's local rid array *is* the filtered rid array, so
 :func:`~repro.exec.lineage_scan.scan_node_lineage` over the surviving
 rids equals the materialized path's ``compose_node(select, scan)``;
-joins compose the probe's match arrays through the same
-:func:`~repro.exec.vector.join.join_lineage_locals` /
+every chain hop composes its (canonical-order) match arrays through the
+same :func:`~repro.exec.vector.join.join_lineage_locals` /
 :func:`~repro.lineage.composer.merge_binary` calls the vector executor
-makes, and aggregation / DISTINCT stages compose through the same
-:func:`~repro.lineage.composer.compose_node`.  The property suites
-(``tests/property/test_prop_late_mat.py``,
-``tests/property/test_prop_late_mat_join.py``) assert this equivalence
-over random trees on both backends.
+makes — a swapped build side re-sorts its matches back into canonical
+probe order first — and aggregation / DISTINCT stages compose through
+the same :func:`~repro.lineage.composer.compose_node`.  The property
+suites (``tests/property/test_prop_late_mat.py``,
+``tests/property/test_prop_late_mat_join.py``,
+``tests/property/test_prop_late_mat_chain.py``) assert this equivalence
+over random trees and chains on both backends.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SchemaError
 from ..lineage.cache import LineageResolutionCache
 from ..lineage.capture import CaptureConfig
-from ..lineage.composer import NodeLineage, compose_node
-from ..plan.logical import LogicalPlan
-from ..plan.rewrite import PushedJoinSide, PushedLineageQuery
+from ..lineage.composer import NodeLineage, compose_node, merge_binary
+from ..lineage.indexes import NO_MATCH, RidArray
+from ..plan.logical import LogicalPlan, Scan, Select
+from ..plan.rewrite import PushedJoin, PushedJoinHop, PushedJoinSide, PushedLineageQuery
 from ..plan.schema import infer_expr_type, infer_schema, join_output_fields
 from ..storage.catalog import Catalog
 from ..storage.table import ColumnType, Schema, Table
+from ..substrate.stats import (
+    UNIQUENESS_PROBE_MAX_ROWS,
+    JoinSideStats,
+    choose_build_side,
+)
 from .lineage_scan import resolve_scan_source, scan_node_lineage
 
 #: Executes one plan subtree through the calling backend's own recursion
-#: (used for the non-lineage side of a pushed join).
+#: (used for the plain, non-lineage leaves of a pushed join chain).
 RunChild = Callable[[LogicalPlan], Tuple[Table, NodeLineage]]
+
+
+@dataclass
+class PushedStats:
+    """Runtime decisions of one execution's pushed cores, surfaced by the
+    executors as ``timings`` counters so tests and benchmarks can assert
+    *what* ran (chain flattening, build-side swaps, detected pk-fk
+    probes) without timing anything."""
+
+    chain_hops: int = 0  # joins flattened beyond the first, per core
+    build_swaps: int = 0  # hops that built on the plan-right side
+    pkfk_detected: int = 0  # hops upgraded to the pk-fk probe by stats
+
+
+def fold_push_stats(timings: Dict[str, float], stats: PushedStats) -> None:
+    """Surface a run's pushed-chain decisions as ``timings`` counters
+    (both backends call this): ``late_mat_chain_hops`` counts joins
+    flattened beyond each core's first (PR 4 materialized at those
+    hops), ``late_mat_build_swaps`` hops that built on the plan-right
+    side, and ``late_mat_pkfk_detected`` hops upgraded to the pk-fk
+    probe by column statistics alone."""
+    if stats.chain_hops:
+        timings["late_mat_chain_hops"] = float(stats.chain_hops)
+    if stats.build_swaps:
+        timings["late_mat_build_swaps"] = float(stats.build_swaps)
+    if stats.pkfk_detected:
+        timings["late_mat_pkfk_detected"] = float(stats.pkfk_detected)
 
 
 def _slice_names(source: Table, columns) -> List[str]:
@@ -95,37 +137,165 @@ def _gather(source: Table, rids: np.ndarray, names: Sequence[str]) -> Table:
 
 
 class _JoinInput:
-    """One resolved input of a pushed join: either a lineage side held as
-    ``(source, rids)`` — rows are *never* materialized here, payload
-    columns are gathered through ``rids`` at probe-matched positions
-    only — or a plain side already executed to a table."""
+    """One resolved leaf of a pushed join chain: either a lineage leaf
+    held as ``(source, rids)`` — rows are *never* materialized here,
+    payload columns are gathered through ``rids`` at chain-surviving
+    positions only — or a plain leaf already executed to a table.
 
-    __slots__ = ("source", "rids", "table", "node")
+    ``base_table`` names the catalog relation the leaf's row *positions*
+    index into (the traced base table of a backward scan, or the scanned
+    table of a plain ``[Select*] Scan`` leaf); the chain executor uses it
+    to consult column statistics for build-side and pk-fk decisions.
+    ``None`` means no base-table statistics apply (forward scans, derived
+    tables, nested plans).
+    """
 
-    def __init__(self, source=None, rids=None, table=None, node=None):
+    __slots__ = ("source", "rids", "table", "node", "base_table")
+
+    def __init__(self, source=None, rids=None, table=None, node=None, base_table=None):
         self.source = source
         self.rids = rids
         self.table = table
         self.node = node
+        self.base_table = base_table
 
     @property
     def schema(self) -> Schema:
-        # The *full* side schema: join-output renaming must see every
+        # The *full* leaf schema: join-output renaming must see every
         # column, exactly as the materializing path's subset table would.
         return (self.source if self.table is None else self.table).schema
 
-    def key_column(self, name: str) -> np.ndarray:
-        """A join-key column, rid-gathered for lineage sides."""
+    @property
+    def num_rows(self) -> int:
         if self.table is not None:
-            return self.table.column(name)
-        return self.source.column(name)[self.rids]
+            return self.table.num_rows
+        return int(self.rids.shape[0])
 
-    def output_column(self, name: str, matched: np.ndarray) -> np.ndarray:
-        """A payload column at probe-matched side positions only — the
-        late gather: unmatched rows never surface their payload."""
-        if self.table is not None:
-            return self.table.column(name)[matched]
-        return self.source.column(name)[self.rids[matched]]
+
+class _ChainState:
+    """A (partially joined) chain node held in the position domain.
+
+    Rather than materializing a join output, the chain executor carries
+    one position array per underlying leaf: output row ``i`` of this
+    node is the combination of ``positions[k][i]`` for every leaf ``k``
+    (``None`` = identity, a leaf not yet joined or filtered).  Columns
+    are gathered through these arrays on demand — join keys per hop,
+    predicate slices per pushed ``Select``, payload only once at the
+    chain root — so unmatched rows never surface any payload and
+    intermediate hops move nothing but ``int64`` positions.
+    """
+
+    __slots__ = ("inputs", "positions", "num_rows", "schema", "origins", "node", "_index")
+
+    def __init__(
+        self,
+        inputs: List[_JoinInput],
+        positions: List[Optional[np.ndarray]],
+        num_rows: int,
+        schema: Schema,
+        origins: List[Tuple[int, str]],
+        node: NodeLineage,
+    ):
+        self.inputs = inputs
+        self.positions = positions
+        self.num_rows = num_rows
+        self.schema = schema
+        self.origins = origins  # per output column: (leaf index, leaf column)
+        self.node = node
+        self._index: Dict[str, int] = {n: i for i, n in enumerate(schema.names)}
+
+    @classmethod
+    def for_leaf(cls, leaf: _JoinInput) -> "_ChainState":
+        schema = leaf.schema
+        return cls(
+            [leaf],
+            [None],
+            leaf.num_rows,
+            schema,
+            [(0, name) for name in schema.names],
+            leaf.node,
+        )
+
+    def column_values(self, name: str) -> np.ndarray:
+        """One output column of this chain node, gathered through the
+        leaf's position array (never more rows than currently survive)."""
+        idx = self._index.get(name)
+        if idx is None:
+            # Canonical unknown-column error, as the materializing path's
+            # operators raise over the full join output.
+            raise SchemaError(
+                f"unknown column {name!r}; available: {self.schema.names}"
+            )
+        leaf_idx, src = self.origins[idx]
+        leaf = self.inputs[leaf_idx]
+        pos = self.positions[leaf_idx]
+        if leaf.table is not None:
+            values = leaf.table.column(src)
+            return values if pos is None else values[pos]
+        base = leaf.source.column(src)
+        return base[leaf.rids if pos is None else leaf.rids[pos]]
+
+    def key_stats(self, keys: Sequence[str], catalog: Catalog) -> JoinSideStats:
+        """Cardinality + key-uniqueness statistics for this node as one
+        join input.  Uniqueness is only derivable for single-leaf nodes
+        (joins may fan rows out) whose positions are subsets of a catalog
+        base table: a unique base column stays unique under any subset
+        gather, which covers the ``Lb``-over-dimension-table fast path.
+        """
+        unique: Optional[bool] = None
+        if len(self.inputs) == 1 and self.inputs[0].base_table is not None:
+            base = self.inputs[0].base_table
+            if catalog.get(base).num_rows <= UNIQUENESS_PROBE_MAX_ROWS:
+                # Deriving uniqueness scans the base column once per
+                # epoch; keep that cold hit out of interactive statements
+                # over huge relations (cardinality still decides there).
+                for key in keys:
+                    idx = self._index.get(key)
+                    if idx is None:
+                        continue  # the probe will raise the canonical error
+                    stats = catalog.column_stats(base, self.origins[idx][1])
+                    if stats.is_unique:
+                        unique = True
+                        break
+        return JoinSideStats(rows=self.num_rows, keys_unique=unique)
+
+    def narrow(self, kept: np.ndarray, node: NodeLineage) -> "_ChainState":
+        """Keep only the listed output rows (a pushed ``Select``)."""
+        return _ChainState(
+            self.inputs,
+            [kept if p is None else p[kept] for p in self.positions],
+            int(kept.shape[0]),
+            self.schema,
+            self.origins,
+            node,
+        )
+
+
+def _plain_base_table(plan: LogicalPlan) -> Optional[str]:
+    """The catalog table behind a plain ``[Select*] Scan`` leaf (filters
+    preserve column uniqueness), else ``None``."""
+    while isinstance(plan, Select):
+        plan = plan.child
+    return plan.table if isinstance(plan, Scan) else None
+
+
+class _ChainContext:
+    """Execution-scoped handles threaded through the chain recursion."""
+
+    __slots__ = (
+        "catalog", "results", "config", "params",
+        "next_key", "run_child", "cache", "stats",
+    )
+
+    def __init__(self, catalog, results, config, params, next_key, run_child, cache, stats):
+        self.catalog = catalog
+        self.results = results
+        self.config = config
+        self.params = params
+        self.next_key = next_key
+        self.run_child = run_child
+        self.cache = cache
+        self.stats = stats
 
 
 def _resolve_scan_side(
@@ -137,7 +307,7 @@ def _resolve_scan_side(
     params: Optional[dict],
     cache: Optional[LineageResolutionCache],
 ) -> _JoinInput:
-    """Resolve a lineage-backed join side to ``(source, surviving rids)``
+    """Resolve a lineage-backed chain leaf to ``(source, surviving rids)``
     plus its node lineage, filtering in the rid domain (identical to the
     linear pushed path's scan+Select handling)."""
     from ..expr.ast import evaluate
@@ -156,89 +326,182 @@ def _resolve_scan_side(
     node = scan_node_lineage(
         side.scan, key, rids, source_name, domain, config, epoch
     )
-    return _JoinInput(source=source, rids=rids, node=node)
+    return _JoinInput(
+        source=source,
+        rids=rids,
+        node=node,
+        # Positions of a backward scan index the traced base relation, so
+        # that relation's column statistics transfer to the gathered keys.
+        base_table=source_name if side.scan.direction == "backward" else None,
+    )
 
 
-def _run_join(
-    pushed: PushedLineageQuery,
-    catalog: Catalog,
-    results: Optional[Mapping[str, object]],
+def _chain_select(
+    state: _ChainState,
+    predicate,
     config: CaptureConfig,
     params: Optional[dict],
-    next_key: Callable[[], str],
-    run_child: RunChild,
-    cache: Optional[LineageResolutionCache],
-) -> Tuple[Table, NodeLineage]:
-    """Execute a pushed join core: narrow key probe, late payload gather,
-    and the same local-lineage merge the vector executor performs."""
-    from .vector.join import compute_matches_narrow, join_lineage_locals
-    from ..lineage.composer import merge_binary
+) -> _ChainState:
+    """A pushed ``Select`` over a chain node, in the position domain:
+    gather only the predicate's columns, narrow every leaf's positions to
+    the passing rows, and compose the same 1-to-1 selection locals the
+    materializing path's :func:`~repro.exec.vector.select.execute_select`
+    builds."""
+    from ..expr.ast import evaluate
 
-    pj = pushed.join
-    join = pj.join
-    inputs: List[_JoinInput] = []
-    # Strict left-then-right order: occurrence keys are assigned in leaf
-    # pre-order, and run_child consumes the plain side's keys itself.
-    for side in (pj.left, pj.right):
-        if side.scan is not None:
-            inputs.append(
-                _resolve_scan_side(
-                    side, next_key(), catalog, results, config, params, cache
-                )
-            )
-        else:
-            table, node = run_child(side.plan)
-            inputs.append(_JoinInput(table=table, node=node))
-    left, right = inputs
+    referenced = predicate.columns()
+    names = [n for n in state.schema.names if n in referenced]
+    missing = sorted(set(referenced) - set(state.schema.names))
+    if missing:
+        raise SchemaError(
+            f"unknown column {missing[0]!r}; available: {state.schema.names}"
+        )
+    if not names:
+        # Constant predicate: one cheap stand-in column carries the rows.
+        names = _slice_names(_StandInSchema(state.schema), referenced)
+    pred_table = Table(
+        {n: state.column_values(n) for n in names},
+        Schema([(n, state.schema.type_of(n)) for n in names]),
+    )
+    mask = np.asarray(evaluate(predicate, pred_table, params), dtype=bool)
+    kept = np.nonzero(mask)[0].astype(np.int64)
+    local_bw = None
+    local_fw = None
+    if config.enabled:
+        if config.backward:
+            local_bw = RidArray(kept.copy())
+        if config.forward:
+            forward = np.full(mask.shape[0], NO_MATCH, dtype=np.int64)
+            forward[kept] = np.arange(kept.shape[0], dtype=np.int64)
+            local_fw = RidArray(forward)
+    node = compose_node(int(kept.shape[0]), state.node, local_bw, local_fw)
+    return state.narrow(kept, node)
 
-    matches = compute_matches_narrow(
-        [left.key_column(k) for k in join.left_keys],
-        [right.key_column(k) for k in join.right_keys],
+
+class _StandInSchema:
+    """Adapter exposing a chain node's schema to :func:`_slice_names`
+    (which only reads ``.schema`` and raises through ``.column``)."""
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def column(self, name: str):
+        raise SchemaError(
+            f"unknown column {name!r}; available: {self.schema.names}"
+        )
+
+
+def _run_hop(hop: PushedJoinHop, ctx: _ChainContext) -> _ChainState:
+    """Execute one chain hop (leaf or join) to a position-domain node."""
+    if isinstance(hop, PushedJoin):
+        left = _run_hop(hop.left, ctx)
+        right = _run_hop(hop.right, ctx)
+        state = _join_states(hop, left, right, ctx)
+        if hop.predicate is not None:
+            state = _chain_select(state, hop.predicate, ctx.config, ctx.params)
+        return state
+    if hop.scan is not None:
+        leaf = _resolve_scan_side(
+            hop, ctx.next_key(), ctx.catalog, ctx.results,
+            ctx.config, ctx.params, ctx.cache,
+        )
+    else:
+        table, node = ctx.run_child(hop.plan)
+        leaf = _JoinInput(
+            table=table, node=node, base_table=_plain_base_table(hop.plan)
+        )
+    return _ChainState.for_leaf(leaf)
+
+
+def _join_states(
+    hop: PushedJoin, left: _ChainState, right: _ChainState, ctx: _ChainContext
+) -> _ChainState:
+    """One hash-join hop over two chain nodes: narrow key probe with a
+    stats-chosen build side, position composition, and the same
+    local-lineage merge the vector executor performs."""
+    from .vector.join import compute_matches_oriented, join_lineage_locals
+
+    join = hop.join
+    left_keys = [left.column_values(k) for k in join.left_keys]
+    right_keys = [right.column_values(k) for k in join.right_keys]
+    decision = choose_build_side(
+        left.key_stats(join.left_keys, ctx.catalog),
+        right.key_stats(join.right_keys, ctx.catalog),
         join.pkfk,
+    )
+    if ctx.stats is not None:
+        if decision.swapped:
+            ctx.stats.build_swaps += 1
+        if decision.pkfk and not join.pkfk:
+            ctx.stats.pkfk_detected += 1
+    matches = compute_matches_oriented(
+        left_keys, right_keys, decision.build_left, decision.pkfk
     )
 
     fields = join_output_fields(left.schema, right.schema)
-    src_names = left.schema.names + right.schema.names
-    out_names = [name for name, _, _ in fields]
-    needed = None if pushed.columns is None else set(pushed.columns)
+    n_left_cols = len(left.schema.names)
+    origins: List[Tuple[int, str]] = []
+    for i in range(len(fields)):
+        if i < n_left_cols:
+            origins.append(left.origins[i])
+        else:
+            leaf_idx, src = right.origins[i - n_left_cols]
+            origins.append((leaf_idx + len(left.inputs), src))
+    positions = [
+        matches.out_left if p is None else p[matches.out_left]
+        for p in left.positions
+    ] + [
+        matches.out_right if p is None else p[matches.out_right]
+        for p in right.positions
+    ]
+
+    # Lineage composes per hop exactly as the materializing executors do
+    # (canonical-order matches, plan-level pkfk flag), so a chain's
+    # captured lineage is the same merge_binary fold the fallback builds.
+    l_bw, l_fw, r_bw, r_fw = join_lineage_locals(matches, ctx.config, join.pkfk)
+    node = merge_binary(
+        matches.num_out, left.node, right.node, l_bw, l_fw, r_bw, r_fw
+    )
+    return _ChainState(
+        left.inputs + right.inputs,
+        positions,
+        matches.num_out,
+        Schema([(n, t) for n, t, _ in fields]),
+        origins,
+        node,
+    )
+
+
+def _gather_chain_output(state: _ChainState, columns) -> Table:
+    """Materialize the chain's narrow output table: only the referenced
+    columns (or, for ``columns=None``, the full core schema), gathered at
+    the final surviving positions only — the late gather."""
+    needed = None if columns is None else set(columns)
+    names = state.schema.names
     if needed is not None:
-        missing = sorted(needed - set(out_names))
+        missing = sorted(needed - set(names))
         if missing:
             # Same canonical error the materializing path raises when an
             # operator evaluates the name over the full join output.
             raise SchemaError(
-                f"unknown column {missing[0]!r}; available: {out_names}"
+                f"unknown column {missing[0]!r}; available: {names}"
             )
-    n_left_cols = len(left.schema.names)
-    keep = [
-        i
-        for i in range(len(fields))
-        if needed is None or fields[i][0] in needed
-    ]
+    keep = [n for n in names if needed is None or n in needed]
     if not keep:
-        # Nothing referenced (SELECT COUNT(*) over a join): one cheap
+        # Nothing referenced (SELECT COUNT(*) over a chain): one cheap
         # stand-in column carries the row count.
         keep = [
             next(
-                (i for i, (_, t, _) in enumerate(fields) if t is not ColumnType.STR),
-                0,
+                (n for n, t in state.schema.fields if t is not ColumnType.STR),
+                names[0],
             )
         ]
-    columns = {}
-    out_fields = []
-    for i in keep:
-        out_name, ctype, _ = fields[i]
-        side = left if i < n_left_cols else right
-        matched = matches.out_left if i < n_left_cols else matches.out_right
-        columns[out_name] = side.output_column(src_names[i], matched)
-        out_fields.append((out_name, ctype))
-    out = Table(columns, Schema(out_fields))
-
-    l_bw, l_fw, r_bw, r_fw = join_lineage_locals(matches, config, join.pkfk)
-    node = merge_binary(
-        out.num_rows, left.node, right.node, l_bw, l_fw, r_bw, r_fw
+    return Table(
+        {n: state.column_values(n) for n in keep},
+        Schema([(n, state.schema.type_of(n)) for n in keep]),
     )
-    return out, node
 
 
 def execute_pushed(
@@ -250,29 +513,36 @@ def execute_pushed(
     next_key: Callable[[], str],
     run_child: RunChild,
     cache: Optional[LineageResolutionCache] = None,
+    stats: Optional[PushedStats] = None,
 ) -> Tuple[Table, NodeLineage]:
     """Execute a pushed tree; returns ``(output table, node lineage)``.
 
     ``next_key`` yields the backend's pre-order occurrence keys (one per
-    lineage-scan leaf); ``run_child`` executes a non-lineage join input
-    through the backend's own recursion.
+    lineage-scan leaf); ``run_child`` executes a plain chain leaf through
+    the backend's own recursion; ``stats`` (when provided) accumulates
+    the run's chain-hop / build-side / pk-fk decisions for the executors'
+    ``timings`` counters.
     """
     from ..expr.ast import evaluate
     from .vector.groupby import execute_distinct, execute_groupby
 
     if pushed.join is not None:
-        table, node = _run_join(
-            pushed, catalog, results, config, params, next_key, run_child, cache
+        if stats is not None:
+            stats.chain_hops += pushed.chain_hops
+        ctx = _ChainContext(
+            catalog, results, config, params, next_key, run_child, cache, stats
         )
+        state = _run_hop(pushed.join, ctx)
         if pushed.predicate is not None:
-            # The residual WHERE binds above the join; run it over the
-            # narrow join output with standard selection lineage.
-            from .vector.select import execute_select
-
-            table, local_bw, local_fw = execute_select(
-                table, pushed.predicate, config, params
-            )
-            node = compose_node(table.num_rows, node, local_bw, local_fw)
+            # The residual WHERE binds above the chain; evaluate it in
+            # the position domain (only its columns gathered, standard
+            # selection lineage) so the late gather below sees only the
+            # final survivors.
+            state = _chain_select(state, pushed.predicate, config, params)
+        table = _gather_chain_output(state, pushed.columns)
+        node = state.node
+        if pushed.groupby is None and pushed.project is None:
+            return table, node
     else:
         scan = pushed.scan
         source, rids, source_name, domain, epoch = resolve_scan_source(

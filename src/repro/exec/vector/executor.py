@@ -42,7 +42,7 @@ from ...plan.logical import (
     assign_source_keys,
     source_leaves,
 )
-from ..late_mat import execute_pushed
+from ..late_mat import PushedStats, execute_pushed, fold_push_stats
 from ..lineage_scan import execute_lineage_scan
 from ...lineage.cache import LineageResolutionCache
 from ...plan.rewrite import RewriteIndex, match_late_materialization
@@ -102,6 +102,7 @@ class _RunState:
     scan_cursor: int = 0
     rewrites: Optional[RewriteIndex] = None
     cache: Optional[LineageResolutionCache] = None
+    push_stats: PushedStats = field(default_factory=PushedStats)
 
     def next_key(self, scan_keys: List[str]) -> str:
         key = scan_keys[self.scan_cursor]
@@ -166,6 +167,7 @@ class VectorExecutor:
             timings["late_mat_joins"] = float(state.pushed_joins)
         if state.pushed_distincts:
             timings["late_mat_distincts"] = float(state.pushed_distincts)
+        fold_push_stats(timings, state.push_stats)
         return ExecResult(table, lineage, timings)
 
     # -- helpers -------------------------------------------------------------------
@@ -201,6 +203,7 @@ class VectorExecutor:
                 next_key=lambda: state.next_key(scan_keys),
                 run_child=lambda p: self._run(p, config, params, scan_keys, state),
                 cache=state.cache,
+                stats=state.push_stats,
             )
 
         if isinstance(plan, Scan):

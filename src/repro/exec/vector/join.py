@@ -136,6 +136,46 @@ def compute_matches_narrow(
     return probe_mn(left_ids, right_ids, num_keys, num_left)
 
 
+def compute_matches_oriented(
+    left_key_cols: Sequence[np.ndarray],
+    right_key_cols: Sequence[np.ndarray],
+    build_left: bool,
+    build_pkfk: bool,
+) -> JoinMatches:
+    """Probe with an *explicit* build side, emitting matches in the
+    canonical build-left order regardless of which side actually built.
+
+    The late-materializing chain executor picks its build side per hop
+    from cardinality statistics
+    (:func:`repro.substrate.stats.choose_build_side`); output order must
+    nevertheless stay bit-identical to the canonical probe — the right
+    (probe) side row-major, bucket entries ascending — because the
+    materializing fallback, lineage locals
+    (:func:`contiguous_forward_right` relies on that contiguity), and
+    the plan-equivalence harnesses all assume it.  A swapped probe emits
+    left-row-major order, so its matches are restored with one stable
+    sort by right row: within one right row, left matches then appear in
+    input order, i.e. ascending — exactly the canonical bucket order.
+
+    ``build_pkfk=True`` uses the pk-fk probe (position array instead of
+    CSR buckets, paper Section 3.2.4) and requires the build side's keys
+    to be unique — callers assert that via plan flags or column stats.
+    """
+    left_ids, right_ids, num_keys = _key_ids(left_key_cols, right_key_cols)
+    num_left = int(left_key_cols[0].shape[0])
+    num_right = int(right_key_cols[0].shape[0])
+    if build_left:
+        if build_pkfk:
+            return probe_pkfk(left_ids, right_ids, num_keys, num_left)
+        return probe_mn(left_ids, right_ids, num_keys, num_left)
+    probe = probe_pkfk if build_pkfk else probe_mn
+    swapped = probe(right_ids, left_ids, num_keys, num_right)
+    out_left = swapped.out_right  # probe side rows == canonical left
+    out_right = swapped.out_left  # build side rows == canonical right
+    order = np.argsort(out_right, kind="stable")
+    return JoinMatches(out_left[order], out_right[order], num_left, num_right)
+
+
 def inject_forward_index(
     targets: np.ndarray,
     num_keys: int,

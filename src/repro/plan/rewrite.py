@@ -10,12 +10,16 @@ never pay: those operate directly on the rid set and touch only the
 columns the interaction reads.
 
 :func:`match_late_materialization` is the rewrite decision.  It
-recognizes a *tree* of pushable operators over lineage scans::
+recognizes a *tree* of pushable operators over lineage scans, where the
+core may be an entire multi-join chain (or snowflake tree) of hash
+equi-joins flattened into one unit::
 
     [Project (bag or DISTINCT)]  >  [GroupBy]  >  [Select]*  >  Core
     Core := LineageScan
-          | HashJoin(Side, Side)     -- at least one lineage-backed side
-    Side := [Select]*  >  LineageScan
+          | Join
+    Join := HashJoin(Hop, Hop)       -- >= 1 lineage-backed leaf below
+    Hop  := [Select]*  >  LineageScan
+          | [Select]*  >  Join       -- nested chain / snowflake hop
           | any other plan           -- executed by the backend as usual
 
 and compiles it into a :class:`PushedLineageQuery`: a description both
@@ -24,9 +28,13 @@ executors hand to :func:`repro.exec.late_mat.execute_pushed`, which
 * resolves the traced rid array(s) exactly like the materializing path
   (same registry lookup, same schema-drift and shrink guards),
 * gathers **only the columns the stack reads** at those rid positions —
-  for joins, only each side's join keys plus the columns the enclosing
-  stack references, and the non-key payload only at rids that actually
-  matched the probe,
+  for joins, only each hop's join keys plus the columns the enclosing
+  stack references, and the non-key payload only at rids that survived
+  **every** hop of the chain (intermediate join outputs are never
+  materialized — each hop narrows per-leaf position arrays instead),
+* picks each hop's hash-build side from cardinality statistics
+  (:func:`repro.substrate.stats.choose_build_side`), taking the pk-fk
+  fast probe when one side's keys are known unique,
 * evaluates predicates on the rid-gathered slices,
 * feeds the aggregation / DISTINCT kernels the (narrow) slice table,
 * deduplicates ``DISTINCT`` output in the rid domain (group lineage over
@@ -47,9 +55,13 @@ returns ``None`` and the materialize-then-scan path runs instead:
   or a derived-table join input like ``FROM (SELECT * FROM Lb(...)
   WHERE p) AS s CROSS JOIN t``, is still pushed when that subtree
   matches;
-* a ``HashJoin`` neither of whose inputs is a ``[Select*] LineageScan``
-  chain (the non-lineage side of a matched join is executed by the
-  backend's own recursion, which may in turn push subtrees of it);
+* a ``HashJoin`` tree none of whose leaves is a ``[Select*]
+  LineageScan`` chain (non-lineage hops of a matched chain — plain
+  scans, derived tables, lineage-free join subtrees — are executed by
+  the backend's own recursion, which may in turn push subtrees);
+* a projection *between* joins (only ``Select`` chains fold mid-chain;
+  a derived table that renames or computes columns becomes a plain
+  hop);
 * anything that is not the Project/GroupBy/Select tree above.
 
 The rewrite is purely structural — no catalog or registry access — so
@@ -64,7 +76,7 @@ workloads pay N times per brush).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from ..expr.ast import BinOp, Expr
 from .logical import (
@@ -80,28 +92,52 @@ from .logical import (
 
 @dataclass(frozen=True)
 class PushedJoinSide:
-    """One input of a pushed join.
+    """One leaf input of a pushed join chain.
 
-    A *lineage-backed* side (``scan`` set) is a ``[Select*] LineageScan``
+    A *lineage-backed* leaf (``scan`` set) is a ``[Select*] LineageScan``
     chain the pushed executor runs in the rid domain: resolve rids, filter
     on rid-gathered predicate slices, gather join keys only, and gather
-    payload columns only at probe-matched rids.  A plain side (``scan``
-    is ``None``) is the untouched subtree ``plan``, executed through the
-    backend's own recursion (which may push subtrees of it in turn).
+    payload columns only at rids that survived every hop.  A plain leaf
+    (``scan`` is ``None``) is the untouched subtree ``plan``, executed
+    through the backend's own recursion (which may push subtrees of it in
+    turn).
     """
 
     scan: Optional[LineageScan]
     predicate: Optional[Expr]
     plan: LogicalPlan
 
+    @property
+    def num_joins(self) -> int:
+        return 0
+
 
 @dataclass(frozen=True)
 class PushedJoin:
-    """A hash equi-join core with at least one lineage-backed input."""
+    """One hash equi-join hop of a flattened chain (or snowflake tree)
+    with at least one lineage-backed leaf somewhere below.
+
+    ``left`` / ``right`` are either leaves (:class:`PushedJoinSide`) or
+    nested hops — ``Lb ⋈ d1 ⋈ d2`` matches as
+    ``PushedJoin(PushedJoin(Lb, d1), d2)`` and executes as **one** core
+    that never materializes the inner join's output.  ``predicate`` is
+    the conjunction of ``Select`` nodes folded directly above this hop
+    (a derived-table hop like ``(SELECT * FROM Lb(..) JOIN d WHERE p) AS
+    s JOIN d2``), evaluated over this hop's output columns in the
+    position domain.
+    """
 
     join: HashJoin
-    left: PushedJoinSide
-    right: PushedJoinSide
+    left: "PushedJoinHop"
+    right: "PushedJoinHop"
+    predicate: Optional[Expr] = None
+
+    @property
+    def num_joins(self) -> int:
+        return 1 + self.left.num_joins + self.right.num_joins
+
+
+PushedJoinHop = Union[PushedJoin, PushedJoinSide]
 
 
 @dataclass(frozen=True)
@@ -139,6 +175,12 @@ class PushedLineageQuery:
     def has_distinct(self) -> bool:
         return self.project is not None and self.project.distinct
 
+    @property
+    def chain_hops(self) -> int:
+        """Joins flattened into the core beyond the first — the hops
+        PR 4's single-join push would have materialized at."""
+        return self.join.num_joins - 1 if self.join is not None else 0
+
 
 def _fold_selects(node: LogicalPlan) -> Tuple[Optional[Expr], LogicalPlan]:
     """Fold a chain of Select nodes into one conjunction (child order:
@@ -154,11 +196,32 @@ def _fold_selects(node: LogicalPlan) -> Tuple[Optional[Expr], LogicalPlan]:
     return predicate, node
 
 
-def _match_join_side(plan: LogicalPlan) -> PushedJoinSide:
+def _match_join_hop(plan: LogicalPlan) -> PushedJoinHop:
+    """One input of a join hop: a lineage leaf, a nested (lineage-backed)
+    join hop, or — anything else — a plain leaf run through the backend."""
     predicate, node = _fold_selects(plan)
     if isinstance(node, LineageScan):
         return PushedJoinSide(scan=node, predicate=predicate, plan=plan)
+    if isinstance(node, HashJoin):
+        nested = _match_join(node, predicate)
+        if nested is not None:
+            return nested
     return PushedJoinSide(scan=None, predicate=None, plan=plan)
+
+
+def _hop_has_lineage(hop: PushedJoinHop) -> bool:
+    # A PushedJoin only matches when lineage-backed, so nesting implies it.
+    return isinstance(hop, PushedJoin) or hop.scan is not None
+
+
+def _match_join(join: HashJoin, predicate: Optional[Expr]) -> Optional[PushedJoin]:
+    """Flatten a HashJoin tree into chain hops; ``None`` when no leaf
+    below is lineage-backed (nothing to late-materialize)."""
+    left = _match_join_hop(join.left)
+    right = _match_join_hop(join.right)
+    if not (_hop_has_lineage(left) or _hop_has_lineage(right)):
+        return None
+    return PushedJoin(join=join, left=left, right=right, predicate=predicate)
 
 
 def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery]:
@@ -179,11 +242,9 @@ def match_late_materialization(plan: LogicalPlan) -> Optional[PushedLineageQuery
 
     join: Optional[PushedJoin] = None
     if isinstance(node, HashJoin):
-        left = _match_join_side(node.left)
-        right = _match_join_side(node.right)
-        if left.scan is None and right.scan is None:
-            return None  # no lineage input: nothing to late-materialize
-        join = PushedJoin(join=node, left=left, right=right)
+        join = _match_join(node, None)
+        if join is None:
+            return None  # no lineage leaf: nothing to late-materialize
     elif isinstance(node, LineageScan):
         if project is None and groupby is None and predicate is None:
             return None  # bare scan: nothing to push

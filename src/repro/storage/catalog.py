@@ -20,9 +20,10 @@ positions, same identity), which is exactly what
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..errors import CatalogError
+from ..substrate.stats import ColumnStats, collect_column_stats
 from .table import Table
 
 
@@ -32,6 +33,7 @@ class Catalog:
     def __init__(self):
         self._tables: Dict[str, Table] = {}
         self._epochs: Dict[str, int] = {}
+        self._column_stats: Dict[Tuple[str, int, str], ColumnStats] = {}
 
     def register(
         self,
@@ -46,6 +48,8 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         replacing = name in self._tables and self._tables[name] is not table
         self._tables[name] = table
+        if replacing:
+            self._evict_column_stats(name)
         if replacing and not preserve_rids:
             self._epochs[name] = self._epochs.get(name, 0) + 1
 
@@ -53,9 +57,28 @@ class Catalog:
         if name not in self._tables:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
+        self._evict_column_stats(name)
         # A later re-registration under this name is a different relation;
         # advancing here makes drop+create indistinguishable from replace.
         self._epochs[name] = self._epochs.get(name, 0) + 1
+
+    def _evict_column_stats(self, name: str) -> None:
+        for key in [k for k in self._column_stats if k[0] == name]:
+            del self._column_stats[key]
+
+    def column_stats(self, name: str, column: str) -> ColumnStats:
+        """Distinct-count / uniqueness statistics of one stored column,
+        computed once per ``(relation, epoch, column)`` and memoized —
+        the late-materializing chain executor consults this per join hop
+        to pick build sides and detect pk-fk fast paths, so repeated
+        interactive statements never re-scan the column."""
+        table = self.get(name)
+        key = (name, self.epoch(name), column)
+        stats = self._column_stats.get(key)
+        if stats is None:
+            stats = collect_column_stats(table.column(column))
+            self._column_stats[key] = stats
+        return stats
 
     def epoch(self, name: str) -> int:
         """Replacement epoch of a relation name (0 until first replaced).

@@ -11,6 +11,20 @@ it how large to pre-allocate each index.  :func:`collect_group_counts` and
 :func:`estimate_selectivity` produce hints the way the paper suggests —
 during normal query processing or from simple value-distribution
 assumptions.
+
+Join build sides
+----------------
+The same cardinality knowledge drives the late-materializing chain
+executor's per-hop **build-side decision**
+(:func:`choose_build_side`): a hash join should build on its smaller
+input, and when one side's keys are known unique (a primary key — e.g.
+the lineage side of a ``Lb(view, dim)`` scan over a dimension table) the
+probe can take the pk-fk fast path, whose backward indexes are
+pre-allocatable (paper Section 3.2.4; cost-aware binary-join ordering
+under cardinality constraints is the lever of "Worst-case Optimal Binary
+Join Algorithms under General ℓp Constraints").  Uniqueness comes from
+:class:`ColumnStats` (:func:`collect_column_stats`), memoized per
+relation epoch by :meth:`repro.storage.catalog.Catalog.column_stats`.
 """
 
 from __future__ import annotations
@@ -79,6 +93,99 @@ def estimate_selectivity(values: np.ndarray, threshold: float, lo: float, hi: fl
     if hi <= lo:
         raise ValueError("hi must exceed lo")
     return float(min(1.0, max(0.0, (threshold - lo) / (hi - lo))))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Value-distribution statistics of one stored column."""
+
+    rows: int
+    distinct: int
+
+    @property
+    def is_unique(self) -> bool:
+        """True when every value occurs exactly once (a key column):
+        any subset gather of the column is then also duplicate-free."""
+        return self.distinct == self.rows
+
+
+def collect_column_stats(values: np.ndarray) -> ColumnStats:
+    """One-pass statistics for a column (piggy-backed like the paper's
+    cardinality collection; cached per relation epoch by the catalog)."""
+    values = np.asarray(values)
+    if values.dtype == object:
+        distinct = len(set(values.tolist()))
+    else:
+        distinct = int(np.unique(values).shape[0])
+    return ColumnStats(rows=int(values.shape[0]), distinct=distinct)
+
+
+#: Caller-side budget for *deriving* key uniqueness from column
+#: statistics: computing :class:`ColumnStats` scans the whole base
+#: column once per epoch, which is fine for lookup tables but an
+#: unbounded latency spike if the cold hit lands inside an interactive
+#: statement over a huge fact relation.  Above this row count callers
+#: should report ``keys_unique=None`` (unknown) and let the cardinality
+#: rule decide — only the pk-fk fast probe is forgone, never
+#: correctness.
+UNIQUENESS_PROBE_MAX_ROWS = 1 << 18
+
+
+@dataclass(frozen=True)
+class JoinSideStats:
+    """What one hash-join input knows about itself before probing:
+    its cardinality and — when derivable from base-table statistics —
+    whether its join keys are unique (``None`` = unknown)."""
+
+    rows: int
+    keys_unique: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class BuildSideDecision:
+    """Outcome of :func:`choose_build_side` for one join hop."""
+
+    build_left: bool
+    pkfk: bool  # probe with the pk-fk fast path (build keys unique)
+    reason: str
+
+    @property
+    def swapped(self) -> bool:
+        return not self.build_left
+
+
+def choose_build_side(
+    left: JoinSideStats, right: JoinSideStats, plan_pkfk: bool = False
+) -> BuildSideDecision:
+    """The per-hop build-side decision table.
+
+    1. A plan-level ``pkfk`` flag asserts the *left* keys unique, so the
+       build stays left (the fast probe requires building on the unique
+       side).
+    2. Exactly one side known unique → build there with the pk-fk fast
+       path — this is how a unique *lineage* side (``Lb`` over a
+       dimension table) wins the pk-fk probe the plan never asserted.
+    3. Both unique → the smaller unique side (ties left).
+    4. Neither known unique → the smaller side (ties left — the
+       deterministic tie-break the unit tests pin).
+    """
+    if plan_pkfk:
+        return BuildSideDecision(True, True, "plan-pkfk")
+    unique_left = left.keys_unique is True
+    unique_right = right.keys_unique is True
+    if unique_left and unique_right:
+        if right.rows < left.rows:
+            return BuildSideDecision(False, True, "unique-both-right-smaller")
+        return BuildSideDecision(True, True, "unique-both-left")
+    if unique_left:
+        return BuildSideDecision(True, True, "unique-left")
+    if unique_right:
+        return BuildSideDecision(False, True, "unique-right")
+    if right.rows < left.rows:
+        return BuildSideDecision(False, False, "smaller-right")
+    if left.rows < right.rows:
+        return BuildSideDecision(True, False, "smaller-left")
+    return BuildSideDecision(True, False, "tie-left")
 
 
 def hints_from_lineage(lineage, relation: str, label: str) -> CardinalityHints:

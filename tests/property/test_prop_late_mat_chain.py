@@ -1,0 +1,336 @@
+"""Property tests: the flattened multi-join *chain* core is
+indistinguishable from the materialize-then-scan path — identical output
+rows *and* identical captured lineage — across Hypothesis-generated
+2–4-hop chains and snowflake trees, on both backends.
+
+This extends the single-join harness (``test_prop_late_mat_join.py``) to
+the shapes PR 4 materialized at the second hop: every generated
+statement joins a lineage scan through **two or more** hash joins, so
+the whole tree must execute as one pushed rid-domain core
+(``late_mat_chain_hops == joins - 1``).  Generated dimensions include
+m:n and missing keys, ``Lf`` leaves, both-sides-lineage chains,
+derived-table hops (plain leaves run through backend recursion),
+residual WHERE / HAVING, and DISTINCT roots.  Build sides are chosen
+per hop from column statistics at execution time, so these tests also
+pin that a swapped build (or a detected pk-fk probe) never perturbs row
+order or lineage.
+
+Runs under the shared Hypothesis profiles (``tier1`` default, the
+scheduled CI job's ``--hypothesis-profile=ci-deep`` for the deep pass).
+"""
+
+import numpy as np
+from hypothesis import given, note, settings
+from hypothesis import strategies as st
+
+from repro.api import Database, ExecOptions
+from repro.lineage.capture import CaptureMode
+
+from repro.storage import Table
+
+# Fact rows: k links to d1 (chain), m links to e1 (snowflake branch).
+fact_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # chain key k
+        st.integers(min_value=0, max_value=2),   # branch key m
+        st.integers(min_value=0, max_value=30),  # value v
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+# Dimension rows may repeat their key (m:n) or miss fact keys entirely.
+d1_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),   # key k (4 never in fact)
+        st.integers(min_value=0, max_value=2),   # link g -> d2
+        st.sampled_from(["red", "green", "blue"]),
+    ),
+    min_size=0,
+    max_size=8,
+)
+d2_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # key g (3 never in d1)
+        st.integers(min_value=0, max_value=1),   # link h -> d3
+    ),
+    min_size=0,
+    max_size=6,
+)
+d3_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # key h (2 never in d2)
+        st.sampled_from(["x", "y"]),
+    ),
+    min_size=0,
+    max_size=4,
+)
+e1_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # key m (3 never in fact)
+        st.integers(min_value=0, max_value=2),   # attribute u
+    ),
+    min_size=0,
+    max_size=5,
+)
+
+
+def _db(rows, d1, d2, d3, e1):
+    db = Database()
+    db.create_table(
+        "t",
+        Table({
+            "k": np.array([r[0] for r in rows], dtype=np.int64),
+            "m": np.array([r[1] for r in rows], dtype=np.int64),
+            "v": np.array([r[2] for r in rows], dtype=np.int64),
+        }),
+    )
+    names = np.empty(len(d1), dtype=object)
+    names[:] = [r[2] for r in d1]
+    db.create_table(
+        "d1",
+        Table({
+            "k": np.array([r[0] for r in d1], dtype=np.int64),
+            "g": np.array([r[1] for r in d1], dtype=np.int64),
+            "name": names,
+        }),
+    )
+    db.create_table(
+        "d2",
+        Table({
+            "g": np.array([r[0] for r in d2], dtype=np.int64),
+            "h": np.array([r[1] for r in d2], dtype=np.int64),
+        }),
+    )
+    labels = np.empty(len(d3), dtype=object)
+    labels[:] = [r[1] for r in d3]
+    db.create_table(
+        "d3",
+        Table({
+            "h": np.array([r[0] for r in d3], dtype=np.int64),
+            "label": labels,
+        }),
+    )
+    db.create_table(
+        "e1",
+        Table({
+            "m": np.array([r[0] for r in e1], dtype=np.int64),
+            "u": np.array([r[1] for r in e1], dtype=np.int64),
+        }),
+    )
+    db.sql(
+        "SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+        options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
+    )
+    db.sql(
+        "SELECT g, COUNT(*) AS gc FROM d1 GROUP BY g",
+        options=ExecOptions(capture=CaptureMode.INJECT, name="prevd"),
+    )
+    return db
+
+
+# One generated statement = leaf flavor + chain depth + optional
+# snowflake branch + derived-table hop + residual WHERE + root shape.
+chain_specs = st.fixed_dictionaries(
+    {
+        "leaf": st.sampled_from(["lb", "lf", "both"]),
+        "depth": st.integers(min_value=2, max_value=3),  # joins via d1..d3
+        "branch": st.booleans(),                         # + e1 (snowflake)
+        "derived": st.booleans(),                        # d2 hop as subquery
+        "where": st.sampled_from([None, "v", "g"]),
+        "root": st.sampled_from(["agg", "agg_having", "distinct", "star"]),
+    }
+)
+
+
+def _statement(spec):
+    """Compose the SQL text for one chain spec.  The FROM item is the
+    lineage leaf; every other hop joins onto it left-deep, so the plan is
+    a multi-join chain (plus an optional second chain off the fact table
+    — a snowflake tree)."""
+    if spec["leaf"] == "lf":
+        # Lf output carries prev's schema (k, c); join the chain off k.
+        source = "Lf('t', prev, :rows)"
+        fact_qual = "prev"
+    else:
+        source = "Lb(prev, 't', :bars)"
+        fact_qual = "t"
+
+    joins = []
+    if spec["leaf"] == "both":
+        joins.append(f"JOIN Lb(prevd, 'd1') ON {fact_qual}.k = d1.k")
+    else:
+        joins.append(f"JOIN d1 ON {fact_qual}.k = d1.k")
+    d2_name = "d2"
+    if spec["derived"]:
+        d2_name = "dd"
+        joins.append(
+            "JOIN (SELECT g, MAX(h) AS h FROM d2 GROUP BY g) AS dd "
+            "ON d1.g = dd.g"
+        )
+    else:
+        joins.append("JOIN d2 ON d1.g = d2.g")
+    if spec["depth"] >= 3:
+        joins.append(f"JOIN d3 ON {d2_name}.h = d3.h")
+    if spec["branch"] and spec["leaf"] != "lf":
+        joins.append(f"JOIN e1 ON {fact_qual}.m = e1.m")
+
+    where = ""
+    if spec["where"] == "v" and spec["leaf"] != "lf":
+        where = " WHERE v >= :cut"
+    elif spec["where"] == "g":
+        where = " WHERE d1.g >= 1"
+
+    root_key = "label" if spec["depth"] >= 3 else "name"
+    if spec["root"] == "agg":
+        head = f"SELECT {root_key}, COUNT(*) AS c"
+        tail = f" GROUP BY {root_key}"
+    elif spec["root"] == "agg_having":
+        head = f"SELECT {root_key}, COUNT(*) AS c"
+        tail = f" GROUP BY {root_key} HAVING COUNT(*) > 1"
+    elif spec["root"] == "distinct":
+        head = f"SELECT DISTINCT {root_key}"
+        tail = ""
+    else:
+        head = "SELECT *"
+        tail = ""
+    return f"{head} FROM {source} {' '.join(joins)}{where}{tail}"
+
+
+def _note_plan(stmt, plan, params):
+    """Record the statement, bound parameters, and the full plan tree on
+    the failing example: Hypothesis prints notes (and the seed) on
+    failure, so a CI log alone reproduces the exact generated chain."""
+    note(f"statement: {stmt}")
+    note(f"params: {params!r}")
+    note("plan:\n" + plan.describe())
+
+
+def _assert_same_lineage(db, pushed, materialized):
+    assert (pushed.lineage is None) == (materialized.lineage is None)
+    if pushed.lineage is None:
+        return
+    assert pushed.lineage.relations == materialized.lineage.relations
+    out_probes = list(range(len(pushed)))
+    for rel in pushed.lineage.relations:
+        assert np.array_equal(
+            pushed.backward(out_probes, rel),
+            materialized.backward(out_probes, rel),
+        )
+        base = rel.split("#")[0]
+        domain = (
+            db.table(base).num_rows
+            if base in db.tables()
+            else len(db.result(base))
+        )
+        in_probes = list(range(domain))
+        assert np.array_equal(
+            pushed.forward(rel, in_probes),
+            materialized.forward(rel, in_probes),
+        )
+
+
+@given(
+    fact_rows,
+    d1_rows,
+    d2_rows,
+    d3_rows,
+    e1_rows,
+    chain_specs,
+    st.integers(min_value=0, max_value=31),
+    st.lists(st.integers(min_value=0, max_value=3), max_size=5),
+    st.sampled_from(["vector", "compiled"]),
+)
+@settings(deadline=None)  # example budget governed by the profile
+def test_pushed_chain_matches_materialized(
+    rows, d1, d2, d3, e1, spec, cut, subset, backend
+):
+    db = _db(rows, d1, d2, d3, e1)
+    stmt = _statement(spec)
+    prev = db.result("prev")
+    domain = len(prev) if ":bars" in stmt else db.table("t").num_rows
+    rids = sorted({r % max(domain, 1) for r in subset}) if domain else []
+    params = {"cut": cut, "bars": rids, "rows": rids}
+
+    plan = db.parse(stmt)
+    _note_plan(stmt, plan, params)
+    pushed = db.execute(
+        plan,
+        params=params,
+        options=ExecOptions(capture=CaptureMode.INJECT, backend=backend),
+    )
+    materialized = db.execute(
+        plan,
+        params=params,
+        options=ExecOptions(
+            capture=CaptureMode.INJECT, backend=backend, late_materialize=False
+        ),
+    )
+    num_joins = stmt.count("JOIN ")
+    assert num_joins >= 2
+    # The whole chain must flatten into one pushed core: exactly one join
+    # core, with every hop beyond the first counted as a chain hop.
+    assert pushed.timings.get("late_mat_joins") == 1.0
+    assert pushed.timings.get("late_mat_chain_hops") == float(num_joins - 1)
+    assert "late_mat_chain_hops" not in materialized.timings
+    assert pushed.table.schema == materialized.table.schema
+    assert pushed.table.to_rows() == materialized.table.to_rows()
+    _assert_same_lineage(db, pushed, materialized)
+
+
+@given(
+    fact_rows,
+    d1_rows,
+    d2_rows,
+    d3_rows,
+    e1_rows,
+    chain_specs,
+    st.integers(min_value=0, max_value=31),
+)
+@settings(deadline=None)  # example budget governed by the profile
+def test_backends_agree_on_chains(rows, d1, d2, d3, e1, spec, cut):
+    db = _db(rows, d1, d2, d3, e1)
+    stmt = _statement(spec)
+    params = {"cut": cut, "bars": [0], "rows": [0]}
+    _note_plan(stmt, db.parse(stmt), params)
+    vec = db.sql(
+        stmt, params=params, options=ExecOptions(capture=CaptureMode.INJECT)
+    )
+    comp = db.sql(
+        stmt,
+        params=params,
+        options=ExecOptions(capture=CaptureMode.INJECT, backend="compiled"),
+    )
+    assert vec.table.to_rows() == comp.table.to_rows()
+    _assert_same_lineage(db, vec, comp)
+
+
+@given(
+    fact_rows,
+    d1_rows,
+    d2_rows,
+    st.lists(st.integers(min_value=0, max_value=3), max_size=5),
+    st.sampled_from(["vector", "compiled"]),
+)
+@settings(deadline=None)  # example budget governed by the profile
+def test_prepared_chain_pushes_match_one_shot(rows, d1, d2, subset, backend):
+    """The precomputed RewriteIndex takes the same chain-flattening
+    decisions as live matching: prepared runs == one-shot runs."""
+    db = _db(rows, d1, d2, [], [])
+    rids = sorted({r % max(len(db.result("prev")), 1) for r in subset})
+    stmt = (
+        "SELECT d2.g, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+        "JOIN d1 ON t.k = d1.k JOIN d2 ON d1.g = d2.g GROUP BY d2.g"
+    )
+    prepared = db.prepare(
+        stmt, options=ExecOptions(capture=CaptureMode.INJECT, backend=backend)
+    )
+    via_prepared = prepared.run(params={"bars": rids})
+    one_shot = db.sql(
+        stmt,
+        params={"bars": rids},
+        options=ExecOptions(capture=CaptureMode.INJECT, backend=backend),
+    )
+    assert via_prepared.timings.get("late_mat_chain_hops") == 1.0
+    assert via_prepared.table.to_rows() == one_shot.table.to_rows()
+    _assert_same_lineage(db, via_prepared, one_shot)

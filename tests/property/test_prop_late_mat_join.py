@@ -10,7 +10,7 @@ linear-stack suite (``test_prop_late_mat.py``) never exercises.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given, note, settings
 from hypothesis import strategies as st
 
 from repro.api import Database, ExecOptions
@@ -104,6 +104,15 @@ def _db(rows, drows):
     return db
 
 
+def _note_plan(stmt, plan, params):
+    """Record the statement, bound parameters, and the full plan tree on
+    the failing example: Hypothesis prints notes (and the seed) on
+    failure, so a CI log alone reproduces the exact generated plan."""
+    note(f"statement: {stmt}")
+    note(f"params: {params!r}")
+    note("plan:\n" + plan.describe())
+
+
 def _assert_same_lineage(db, pushed, materialized):
     assert (pushed.lineage is None) == (materialized.lineage is None)
     if pushed.lineage is None:
@@ -148,6 +157,7 @@ def test_pushed_join_distinct_matches_materialized(
     params = {"cut": cut, "bars": rids, "rows": rids}
 
     plan = db.parse(stmt)
+    _note_plan(stmt, plan, params)
     pushed = db.execute(
         plan,
         params=params,
@@ -182,6 +192,7 @@ def test_backends_agree_on_pushed_join_distinct(rows, drows, cut, stmt_idx):
     db = _db(rows, drows)
     stmt = STATEMENTS[stmt_idx]
     params = {"cut": cut, "bars": [0], "rows": [0]}
+    _note_plan(stmt, db.parse(stmt), params)
     vec = db.sql(
         stmt, params=params, options=ExecOptions(capture=CaptureMode.INJECT)
     )

@@ -194,3 +194,103 @@ class TestGeneratedSourceShape:
         # The select's surviving row appends its *base* rid to the group
         # bucket: rid variables flow into the hash-table state.
         assert "bw" in src or "].append(i" in src
+
+
+class TestCompiledChainPush:
+    """The flattened join chain on the *compiled* backend: same shared
+    pushed core, same fallback boundary (regression pins for the chain
+    counters)."""
+
+    CHAIN_COUNTERS = (
+        "late_mat_joins",
+        "late_mat_chain_hops",
+        "late_mat_build_swaps",
+        "late_mat_pkfk_detected",
+    )
+
+    @pytest.fixture
+    def chain_db(self):
+        from repro.api import Database, ExecOptions
+        from repro.storage import Table
+
+        db = Database()
+        db.create_table(
+            "t",
+            Table({
+                "k": np.array([0, 1, 2, 0, 1], dtype=np.int64),
+                "v": np.array([1, 2, 3, 4, 5], dtype=np.int64),
+            }),
+        )
+        db.create_table(
+            "d1",
+            Table({
+                "k": np.array([0, 1, 1], dtype=np.int64),
+                "g": np.array([0, 0, 1], dtype=np.int64),
+            }),
+        )
+        db.create_table(
+            "d2",
+            Table({
+                "g": np.array([0, 1], dtype=np.int64),
+                "name": np.array(["a", "b"], dtype=object),
+            }),
+        )
+        db.sql(
+            "SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+            options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
+        )
+        return db
+
+    def test_chain_pushes_as_one_core(self, chain_db):
+        from repro.api import ExecOptions
+
+        stmt = (
+            "SELECT name, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+            "JOIN d1 ON t.k = d1.k JOIN d2 ON d1.g = d2.g GROUP BY name"
+        )
+        opts = ExecOptions(capture=CaptureMode.INJECT, backend="compiled")
+        pushed = chain_db.sql(stmt, params={"bars": [0, 1]}, options=opts)
+        materialized = chain_db.sql(
+            stmt,
+            params={"bars": [0, 1]},
+            options=opts.with_(late_materialize=False),
+        )
+        assert pushed.timings.get("late_mat_joins") == 1.0
+        assert pushed.timings.get("late_mat_chain_hops") == 1.0
+        assert pushed.table.to_rows() == materialized.table.to_rows()
+        probes = list(range(len(pushed)))
+        for rel in ("t", "d1", "d2"):
+            assert np.array_equal(
+                pushed.backward(probes, rel), materialized.backward(probes, rel)
+            )
+
+    def test_theta_join_has_no_chain_counters(self, chain_db):
+        from repro.api import ExecOptions
+        from repro.expr.ast import Col
+        from repro.plan.logical import LineageScan
+
+        scan = LineageScan(result="prev", relation="t", direction="backward")
+        plan = GroupBy(
+            ThetaJoin(scan, Scan("d1"), Col("v") > Col("g")),
+            [],
+            [AggCall("count", None, "c")],
+        )
+        opts = ExecOptions(backend="compiled")
+        res = chain_db.execute(plan, options=opts)
+        off = chain_db.execute(
+            plan, options=opts.with_(late_materialize=False)
+        )
+        assert res.table.to_rows() == off.table.to_rows()
+        for key in self.CHAIN_COUNTERS:
+            assert key not in res.timings, key
+
+    def test_lineage_free_join_has_no_chain_counters(self, chain_db):
+        from repro.api import ExecOptions
+
+        res = chain_db.sql(
+            "SELECT COUNT(*) AS c FROM d1 JOIN d2 ON d1.g = d2.g",
+            options=ExecOptions(backend="compiled"),
+        )
+        for key in self.CHAIN_COUNTERS:
+            assert key not in res.timings, key
+        assert "late_mat_subtrees" not in res.timings

@@ -1,6 +1,8 @@
-"""Late-materializing lineage scans: rewrite match/fallback decisions,
-pushed-path equivalence on fixed shapes, the bounded result registry,
-and the binder's left-preferring ON-qualifier tie-break."""
+"""Late-materializing lineage scans: rewrite match/fallback decisions
+(including multi-join chain flattening), pushed-path equivalence on
+fixed shapes, the stats-driven build-side decision table, the bounded
+result registry, and the binder's left-preferring ON-qualifier
+tie-break."""
 
 import numpy as np
 import pytest
@@ -11,6 +13,7 @@ from repro.expr.ast import Col
 from repro.lineage.capture import CaptureConfig, CaptureMode
 from repro.plan.logical import (
     AggCall,
+    CrossProduct,
     GroupBy,
     HashJoin,
     LineageScan,
@@ -18,9 +21,14 @@ from repro.plan.logical import (
     Scan,
     Select,
     Sort,
+    ThetaJoin,
     col,
 )
-from repro.plan.rewrite import match_late_materialization
+from repro.plan.rewrite import (
+    PushedJoin,
+    PushedJoinSide,
+    match_late_materialization,
+)
 from repro.storage import Table
 
 BACKENDS = ("vector", "compiled")
@@ -146,6 +154,98 @@ class TestRewriteMatch:
 
     def test_non_lineage_leaf_falls_back(self):
         assert match_late_materialization(Select(Scan("t"), col("v") > 12)) is None
+
+
+class TestChainRewriteMatch:
+    """Multi-join chains flatten into one pushed core (join-DAG shaped
+    RewriteIndex entries) instead of matching only the innermost join."""
+
+    def test_two_hop_chain_matches_one_core(self):
+        plan = HashJoin(
+            HashJoin(_scan(), Scan("d1"), ("z",), ("z",)),
+            Scan("d2"),
+            ("g",),
+            ("g",),
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None and pushed.has_join
+        assert pushed.join.num_joins == 2
+        assert pushed.chain_hops == 1
+        inner = pushed.join.left
+        assert isinstance(inner, PushedJoin)
+        assert inner.left.scan is not None  # the lineage leaf
+        assert isinstance(pushed.join.right, PushedJoinSide)
+
+    def test_three_hop_chain_counts_two_hops(self):
+        plan = HashJoin(
+            HashJoin(
+                HashJoin(_scan(), Scan("d1"), ("z",), ("z",)),
+                Scan("d2"),
+                ("g",),
+                ("g",),
+            ),
+            Scan("d3"),
+            ("h",),
+            ("h",),
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed.join.num_joins == 3
+        assert pushed.chain_hops == 2
+
+    def test_snowflake_tree_with_nested_lineage_right(self):
+        """A lineage-backed join may sit on *either* side of a hop."""
+        plan = HashJoin(
+            Scan("d2"),
+            HashJoin(_scan(), Scan("d1"), ("z",), ("z",)),
+            ("g",),
+            ("g",),
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None
+        assert isinstance(pushed.join.right, PushedJoin)
+        assert pushed.chain_hops == 1
+
+    def test_lineage_free_nested_join_stays_plain(self):
+        """A join subtree with no lineage leaf is a plain hop executed
+        through backend recursion, not part of the chain."""
+        plan = HashJoin(
+            HashJoin(Scan("a"), Scan("b"), ("z",), ("z",)),
+            _scan(),
+            ("z",),
+            ("z",),
+        )
+        pushed = match_late_materialization(plan)
+        assert pushed is not None
+        assert pushed.join.num_joins == 1  # only the outer join flattens
+        assert isinstance(pushed.join.left, PushedJoinSide)
+        assert pushed.join.left.scan is None
+        assert pushed.chain_hops == 0
+
+    def test_mid_chain_select_folds_into_hop_predicate(self):
+        """Selects between joins (derived-table hops) fold onto the hop
+        they sit above and evaluate in the position domain."""
+        plan = HashJoin(
+            Select(
+                HashJoin(_scan(), Scan("d1"), ("z",), ("z",)),
+                col("g") > 1,
+            ),
+            Scan("d2"),
+            ("g",),
+            ("g",),
+        )
+        pushed = match_late_materialization(plan)
+        inner = pushed.join.left
+        assert isinstance(inner, PushedJoin)
+        assert inner.predicate is not None
+
+    def test_all_plain_chain_falls_back(self):
+        plan = HashJoin(
+            HashJoin(Scan("a"), Scan("b"), ("z",), ("z",)),
+            Scan("c"),
+            ("z",),
+            ("z",),
+        )
+        assert match_late_materialization(plan) is None
 
 
 class TestPushedExecution:
@@ -415,6 +515,285 @@ class TestPushedExecution:
             db.execute(plan, backend=backend)
         with pytest.raises(Exception, match="nope"):
             db.execute(plan, backend=backend, late_materialize=False)
+
+
+class TestChainExecution:
+    """End-to-end chain flattening: a multi-join statement runs as one
+    rid-domain core, equivalent to the materializing path."""
+
+    @pytest.fixture
+    def chain_db(self, db, prev):
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        db.create_table(
+            "cats",
+            Table({
+                "label": np.array(["one", "two", "three"], dtype=object),
+                "cat": np.array([0, 1, 1], dtype=np.int64),
+            }),
+        )
+        return db
+
+    CHAIN = (
+        "SELECT cat, COUNT(*) AS c FROM Lb(prev, 't', :bars) "
+        "JOIN names ON t.z = names.z "
+        "JOIN cats ON names.label = cats.label GROUP BY cat"
+    )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chain_counts_hops_and_matches_materialized(self, chain_db, backend):
+        res = chain_db.sql(
+            self.CHAIN, params={"bars": [0, 1]}, backend=backend
+        )
+        assert res.timings.get("late_mat_subtrees") == 1.0
+        assert res.timings.get("late_mat_joins") == 1.0
+        assert res.timings.get("late_mat_chain_hops") == 1.0
+        off = chain_db.sql(
+            self.CHAIN, params={"bars": [0, 1]}, backend=backend,
+            late_materialize=False,
+        )
+        assert "late_mat_chain_hops" not in off.timings
+        assert res.table.to_rows() == off.table.to_rows()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_chain_lineage_identical_to_materialized(self, chain_db, backend):
+        on = chain_db.sql(
+            self.CHAIN, params={"bars": [0, 2]},
+            capture=CaptureMode.INJECT, backend=backend,
+        )
+        off = chain_db.sql(
+            self.CHAIN, params={"bars": [0, 2]},
+            capture=CaptureMode.INJECT, backend=backend,
+            late_materialize=False,
+        )
+        probes = list(range(len(on)))
+        for rel in ("t", "names", "cats"):
+            assert np.array_equal(
+                on.backward(probes, rel), off.backward(probes, rel)
+            )
+            base_probes = list(range(chain_db.table(rel).num_rows))
+            assert np.array_equal(
+                on.forward(rel, base_probes), off.forward(rel, base_probes)
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sort_over_chain_still_pushes_below(self, chain_db, backend):
+        res = chain_db.sql(
+            self.CHAIN + " ORDER BY c DESC",
+            params={"bars": [0, 1, 2]},
+            backend=backend,
+        )
+        assert res.timings.get("late_mat_chain_hops") == 1.0
+        off = chain_db.sql(
+            self.CHAIN + " ORDER BY c DESC",
+            params={"bars": [0, 1, 2]},
+            backend=backend,
+            late_materialize=False,
+        )
+        assert res.table.to_rows() == off.table.to_rows()
+
+
+class TestBuildSideDecisions:
+    """The stats-driven build-side decision table, asserted through the
+    executors' ``timings`` counters (never through wall time):
+    ``late_mat_build_swaps`` counts hops built on the plan-right side,
+    ``late_mat_pkfk_detected`` hops upgraded to the pk-fk probe by
+    column statistics alone."""
+
+    @pytest.fixture
+    def sdb(self, db, prev):
+        db.create_table(
+            "names",  # unique key column: z is a primary key
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "label": np.array(["one", "two", "three"], dtype=object),
+            }),
+        )
+        db.create_table(
+            "two",  # smaller than Lb(prev, 't') and *not* unique
+            Table({
+                "z": np.array([2, 2], dtype=np.int64),
+                "tag": np.array([7, 8], dtype=np.int64),
+            }),
+        )
+        return db
+
+    def _both_paths(self, sdb, stmt, backend="vector"):
+        pushed = sdb.sql(stmt, backend=backend)
+        materialized = sdb.sql(stmt, backend=backend, late_materialize=False)
+        assert pushed.table.to_rows() == materialized.table.to_rows()
+        return pushed
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_smaller_side_becomes_build_side(self, sdb, backend):
+        """Neither side unique → build on the smaller (right) side."""
+        res = self._both_paths(
+            sdb,
+            "SELECT COUNT(*) AS c FROM Lb(prev, 't') JOIN two ON t.z = two.z",
+            backend,
+        )
+        assert res.timings.get("late_mat_build_swaps") == 1.0
+        assert "late_mat_pkfk_detected" not in res.timings
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pkfk_detected_on_lineage_side(self, sdb, backend):
+        """An Lb over a dimension table with a unique key keeps the
+        build left *and* takes the pk-fk probe the plan never asserted."""
+        sdb.sql(
+            "SELECT z, COUNT(*) AS c FROM names GROUP BY z",
+            capture=CaptureMode.INJECT,
+            name="prevd",
+        )
+        res = self._both_paths(
+            sdb,
+            "SELECT label, COUNT(*) AS c FROM Lb(prevd, 'names') "
+            "JOIN t ON names.z = t.z GROUP BY label",
+            backend,
+        )
+        assert res.timings.get("late_mat_pkfk_detected") == 1.0
+        assert "late_mat_build_swaps" not in res.timings
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pkfk_detected_on_plain_side_swaps_build(self, sdb, backend):
+        """A unique plain (right) side wins both the swap and the
+        pk-fk fast path."""
+        res = self._both_paths(
+            sdb,
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't') "
+            "JOIN names ON t.z = names.z GROUP BY label",
+            backend,
+        )
+        assert res.timings.get("late_mat_build_swaps") == 1.0
+        assert res.timings.get("late_mat_pkfk_detected") == 1.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tie_breaks_deterministically_left(self, sdb, backend):
+        """Equal cardinalities, no uniqueness → build left, always."""
+        res = self._both_paths(
+            sdb,
+            "SELECT COUNT(*) AS c FROM Lb(prev, 't') AS a "
+            "JOIN Lb(prev, 't') AS b ON a.w = b.w",
+            backend,
+        )
+        assert "late_mat_build_swaps" not in res.timings
+        assert "late_mat_pkfk_detected" not in res.timings
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_uniqueness_probe_respects_row_budget(
+        self, sdb, backend, monkeypatch
+    ):
+        """Deriving uniqueness scans the base column once per epoch;
+        above the budget the side reports unknown and the cardinality
+        rule decides, keeping cold stats scans out of interactive
+        statements over huge relations."""
+        import repro.exec.late_mat as late_mat
+
+        monkeypatch.setattr(late_mat, "UNIQUENESS_PROBE_MAX_ROWS", 2)
+        res = self._both_paths(
+            sdb,
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't') "
+            "JOIN names ON t.z = names.z GROUP BY label",
+            backend,
+        )
+        # `names` (3 rows) exceeds the patched budget: no pk-fk
+        # detection, but the smaller side still becomes the build side.
+        assert "late_mat_pkfk_detected" not in res.timings
+        assert res.timings.get("late_mat_build_swaps") == 1.0
+
+    def test_plan_pkfk_flag_pins_left_build(self, sdb):
+        """A plan-level pkfk assertion keeps the build left and is not
+        re-counted as a stats detection."""
+        sdb.sql(
+            "SELECT z, COUNT(*) AS c FROM names GROUP BY z",
+            capture=CaptureMode.INJECT,
+            name="prevd",
+        )
+        scan = LineageScan(result="prevd", relation="names", direction="backward")
+        plan = GroupBy(
+            HashJoin(scan, Scan("t"), ("z",), ("z",), pkfk=True),
+            [],
+            [AggCall("count", None, "c")],
+        )
+        res = sdb.execute(plan)
+        off = sdb.execute(plan, late_materialize=False)
+        assert res.table.to_rows() == off.table.to_rows()
+        assert "late_mat_build_swaps" not in res.timings
+        assert "late_mat_pkfk_detected" not in res.timings
+
+
+class TestChainFallbackBoundary:
+    """Regression pins: θ-joins, cross products, and lineage-free joins
+    must keep materializing correctly and must *not* increment the chain
+    counters."""
+
+    CHAIN_COUNTERS = (
+        "late_mat_joins",
+        "late_mat_chain_hops",
+        "late_mat_build_swaps",
+        "late_mat_pkfk_detected",
+    )
+
+    def _assert_no_chain_counters(self, res):
+        for key in self.CHAIN_COUNTERS:
+            assert key not in res.timings, key
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_theta_join_still_materializes(self, db, prev, backend):
+        plan = GroupBy(
+            ThetaJoin(_scan(), Scan("t"), Col("v") > Col("v_r")),
+            [],
+            [AggCall("count", None, "c")],
+        )
+        res = db.execute(plan, backend=backend)
+        off = db.execute(plan, backend=backend, late_materialize=False)
+        assert res.table.to_rows() == off.table.to_rows()
+        self._assert_no_chain_counters(res)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cross_product_still_materializes(self, db, prev, backend):
+        plan = GroupBy(
+            CrossProduct(_scan(), Scan("t")),
+            [],
+            [AggCall("count", None, "c")],
+        )
+        res = db.execute(plan, backend=backend)
+        off = db.execute(plan, backend=backend, late_materialize=False)
+        assert res.table.to_rows() == off.table.to_rows()
+        assert res.table.column("c").tolist() == [36]
+        self._assert_no_chain_counters(res)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_lineage_free_join_has_no_counters(self, db, prev, backend):
+        res = db.sql(
+            "SELECT COUNT(*) AS c FROM t JOIN t ON t.z = t.z",
+            backend=backend,
+        )
+        self._assert_no_chain_counters(res)
+        assert "late_mat_subtrees" not in res.timings
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_join_core_counts_no_chain_hops(self, db, prev, backend):
+        """PR 4's single-join push is hop-free: the chain counter only
+        fires beyond the first join of a core."""
+        db.create_table(
+            "names",
+            Table({
+                "z": np.array([1, 1, 2], dtype=np.int64),
+                "label": np.array(["one", "uno", "two"], dtype=object),
+            }),
+        )
+        res = db.sql(
+            "SELECT label, COUNT(*) AS c FROM Lb(prev, 't') "
+            "JOIN names ON t.z = names.z GROUP BY label",
+            backend=backend,
+        )
+        assert res.timings.get("late_mat_joins") == 1.0
+        assert "late_mat_chain_hops" not in res.timings
 
 
 class TestResultRegistryBounds:

@@ -11,6 +11,11 @@ from repro.substrate import (
     sample_zipf,
     zipf_probabilities,
 )
+from repro.substrate.stats import (
+    JoinSideStats,
+    choose_build_side,
+    collect_column_stats,
+)
 
 
 class TestBdbSim:
@@ -116,6 +121,96 @@ class TestStats:
         hints = CardinalityHints()
         assert hints.group_count_for("nope") is None
         assert hints.selectivity_for("nope") is None
+
+
+class TestColumnStats:
+    def test_unique_int_column(self):
+        stats = collect_column_stats(np.array([3, 1, 2], dtype=np.int64))
+        assert stats.rows == 3 and stats.distinct == 3
+        assert stats.is_unique
+
+    def test_duplicated_int_column(self):
+        stats = collect_column_stats(np.array([1, 1, 2], dtype=np.int64))
+        assert stats.distinct == 2 and not stats.is_unique
+
+    def test_object_column(self):
+        values = np.empty(4, dtype=object)
+        values[:] = ["a", "b", "a", "c"]
+        stats = collect_column_stats(values)
+        assert stats.rows == 4 and stats.distinct == 3
+
+    def test_empty_column_is_trivially_unique(self):
+        stats = collect_column_stats(np.empty(0, dtype=np.int64))
+        assert stats.is_unique
+
+    def test_catalog_memoizes_per_epoch(self):
+        from repro.storage.catalog import Catalog
+        from repro.storage.table import Table
+
+        catalog = Catalog()
+        catalog.register("t", Table({"z": np.array([1, 1], dtype=np.int64)}))
+        first = catalog.column_stats("t", "z")
+        assert catalog.column_stats("t", "z") is first  # memo hit
+        catalog.register(
+            "t", Table({"z": np.array([1, 2], dtype=np.int64)}), replace=True
+        )
+        assert catalog.column_stats("t", "z").is_unique  # recomputed
+
+
+class TestChooseBuildSide:
+    """The join-hop build-side decision table (see ISSUE: cardinality-
+    aware build sides with a pk-fk fast path on the unique side)."""
+
+    def test_plan_pkfk_pins_left(self):
+        decision = choose_build_side(
+            JoinSideStats(1000), JoinSideStats(1), plan_pkfk=True
+        )
+        assert decision.build_left and decision.pkfk
+        assert decision.reason == "plan-pkfk"
+
+    def test_unique_left_builds_left_with_pkfk(self):
+        decision = choose_build_side(
+            JoinSideStats(1000, keys_unique=True), JoinSideStats(5)
+        )
+        assert decision.build_left and decision.pkfk
+        assert decision.reason == "unique-left"
+
+    def test_unique_right_swaps_with_pkfk(self):
+        decision = choose_build_side(
+            JoinSideStats(5), JoinSideStats(1000, keys_unique=True)
+        )
+        assert decision.swapped and decision.pkfk
+        assert decision.reason == "unique-right"
+
+    def test_both_unique_prefers_smaller(self):
+        decision = choose_build_side(
+            JoinSideStats(1000, keys_unique=True),
+            JoinSideStats(5, keys_unique=True),
+        )
+        assert decision.swapped and decision.pkfk
+        both_tie = choose_build_side(
+            JoinSideStats(5, keys_unique=True),
+            JoinSideStats(5, keys_unique=True),
+        )
+        assert both_tie.build_left  # ties stay left
+
+    def test_no_uniqueness_builds_on_smaller(self):
+        assert choose_build_side(
+            JoinSideStats(10), JoinSideStats(3)
+        ).swapped
+        smaller_left = choose_build_side(JoinSideStats(3), JoinSideStats(10))
+        assert smaller_left.build_left and not smaller_left.pkfk
+
+    def test_tie_breaks_left_deterministically(self):
+        decision = choose_build_side(JoinSideStats(7), JoinSideStats(7))
+        assert decision.build_left and not decision.pkfk
+        assert decision.reason == "tie-left"
+
+    def test_unknown_uniqueness_is_not_unique(self):
+        decision = choose_build_side(
+            JoinSideStats(3, keys_unique=None), JoinSideStats(10)
+        )
+        assert decision.build_left and not decision.pkfk
 
 
 class TestHintsFromLineage:
