@@ -28,9 +28,18 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.api import Database
+from repro.api import Database, ExecOptions
 from repro.bench.harness import scale, time_median
+from repro.exec.timings import (
+    LATE_MAT_CHAIN_HOPS,
+    LATE_MAT_DISTINCTS,
+    LATE_MAT_JOINS,
+    LATE_MAT_SUBTREES,
+)
 from repro.lineage.capture import CaptureMode
+
+#: The PR-1 materializing baseline (no lineage-scan push-down).
+NO_PUSH = ExecOptions(late_materialize=False)
 
 #: bench name -> {"pushed": ms, "materialized": ms, "hand_rolled": ms}
 RESULTS = {}
@@ -94,9 +103,7 @@ def latemat_db():
     )
     db.sql(
         "SELECT latlon_bin, COUNT(*) AS cnt FROM ontime GROUP BY latlon_bin",
-        capture=CaptureMode.INJECT,
-        name="view",
-        pin=True,
+        options=ExecOptions(capture=CaptureMode.INJECT, name="view", pin=True),
     )
     return db
 
@@ -143,14 +150,14 @@ def _record(name, variant, fn):
 def _run_both_paths(db, name, statement, params):
     plan = db.parse(statement)
     pushed = db.execute(plan, params=params)
-    materialized = db.execute(plan, params=params, late_materialize=False)
-    assert pushed.timings.get("late_mat_subtrees") == 1.0
+    materialized = db.execute(plan, params=params, options=NO_PUSH)
+    assert pushed.timings.get(LATE_MAT_SUBTREES) == 1.0
     assert pushed.table.to_rows() == materialized.table.to_rows()
     _record(name, "pushed", lambda: db.execute(plan, params=params))
     _record(
         name,
         "materialized",
-        lambda: db.execute(plan, params=params, late_materialize=False),
+        lambda: db.execute(plan, params=params, options=NO_PUSH),
     )
     return pushed
 
@@ -243,7 +250,7 @@ def test_join_reaggregate(latemat_db):
         "GROUP BY region",
         {"bars": bars},
     )
-    assert res.timings.get("late_mat_joins") == 1.0
+    assert res.timings.get(LATE_MAT_JOINS) == 1.0
 
     lineage = db.result("view").lineage
     table = db.table("ontime")
@@ -281,8 +288,8 @@ def test_chain_reaggregate(latemat_db):
         "GROUP BY hemisphere",
         {"bars": bars},
     )
-    assert res.timings.get("late_mat_joins") == 1.0
-    assert res.timings.get("late_mat_chain_hops") == 2.0
+    assert res.timings.get(LATE_MAT_JOINS) == 1.0
+    assert res.timings.get(LATE_MAT_CHAIN_HOPS) == 2.0
 
     lineage = db.result("view").lineage
     table = db.table("ontime")
@@ -317,7 +324,7 @@ def test_distinct_projection(latemat_db):
         "SELECT DISTINCT carrier FROM Lb(view, 'ontime', :bars)",
         {"bars": bars},
     )
-    assert res.timings.get("late_mat_distincts") == 1.0
+    assert res.timings.get(LATE_MAT_DISTINCTS) == 1.0
 
     lineage = db.result("view").lineage
     table = db.table("ontime")

@@ -24,9 +24,12 @@ from .api import Database, ExecOptions, PreparedQuery, QueryResult, Session
 from .errors import (
     CaptureDisabledError,
     CatalogError,
+    InvalidArgumentError,
     LineageError,
     PlanError,
     ReproError,
+    RidRangeError,
+    SanitizeError,
     SchemaError,
     SqlError,
     StaleBindingError,
@@ -58,6 +61,7 @@ __all__ = [
     "ExecOptions",
     "FilteredBackwardSpec",
     "ForwardSpec",
+    "InvalidArgumentError",
     "LineageError",
     "PlanError",
     "PreparedQuery",
@@ -66,6 +70,8 @@ __all__ = [
     "ReproError",
     "RidArray",
     "RidIndex",
+    "RidRangeError",
+    "SanitizeError",
     "Schema",
     "SchemaError",
     "Session",

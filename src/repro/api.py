@@ -98,6 +98,7 @@ from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
+from . import sanitize
 from .errors import PlanError, StaleBindingError
 from .exec.vector.executor import ExecResult, VectorExecutor
 from .lineage.cache import LineageResolutionCache
@@ -393,6 +394,12 @@ class ResultRegistry(Mapping):
     # -- mutation ----------------------------------------------------------
 
     def register(self, name: str, result: "QueryResult", pin: bool = False) -> None:
+        if sanitize.enabled():
+            # A registered result is shared state: Lb/Lf scans of other
+            # statements gather through its columns, so debug mode makes
+            # the read-only handout contract physical.
+            for values in result.table.columns().values():
+                sanitize.freeze(values)
         self._entries[name] = result
         self._entries.move_to_end(name)
         self._epochs[name] = self._epochs.get(name, 0) + 1

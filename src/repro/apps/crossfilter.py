@@ -540,7 +540,7 @@ class CrossfilterSession:
         counts = np.zeros(other.num_bars, dtype=np.int64)
         order = self._bar_index(other)
         for value, cnt in zip(
-            res.table.column(other.dimension), res.table.column("cnt")
+            res.table.column(other.dimension), res.table.column("cnt"), strict=True
         ):
             counts[order[value]] = int(cnt)
         return counts

@@ -103,7 +103,7 @@ class LazyLineageEvaluator:
                 continue
             row_key = tuple(vals[rid] for vals in key_values)
             matches = np.ones(out.num_rows, dtype=bool)
-            for value, col_vals in zip(row_key, out_keys):
+            for value, col_vals in zip(row_key, out_keys, strict=True):
                 matches &= col_vals == value
             hits.update(np.nonzero(matches)[0].tolist())
         return np.array(sorted(hits), dtype=np.int64)

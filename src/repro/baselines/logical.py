@@ -122,7 +122,7 @@ def logical_capture(
         keep = [c for c in inner.schema.names if not c.startswith(RID_PREFIX)]
         output = inner.select_columns(keep)  # project away annotations
         cols = {OID_COLUMN: oid}
-        for key, rid_col in rid_columns.items():
+        for rid_col in rid_columns.values():
             cols[rid_col] = inner.column(rid_col)
         if annotation == "tuple":
             for c in keep:
@@ -184,7 +184,7 @@ def _denormalize(
     # the k-times duplication the paper measures.
     for name in output.schema.names:
         cols[name] = output.column(name)[group_ids]
-    for key, rid_col in rid_columns.items():
+    for rid_col in rid_columns.values():
         cols[rid_col] = inner.column(rid_col)
     if annotation == "tuple":
         for name in inner.schema.names:

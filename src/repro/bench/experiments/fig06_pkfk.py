@@ -89,13 +89,17 @@ def run_report(repeats: int = 3) -> Report:
     )
     for n, groups in sizes():
         db = make_database(n, groups)
-        base = time_median(lambda: run_technique(db, "baseline", groups), repeats)
+        base = time_median(
+            lambda db=db, groups=groups: run_technique(db, "baseline", groups),
+            repeats,
+        )
         for technique in TECHNIQUES:
             secs = (
                 base
                 if technique == "baseline"
                 else time_median(
-                    lambda t=technique: run_technique(db, t, groups), repeats
+                    lambda t=technique, db=db, groups=groups: run_technique(db, t, groups),
+                    repeats,
                 )
             )
             report.add(n, groups, technique, fmt_ms(secs),

@@ -119,7 +119,10 @@ def run_report(sample_groups: int = 50) -> Report:
         outs = rng.choice(ctx["num_groups"], size=min(sample_groups, ctx["num_groups"]), replace=False)
         max_card = int(ctx["smoke"].lineage.backward_index("zipf").counts().max())
         for name, fn in TECHNIQUE_FNS.items():
-            times = [time_once(lambda o=o: fn(ctx, int(o))) for o in outs]
+            times = [
+                time_once(lambda o=o, fn=fn, ctx=ctx: fn(ctx, int(o)))
+                for o in outs
+            ]
             report.add(
                 theta,
                 name,

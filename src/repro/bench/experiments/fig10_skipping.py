@@ -99,7 +99,9 @@ def run_report() -> Report:
         for p1, p2 in parameter_combinations(4):
             sel = opt.skip_backward(bar, "lineitem", ATTRS, (p1, p2)).shape[0]
             for name, fn in STRATEGIES.items():
-                secs = time_once(lambda: fn(ctx, bar, p1, p2))
+                secs = time_once(
+                    lambda fn=fn, bar=bar, p1=p1, p2=p2: fn(ctx, bar, p1, p2)
+                )
                 report.add(
                     bar, p1, p2, f"{sel / n_lineitem:8.4%}", name, fmt_ms(secs)
                 )

@@ -122,7 +122,7 @@ def run_report() -> Report:
             for name, fn in STRATEGIES.items():
                 groups = [0]
 
-                def run(name=name, fn=fn):
+                def run(fn=fn, bar=bar, p1=p1, p2=p2):
                     groups[0] = fn(ctx, bar, p1, p2)
 
                 secs = time_once(run)

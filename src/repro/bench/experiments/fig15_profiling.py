@@ -41,7 +41,11 @@ def run_report(repeats: int = 2) -> Report:
         for technique in PROFILER_TECHNIQUES:
             reports = []
 
-            def run(technique=technique):
+            def run(
+                technique=technique,
+                determinant=determinant,
+                dependent=dependent,
+            ):
                 reports.append(
                     run_technique(db, determinant, dependent, technique)
                 )

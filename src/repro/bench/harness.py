@@ -73,10 +73,10 @@ class Report:
             for i in range(len(cols))
         ]
         lines = ["= " + self.title + " ="]
-        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths, strict=True)))
         lines.append("  ".join("-" * w for w in widths))
         for row in self.rows:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
         for note in self.notes:
             lines.append(f"# {note}")
         return "\n".join(lines)

@@ -34,6 +34,27 @@ class StaleBindingError(PlanError):
     """
 
 
+class InvalidArgumentError(ReproError, ValueError):
+    """A caller passed an argument outside its documented domain.
+
+    The taxonomy-level replacement for bare ``ValueError`` in library code
+    (enforced by lint rule RPR004).  It still subclasses ``ValueError`` so
+    pre-existing callers that guarded argument mistakes with
+    ``except ValueError`` keep working, while ``except ReproError`` now
+    covers them too.
+    """
+
+
+class SanitizeError(ReproError):
+    """A debug-mode sanitizer check failed (see :mod:`repro.sanitize`).
+
+    Raised only when ``REPRO_SANITIZE=1``: captured lineage violated a
+    structural invariant (non-monotone CSR indptr, out-of-bounds rid,
+    wrong dtype) or a rid resolution escaped its base-table domain.
+    Production runs never pay for — or raise — these checks.
+    """
+
+
 class SqlError(ReproError):
     """The SQL front end rejected a statement."""
 
@@ -53,6 +74,14 @@ class LineageError(ReproError):
 
 class CaptureDisabledError(LineageError):
     """Lineage was requested but capture was disabled (or pruned away)."""
+
+
+class RidRangeError(LineageError, IndexError):
+    """A record id fell outside its relation's row range.
+
+    Subclasses ``IndexError`` so positional-access callers that guard
+    with the builtin keep working (same compatibility pattern as
+    :class:`InvalidArgumentError`)."""
 
 
 class WorkloadError(ReproError):

@@ -23,9 +23,8 @@ import numpy as np
 
 from ...errors import PlanError
 from ...lineage.capture import CaptureConfig
-from ...lineage.composer import NodeLineage, compose_node
+from ...lineage.composer import NodeLineage, compose_node, selection_locals
 from ...lineage.indexes import (
-    NO_MATCH,
     RidArray,
     RidIndex,
     invert_rid_array,
@@ -52,6 +51,12 @@ from ...storage.catalog import Catalog
 from ...storage.table import ColumnType, Schema, Table
 from ..late_mat import PushedStats, execute_pushed, fold_push_stats
 from ..lineage_scan import execute_lineage_scan
+from ..timings import (
+    EXECUTE,
+    LATE_MAT_DISTINCTS,
+    LATE_MAT_JOINS,
+    LATE_MAT_SUBTREES,
+)
 from ..vector.executor import ExecResult, check_relation_pruning
 from .codegen import (
     CodeContext,
@@ -112,13 +117,13 @@ class CompiledExecutor:
         table, node = state.run(plan, scan_keys)
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
-        timings = {"execute": elapsed}
+        timings = {EXECUTE: elapsed}
         if state.pushed_subtrees:
-            timings["late_mat_subtrees"] = float(state.pushed_subtrees)
+            timings[LATE_MAT_SUBTREES] = float(state.pushed_subtrees)
         if state.pushed_joins:
-            timings["late_mat_joins"] = float(state.pushed_joins)
+            timings[LATE_MAT_JOINS] = float(state.pushed_joins)
         if state.pushed_distincts:
-            timings["late_mat_distincts"] = float(state.pushed_distincts)
+            timings[LATE_MAT_DISTINCTS] = float(state.pushed_distincts)
         fold_push_stats(timings, state.push_stats)
         return ExecResult(table, lineage, timings)
 
@@ -281,11 +286,10 @@ class _ExecState:
 
             keep = np.asarray(evaluate(having, table, self.params), dtype=bool)
             kept = np.nonzero(keep)[0].astype(np.int64)
-            remap = np.full(keep.shape[0], NO_MATCH, dtype=np.int64)
-            remap[kept] = np.arange(kept.shape[0], dtype=np.int64)
+            local_bw, local_fw = selection_locals(kept, keep.shape[0], self.config)
             table = table.take(kept)
             node = compose_node(
-                table.num_rows, node, RidArray(kept), RidArray(remap)
+                table.num_rows, node, local_bw, local_fw
             ) if self.config.enabled else NodeLineage(output_size=table.num_rows)
         return table, node
 
@@ -309,7 +313,7 @@ class _ExecState:
 
         if isinstance(plan, Scan):
             key = self._next_scan_key()
-            table = self.catalog.get(plan.table)
+            table, epoch = self.catalog.get_versioned(plan.table)
             src_name = key
             sources[src_name] = table.columns()
             captured = self.config.captures_relation(key, plan.table, plan.alias)
@@ -322,7 +326,7 @@ class _ExecState:
                     backward=self.config.backward,
                     forward=self.config.forward,
                     alias=plan.alias,
-                    epoch=self.catalog.epoch(plan.table),
+                    epoch=epoch,
                 )
             return SourceNode(src_name, table.schema.names, lineage_key), table.schema
 
@@ -355,7 +359,7 @@ class _ExecState:
             rename = {
                 out_name: src
                 for (out_name, _, side), src in zip(
-                    fields, left_schema.names + right_schema.names
+                    fields, left_schema.names + right_schema.names, strict=True
                 )
                 if side == "right"
             }

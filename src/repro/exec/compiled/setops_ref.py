@@ -80,7 +80,7 @@ def _set_union(left: Table, right: Table, config: CaptureConfig):
 
 def _bag_union(left: Table, right: Table, config: CaptureConfig):
     output = concat_tables(
-        [left, right.rename(dict(zip(right.schema.names, left.schema.names)))]
+        [left, right.rename(dict(zip(right.schema.names, left.schema.names, strict=True)))]
     )
     if not config.enabled:
         return output, (None, None, None, None)
@@ -118,7 +118,7 @@ def _set_intersect(left: Table, right: Table, config: CaptureConfig):
     a_fw = [NO_MATCH] * left.num_rows
     b_fw = [NO_MATCH] * right.num_rows
     oid = -1
-    for row, (a_rids, b_rids) in ht.items():
+    for a_rids, b_rids in ht.values():
         if not b_rids:
             continue
         oid += 1
@@ -181,7 +181,7 @@ def _set_except(left: Table, right: Table, config: CaptureConfig):
         return output, (None, None, None, None)
     a_fw = [NO_MATCH] * left.num_rows
     oid = -1
-    for row, (a_rids, survives) in ht.items():
+    for a_rids, survives in ht.values():
         if not survives:
             continue
         oid += 1

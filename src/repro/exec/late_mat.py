@@ -63,8 +63,12 @@ import numpy as np
 from ..errors import SchemaError
 from ..lineage.cache import LineageResolutionCache
 from ..lineage.capture import CaptureConfig
-from ..lineage.composer import NodeLineage, compose_node, merge_binary
-from ..lineage.indexes import NO_MATCH, RidArray
+from ..lineage.composer import (
+    NodeLineage,
+    compose_node,
+    merge_binary,
+    selection_locals,
+)
 from ..plan.logical import LogicalPlan, Scan, Select
 from ..plan.rewrite import PushedJoin, PushedJoinHop, PushedJoinSide, PushedLineageQuery
 from ..plan.schema import infer_expr_type, infer_schema, join_output_fields
@@ -76,6 +80,11 @@ from ..substrate.stats import (
     choose_build_side,
 )
 from .lineage_scan import resolve_scan_source, scan_node_lineage
+from .timings import (
+    LATE_MAT_BUILD_SWAPS,
+    LATE_MAT_CHAIN_HOPS,
+    LATE_MAT_PKFK_DETECTED,
+)
 
 #: Executes one plan subtree through the calling backend's own recursion
 #: (used for the plain, non-lineage leaves of a pushed join chain).
@@ -102,11 +111,11 @@ def fold_push_stats(timings: Dict[str, float], stats: PushedStats) -> None:
     side, and ``late_mat_pkfk_detected`` hops upgraded to the pk-fk
     probe by column statistics alone."""
     if stats.chain_hops:
-        timings["late_mat_chain_hops"] = float(stats.chain_hops)
+        timings[LATE_MAT_CHAIN_HOPS] = float(stats.chain_hops)
     if stats.build_swaps:
-        timings["late_mat_build_swaps"] = float(stats.build_swaps)
+        timings[LATE_MAT_BUILD_SWAPS] = float(stats.build_swaps)
     if stats.pkfk_detected:
-        timings["late_mat_pkfk_detected"] = float(stats.pkfk_detected)
+        timings[LATE_MAT_PKFK_DETECTED] = float(stats.pkfk_detected)
 
 
 def _slice_names(source: Table, columns) -> List[str]:
@@ -245,7 +254,8 @@ class _ChainState:
         unique: Optional[bool] = None
         if len(self.inputs) == 1 and self.inputs[0].base_table is not None:
             base = self.inputs[0].base_table
-            if catalog.get(base).num_rows <= UNIQUENESS_PROBE_MAX_ROWS:
+            base_rows = catalog.get_versioned(base)[0].num_rows
+            if base_rows <= UNIQUENESS_PROBE_MAX_ROWS:
                 # Deriving uniqueness scans the base column once per
                 # epoch; keep that cold hit out of interactive statements
                 # over huge relations (cardinality still decides there).
@@ -365,15 +375,7 @@ def _chain_select(
     )
     mask = np.asarray(evaluate(predicate, pred_table, params), dtype=bool)
     kept = np.nonzero(mask)[0].astype(np.int64)
-    local_bw = None
-    local_fw = None
-    if config.enabled:
-        if config.backward:
-            local_bw = RidArray(kept.copy())
-        if config.forward:
-            forward = np.full(mask.shape[0], NO_MATCH, dtype=np.int64)
-            forward[kept] = np.arange(kept.shape[0], dtype=np.int64)
-            local_fw = RidArray(forward)
+    local_bw, local_fw = selection_locals(kept, mask.shape[0], config)
     node = compose_node(int(kept.shape[0]), state.node, local_bw, local_fw)
     return state.narrow(kept, node)
 

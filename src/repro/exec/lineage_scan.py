@@ -46,12 +46,12 @@ from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
+from .. import sanitize
 from ..errors import LineageError, PlanError, StaleBindingError
 from ..expr.ast import Const, Param
 from ..lineage.cache import LineageResolutionCache
 from ..lineage.capture import CaptureConfig, QueryLineage
 from ..lineage.composer import NodeLineage
-from ..lineage.indexes import NO_MATCH, RidArray
 from ..plan.logical import LineageScan
 from ..storage.catalog import Catalog
 from ..storage.table import Table
@@ -81,7 +81,7 @@ def resolve_base_table(catalog: Catalog, lineage: QueryLineage, relation: str) -
         return relation
     if "#" in relation and relation.split("#")[0] in known:
         return relation.split("#")[0]
-    catalog.get(relation)  # raises the canonical unknown-table error
+    catalog.get_versioned(relation)  # raises the canonical unknown-table error
     raise PlanError(f"cannot resolve lineage relation {relation!r}")
 
 
@@ -138,12 +138,6 @@ def _resolve_result(plan: LineageScan, results: Optional[Mapping[str, object]]):
     return result
 
 
-def _scatter_forward(rids: np.ndarray, domain: int) -> RidArray:
-    values = np.full(domain, NO_MATCH, dtype=np.int64)
-    values[rids] = np.arange(rids.shape[0], dtype=np.int64)
-    return RidArray(values)
-
-
 def resolve_scan_source(
     plan: LineageScan,
     catalog: Catalog,
@@ -174,8 +168,7 @@ def resolve_scan_source(
 
     if plan.direction == "backward":
         base_name = resolve_base_table(catalog, lineage, plan.relation)
-        base = catalog.get(base_name)
-        epoch = catalog.epoch(base_name)
+        base, epoch = catalog.get_versioned(base_name)
         captured_epoch = lineage.base_epoch(plan.relation)
         if captured_epoch is not None and captured_epoch != epoch:
             # Same-shape replacement would otherwise answer with stale
@@ -226,6 +219,16 @@ def resolve_scan_source(
                 f"relation {base_name!r} ({base.num_rows} rows); the base "
                 "table was replaced — re-run the base query"
             )
+        if sanitize.enabled():
+            # Every resolved rid in-domain and the capture epoch live —
+            # the production guards above only check the tail/recorded
+            # epoch; debug mode re-validates the whole resolution.
+            sanitize.check_rid_bounds(
+                rids, base.num_rows, f"Lb({plan.result!r}, {base_name!r})"
+            )
+            sanitize.check_epoch(
+                captured_epoch, epoch, base_name, f"Lb({plan.result!r})"
+            )
         # Register under the resolved base table (like an aliased Scan),
         # so downstream lookups and pruning by base name keep working even
         # when the Lb argument was an alias or occurrence key.
@@ -262,6 +265,10 @@ def resolve_scan_source(
         )
     else:
         rids = compute_forward()
+    if sanitize.enabled():
+        sanitize.check_rid_bounds(
+            rids, result.table.num_rows, f"Lf({plan.relation!r}, {plan.result!r})"
+        )
     # The prior result's output acts as the scanned (pseudo) relation.
     return result.table, rids, plan.result, result.table.num_rows, None
 
@@ -277,20 +284,12 @@ def scan_node_lineage(
 ) -> NodeLineage:
     """The scan's node lineage: output row ``i`` came from source rid
     ``rids[i]``.  Shared by both materialization paths, so the pushed
-    path composes from the same indexes the materializing path builds."""
-    node = NodeLineage(output_size=int(rids.shape[0]))
-    node.names[key] = source_name
-    if plan.alias is not None and plan.alias != source_name:
-        node.aliases[key] = plan.alias
-    node.base_sizes[key] = domain
-    if epoch is not None:
-        node.base_epochs[key] = epoch
-    if config.captures_relation(key, source_name, plan.alias):
-        if config.backward:
-            node.backward[key] = RidArray(rids)
-        if config.forward:
-            node.forward[key] = _scatter_forward(rids, domain)
-    return node
+    path composes from the same indexes the materializing path builds.
+    Construction lives in the composer fold
+    (:meth:`~repro.lineage.composer.NodeLineage.for_traced_scan`)."""
+    return NodeLineage.for_traced_scan(
+        key, source_name, rids, domain, config, alias=plan.alias, epoch=epoch
+    )
 
 
 def execute_lineage_scan(

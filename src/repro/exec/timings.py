@@ -1,0 +1,56 @@
+"""Central registry of per-execution timing/counter keys.
+
+Every key written into an :class:`~repro.exec.vector.executor.ExecResult`
+``timings`` dict (or read back out by benchmarks and BENCH gates) must be
+one of the constants below — enforced statically by lint rule **RPR003
+timings-registry** (``python -m tools.lint src benchmarks``).
+
+Why a registry at all: the late-materialization benchmarks gate on
+counters like ``late_mat_chain_hops``; a typo'd key at either the write
+or the read site does not error, it silently reports ``0``/``None`` and
+the gate stops measuring anything.  Keeping every spelling in one module
+turns that failure mode into a lint error.
+
+Adding a key: declare the constant here, add it to :data:`ALL_KEYS`,
+and use the constant at both write and read sites.
+"""
+
+from __future__ import annotations
+
+#: Wall-clock seconds of one ``execute()`` call (both backends).
+EXECUTE = "execute"
+
+#: Number of lineage-consuming subtrees the planner handed to the pushed
+#: (late-materializing) path during this execution.
+LATE_MAT_SUBTREES = "late_mat_subtrees"
+
+#: Joins executed inside pushed subtrees in the rid domain.
+LATE_MAT_JOINS = "late_mat_joins"
+
+#: DISTINCT operators absorbed into pushed subtrees.
+LATE_MAT_DISTINCTS = "late_mat_distincts"
+
+#: Join hops flattened into a single pushed rid-domain chain.
+LATE_MAT_CHAIN_HOPS = "late_mat_chain_hops"
+
+#: Chain hops whose build side was swapped by the cardinality rule.
+LATE_MAT_BUILD_SWAPS = "late_mat_build_swaps"
+
+#: Chain hops probed with the pk-fk fast path (build keys unique).
+LATE_MAT_PKFK_DETECTED = "late_mat_pkfk_detected"
+
+#: Every registered timings key.  Tests assert BENCH-gated keys appear
+#: here; the linter does not consult this set (it checks that *call
+#: sites* reference ``timings.<CONSTANT>``), so a key missing from it is
+#: caught at test time, not silently accepted.
+ALL_KEYS = frozenset(
+    {
+        EXECUTE,
+        LATE_MAT_SUBTREES,
+        LATE_MAT_JOINS,
+        LATE_MAT_DISTINCTS,
+        LATE_MAT_CHAIN_HOPS,
+        LATE_MAT_BUILD_SWAPS,
+        LATE_MAT_PKFK_DETECTED,
+    }
+)

@@ -26,7 +26,12 @@ from ...lineage.capture import (
     QueryLineage,
     unmatched_capture_relations,
 )
-from ...lineage.composer import NodeLineage, compose_node, merge_binary
+from ...lineage.composer import (
+    NodeLineage,
+    compose_node,
+    drop_setop_right_indexes,
+    merge_binary,
+)
 from ...plan.logical import (
     CrossProduct,
     GroupBy,
@@ -44,6 +49,12 @@ from ...plan.logical import (
 )
 from ..late_mat import PushedStats, execute_pushed, fold_push_stats
 from ..lineage_scan import execute_lineage_scan
+from ..timings import (
+    EXECUTE,
+    LATE_MAT_DISTINCTS,
+    LATE_MAT_JOINS,
+    LATE_MAT_SUBTREES,
+)
 from ...lineage.cache import LineageResolutionCache
 from ...plan.rewrite import RewriteIndex, match_late_materialization
 from ...plan.schema import infer_schema, join_output_fields
@@ -68,7 +79,7 @@ class ExecResult:
     @property
     def execute_seconds(self) -> float:
         """Wall time of the (instrumented) base query."""
-        return self.timings.get("execute", 0.0)
+        return self.timings.get(EXECUTE, 0.0)
 
     @property
     def finalize_seconds(self) -> float:
@@ -160,13 +171,13 @@ class VectorExecutor:
         table, node = self._run(plan, config, params, scan_keys, state)
         elapsed = time.perf_counter() - start
         lineage = node.to_query_lineage() if config.enabled else None
-        timings = {"execute": elapsed}
+        timings = {EXECUTE: elapsed}
         if state.pushed_subtrees:
-            timings["late_mat_subtrees"] = float(state.pushed_subtrees)
+            timings[LATE_MAT_SUBTREES] = float(state.pushed_subtrees)
         if state.pushed_joins:
-            timings["late_mat_joins"] = float(state.pushed_joins)
+            timings[LATE_MAT_JOINS] = float(state.pushed_joins)
         if state.pushed_distincts:
-            timings["late_mat_distincts"] = float(state.pushed_distincts)
+            timings[LATE_MAT_DISTINCTS] = float(state.pushed_distincts)
         fold_push_stats(timings, state.push_stats)
         return ExecResult(table, lineage, timings)
 
@@ -208,7 +219,7 @@ class VectorExecutor:
 
         if isinstance(plan, Scan):
             key = state.next_key(scan_keys)
-            table = self.catalog.get(plan.table)
+            table, epoch = self.catalog.get_versioned(plan.table)
             captured = config.captures_relation(key, plan.table, plan.alias)
             node = NodeLineage.for_scan(
                 key,
@@ -217,7 +228,7 @@ class VectorExecutor:
                 backward=config.backward and captured,
                 forward=config.forward and captured,
                 alias=plan.alias,
-                epoch=self.catalog.epoch(plan.table),
+                epoch=epoch,
             )
             return table, node
 
@@ -279,7 +290,7 @@ class VectorExecutor:
                 left_table,
                 right_table,
                 matches,
-                [(n, s) for (n, _, _), s in zip(fields, src_names)],
+                [(n, s) for (n, _, _), s in zip(fields, src_names, strict=True)],
             )
             l_bw, l_fw, r_bw, r_fw = join_lineage_locals(matches, config, plan.pkfk)
             node = merge_binary(
@@ -296,7 +307,7 @@ class VectorExecutor:
             )
             fields = join_output_fields(left_table.schema, right_table.schema)
             src_names = left_table.schema.names + right_table.schema.names
-            combined_names = [(n, s) for (n, _, _), s in zip(fields, src_names)]
+            combined_names = [(n, s) for (n, _, _), s in zip(fields, src_names, strict=True)]
             matches = theta_matches(
                 left_table, right_table, plan.predicate, combined_names, params
             )
@@ -320,7 +331,7 @@ class VectorExecutor:
             fields = join_output_fields(left_table.schema, right_table.schema)
             src_names = left_table.schema.names + right_table.schema.names
             columns = {}
-            for i, ((out_name, _, _), src) in enumerate(zip(fields, src_names)):
+            for i, ((out_name, _, _), src) in enumerate(zip(fields, src_names, strict=True)):
                 if i < len(left_table.schema.names):
                     columns[out_name] = np.repeat(left_table.column(src), n_right)
                 else:
@@ -348,14 +359,7 @@ class VectorExecutor:
             if plan.op == "except":
                 # No lineage for B (paper F.5): every output depends on all
                 # of B, so Smoke answers those queries with a scan instead.
-                # Dropping the entries here also prevents the binary-merge
-                # step from mistaking the "absent" locals for identity maps.
-                for key in list(node.backward):
-                    if key in right_node.backward and key not in left_node.backward:
-                        del node.backward[key]
-                for key in list(node.forward):
-                    if key in right_node.forward and key not in left_node.forward:
-                        del node.forward[key]
+                drop_setop_right_indexes(node, left_node, right_node)
             return out, node
 
         raise PlanError(f"vector backend cannot execute {plan!r}")
@@ -398,7 +402,7 @@ def check_relation_pruning(
     if not config.enabled or not config.relations:
         return
     sources = []
-    for key, leaf in zip(scan_keys, source_leaves(plan)):
+    for key, leaf in zip(scan_keys, source_leaves(plan), strict=True):
         if isinstance(leaf, Scan):
             sources.append((key, leaf.table, leaf.alias))
         else:

@@ -76,7 +76,7 @@ def inject_backward_index(
         boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [sorted_ids.shape[0]]))
-        for s, e in zip(starts, ends):
+        for s, e in zip(starts, ends, strict=True):
             if s == e:
                 continue
             growable.extend(int(sorted_ids[s]), order[s:e] + lo)
@@ -98,7 +98,7 @@ def execute_groupby(
     layout = GroupLayout(group_ids, num_groups) if num_groups else None
 
     columns: Dict[str, np.ndarray] = {}
-    for (expr, alias), arr in zip(node.keys, key_arrays):
+    for (_expr, alias), arr in zip(node.keys, key_arrays, strict=True):
         columns[alias] = arr[representatives] if num_groups else arr[:0]
     for agg in node.aggs:
         if layout is None:

@@ -64,7 +64,7 @@ def _key_ids(
     """Factorize join keys over the union of both sides' values."""
     n_left = left_cols[0].shape[0]
     combined = []
-    for l, r in zip(left_cols, right_cols):
+    for l, r in zip(left_cols, right_cols, strict=True):
         if l.dtype == object or r.dtype == object:
             combined.append(np.concatenate([l.astype(object), r.astype(object)]))
         else:
@@ -196,7 +196,7 @@ def inject_forward_index(
         boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
         starts = np.concatenate(([0], boundaries))
         ends = np.concatenate((boundaries, [sorted_ids.shape[0]]))
-        for s, e in zip(starts, ends):
+        for s, e in zip(starts, ends, strict=True):
             if s == e:
                 continue
             growable.extend(int(sorted_ids[s]), order[s:e] + lo)

@@ -23,7 +23,8 @@ import numpy as np
 
 from ...expr.ast import Expr, evaluate
 from ...lineage.capture import CaptureConfig
-from ...lineage.indexes import NO_MATCH, RidArray
+from ...lineage.composer import selection_locals
+from ...lineage.indexes import RidArray
 from ...storage.growable import GrowableRidVector
 from ...storage.table import Table
 from .kernels import chunk_ranges
@@ -57,11 +58,5 @@ def execute_select(
         if passing.size:
             backward_vec.extend(passing + lo)
     out_rids = backward_vec.view()
-
-    local_backward = RidArray(out_rids.copy()) if config.backward else None
-    local_forward = None
-    if config.forward:
-        forward = np.full(n, NO_MATCH, dtype=np.int64)
-        forward[out_rids] = np.arange(out_rids.shape[0], dtype=np.int64)
-        local_forward = RidArray(forward)
+    local_backward, local_forward = selection_locals(out_rids, n, config)
     return child.take(out_rids), local_backward, local_forward

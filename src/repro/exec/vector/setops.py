@@ -53,7 +53,7 @@ def _row_ids(left: Table, right: Table) -> Tuple[np.ndarray, np.ndarray, int]:
     """Dense value ids over the union of both inputs' rows."""
     n_left = left.num_rows
     arrays = []
-    for (name_l, _), (name_r, _) in zip(left.schema.fields, right.schema.fields):
+    for (name_l, _), (name_r, _) in zip(left.schema.fields, right.schema.fields, strict=True):
         l, r = left.column(name_l), right.column(name_r)
         if l.dtype == object or r.dtype == object:
             arrays.append(np.concatenate([l.astype(object), r.astype(object)]))
@@ -121,7 +121,7 @@ def _set_union(left: Table, right: Table, config: CaptureConfig):
     entries = _first_occurrence_entries(left_ids, right_ids, num_values)
     out_of_value = np.full(num_values, NO_MATCH, dtype=np.int64)
     out_of_value[entries] = np.arange(entries.shape[0], dtype=np.int64)
-    combined = concat_tables([left, right.rename(dict(zip(right.schema.names, left.schema.names)))])
+    combined = concat_tables([left, right.rename(dict(zip(right.schema.names, left.schema.names, strict=True)))])
     # Representative row per output entry: first occurrence in A-then-B.
     all_ids = np.concatenate([left_ids, right_ids])
     _, first_idx = np.unique(all_ids, return_index=True)
@@ -138,7 +138,7 @@ def _set_union(left: Table, right: Table, config: CaptureConfig):
 
 def _bag_union(left: Table, right: Table, config: CaptureConfig):
     output = concat_tables(
-        [left, right.rename(dict(zip(right.schema.names, left.schema.names)))]
+        [left, right.rename(dict(zip(right.schema.names, left.schema.names, strict=True)))]
     )
     if not config.enabled:
         return output, (None, None, None, None)

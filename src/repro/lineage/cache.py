@@ -39,6 +39,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from ..errors import InvalidArgumentError
+
 #: Key of one memoized resolution: (result name, direction, relation
 #: reference, rid-subset fingerprint).
 _CacheKey = Tuple[str, str, str, object]
@@ -67,7 +69,7 @@ class LineageResolutionCache:
 
     def __init__(self, registry=None, max_entries: int = 512):
         if max_entries < 1:
-            raise ValueError("max_entries must be positive")
+            raise InvalidArgumentError("max_entries must be positive")
         self._registry = registry
         self._entries: "OrderedDict[_CacheKey, Tuple[object, np.ndarray]]" = (
             OrderedDict()

@@ -27,10 +27,12 @@ so deferred construction stays deferred across operator boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from .capture import IndexOrThunk, QueryLineage
-from .indexes import LineageIndex, RidArray, compose
+from .indexes import LineageIndex, RidArray, compose, scatter_forward
 
 #: ``None`` denotes the identity mapping (scan output == base relation).
 MaybeIndex = Optional[IndexOrThunk]
@@ -81,6 +83,38 @@ class NodeLineage:
         node.base_sizes[key] = size
         if epoch is not None:
             node.base_epochs[key] = epoch
+        return node
+
+    @classmethod
+    def for_traced_scan(
+        cls,
+        key: str,
+        name: str,
+        rids: np.ndarray,
+        domain: int,
+        config,
+        alias: Optional[str] = None,
+        epoch: Optional[int] = None,
+    ) -> "NodeLineage":
+        """Lineage of a scan whose output is the rid subset ``rids`` of a
+        ``domain``-row source (a ``Lb``/``Lf`` lineage scan): output row
+        ``i`` came from source rid ``rids[i]``.  Backward is the rid
+        array itself; forward scatters the kept positions
+        (:func:`~repro.lineage.indexes.scatter_forward`).  ``config`` is
+        the run's :class:`~repro.lineage.capture.CaptureConfig`.
+        """
+        node = cls(output_size=int(rids.shape[0]))
+        node.names[key] = name
+        if alias is not None and alias != name:
+            node.aliases[key] = alias
+        node.base_sizes[key] = domain
+        if epoch is not None:
+            node.base_epochs[key] = epoch
+        if config.captures_relation(key, name, alias):
+            if config.backward:
+                node.backward[key] = RidArray(rids)
+            if config.forward:
+                node.forward[key] = scatter_forward(rids, domain)
         return node
 
     def absorb(
@@ -180,3 +214,45 @@ def merge_binary(
     node.absorb(left, left_backward, left_forward)
     node.absorb(right, right_backward, right_forward)
     return node
+
+
+def selection_locals(
+    kept: np.ndarray, domain: int, config
+) -> Tuple[MaybeIndex, MaybeIndex]:
+    """Local 1-to-1 lineage of a selection keeping positions ``kept`` out
+    of ``domain`` input rows: ``(backward, forward)`` per the capture
+    directions of ``config`` (a :class:`~repro.lineage.capture.CaptureConfig`).
+
+    This is the one sanctioned construction of selection locals —
+    ``execute_select``, the pushed chain filter, and the compiled HAVING
+    step all fold through it, so the scatter (and its domain check in
+    :func:`~repro.lineage.indexes.scatter_forward`) lives in exactly one
+    place (lint rule RPR001).
+    """
+    if not config.enabled:
+        return None, None
+    kept = np.ascontiguousarray(kept, dtype=np.int64)
+    local_backward = RidArray(kept.copy()) if config.backward else None
+    local_forward = scatter_forward(kept, domain) if config.forward else None
+    return local_backward, local_forward
+
+
+def drop_setop_right_indexes(
+    node: NodeLineage, left: NodeLineage, right: NodeLineage
+) -> None:
+    """Remove from ``node`` the lineage entries contributed only by the
+    right input of a set difference.
+
+    EXCEPT captures nothing for B (paper F.5): every output row depends
+    on *all* of B, so Smoke answers those lineage queries with a scan
+    instead.  Dropping the entries (rather than leaving them absent from
+    the locals) also prevents :func:`merge_binary` from mistaking the
+    missing locals for identity maps.  Occurrences scanned on *both*
+    sides (self-referencing EXCEPT) keep their left-side entries.
+    """
+    for key in list(node.backward):
+        if key in right.backward and key not in left.backward:
+            del node.backward[key]
+    for key in list(node.forward):
+        if key in right.forward and key not in left.forward:
+            del node.forward[key]

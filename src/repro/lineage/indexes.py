@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import sanitize
 from ..errors import LineageError
 from ..storage.growable import GrowableRidVector
 
@@ -47,6 +48,9 @@ class RidArray:
 
     def __init__(self, values: np.ndarray):
         self.values = np.ascontiguousarray(values, dtype=np.int64)
+        if sanitize.enabled():
+            sanitize.check_rid_array(self.values)
+            sanitize.freeze(self.values)
 
     @classmethod
     def identity(cls, n: int) -> "RidArray":
@@ -125,6 +129,10 @@ class RidIndex:
                 f"CSR mismatch: offsets[-1]={int(self.offsets[-1])} "
                 f"!= len(values)={self.values.shape[0]}"
             )
+        if sanitize.enabled():
+            sanitize.check_csr(self.offsets, self.values)
+            sanitize.freeze(self.offsets)
+            sanitize.freeze(self.values)
 
     # -- constructors ----------------------------------------------------------
 
@@ -289,6 +297,28 @@ class GrowableRidIndex:
 
 
 # -- inversion and composition --------------------------------------------------
+
+
+def scatter_forward(rids: np.ndarray, domain: int) -> RidArray:
+    """The forward half of a selection fold: scatter kept positions into a
+    1-to-1 ``input rid -> output position`` array (NO_MATCH elsewhere).
+
+    ``rids`` must be strictly increasing positions into ``[0, domain)`` —
+    exactly what ``np.nonzero`` / a kept-mask produces.  This is the one
+    sanctioned home of the scatter idiom; executor code reaching for
+    ``out[rids] = np.arange(...)`` directly is the PR-4 seed-bug class
+    (lint rule RPR001) because nothing there checks ``rids`` against the
+    destination domain.
+    """
+    rids = _as_rids(rids)
+    if rids.size and (rids[0] < 0 or rids[-1] >= domain):
+        raise LineageError(
+            f"scatter_forward rids out of range [0, {domain}):"
+            f" min={int(rids[0])} max={int(rids[-1])}"
+        )
+    values = np.full(domain, NO_MATCH, dtype=np.int64)
+    values[rids] = np.arange(rids.shape[0], dtype=np.int64)
+    return RidArray(values)
 
 
 def invert_rid_array(arr: RidArray, codomain_size: int) -> RidIndex:

@@ -57,7 +57,7 @@ def why_provenance(
             f"sizes {sorted(sizes)}"
         )
     witnesses = {
-        tuple((rel, int(b[i])) for rel, b in zip(relations, buckets))
+        tuple((rel, int(b[i])) for rel, b in zip(relations, buckets, strict=True))
         for i in range(next(iter(sizes), 0))
     }
     return sorted(witnesses)
@@ -79,7 +79,7 @@ def how_provenance(
     monomials = Counter()
     for i in range(next(iter(sizes), 0)):
         term = tuple(
-            f"{rel[0].lower()}{int(b[i]) + 1}" for rel, b in zip(relations, buckets)
+            f"{rel[0].lower()}{int(b[i]) + 1}" for rel, b in zip(relations, buckets, strict=True)
         )
         monomials[term] += 1
     parts = []

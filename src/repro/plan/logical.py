@@ -239,7 +239,7 @@ class HashJoin(LogicalPlan):
 
     def _describe_line(self) -> str:
         cond = " and ".join(
-            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys)
+            f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys, strict=True)
         )
         tag = " pkfk" if self.pkfk else ""
         return f"HashJoin({cond}{tag})"

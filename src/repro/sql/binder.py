@@ -401,7 +401,7 @@ class _SelectBinder:
             return True
         if len(arrays) == 1:
             return np.unique(arrays[0]).shape[0] == table.num_rows
-        rows = set(zip(*arrays))
+        rows = set(zip(*arrays, strict=True))
         return len(rows) == table.num_rows
 
     # -- SELECT list and aggregation ------------------------------------------------
@@ -411,7 +411,7 @@ class _SelectBinder:
         for item in items:
             if item.star:
                 for entry in self.scope.entries:
-                    for original, current in entry.col_map.items():
+                    for current in entry.col_map.values():
                         out.append(
                             SelectItem(RawColumn(None, current), alias=current)
                         )
@@ -496,7 +496,7 @@ class _SelectBinder:
                 return InList(walk(node.operand), _in_choices(node))
             if isinstance(node, RawColumn):
                 # In HAVING scope, names refer to group-key aliases.
-                for expr, alias in keys:
+                for _expr, alias in keys:
                     if alias == node.name:
                         return Col(alias)
                 resolved = self.scope.resolve(node)

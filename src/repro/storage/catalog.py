@@ -96,6 +96,16 @@ class Catalog:
                 f"unknown table {name!r}; known: {sorted(self._tables)}"
             ) from None
 
+    def get_versioned(self, name: str) -> Tuple[Table, int]:
+        """The table *and* its replacement epoch, read together.
+
+        This is the accessor executor and lineage code must use (lint
+        rule RPR005): reading a table without its epoch invites lineage
+        that silently outlives a replacement.  Unknown names raise the
+        same canonical error as :meth:`get`.
+        """
+        return self.get(name), self.epoch(name)
+
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SchemaError
+from ..errors import RidRangeError, SchemaError
 
 
 class ColumnType(enum.Enum):
@@ -62,7 +62,7 @@ class Schema:
 
     @property
     def fields(self) -> List[Tuple[str, ColumnType]]:
-        return list(zip(self._names, self._types))
+        return list(zip(self._names, self._types, strict=True))
 
     def __len__(self) -> int:
         return len(self._names)
@@ -194,13 +194,13 @@ class Table:
 
     def row(self, rid: int) -> Tuple:
         if not 0 <= rid < self._nrows:
-            raise IndexError(f"rid {rid} out of range [0, {self._nrows})")
+            raise RidRangeError(f"rid {rid} out of range [0, {self._nrows})")
         return tuple(self._columns[n][rid] for n in self.schema.names)
 
     def itertuples(self):
         """Iterate rows as tuples (used by the compiled backend and tests)."""
         arrays = [self._columns[n] for n in self.schema.names]
-        return zip(*arrays) if arrays else iter(())
+        return zip(*arrays, strict=True) if arrays else iter(())
 
     def to_rows(self) -> List[Tuple]:
         return list(self.itertuples())
@@ -260,9 +260,9 @@ class Table:
         widths = [
             max([len(n)] + [len(r[i]) for r in rows]) for i, n in enumerate(names)
         ]
-        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths, strict=True))
         sep = "-+-".join("-" * w for w in widths)
-        body = [" | ".join(v.ljust(w) for v, w in zip(row, widths)) for row in rows]
+        body = [" | ".join(v.ljust(w) for v, w in zip(row, widths, strict=True)) for row in rows]
         suffix = [] if len(self) <= limit else [f"... ({len(self)} rows total)"]
         return "\n".join([header, sep] + body + suffix)
 

@@ -34,6 +34,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..errors import InvalidArgumentError
+
 
 @dataclass
 class CardinalityHints:
@@ -91,7 +93,7 @@ def estimate_selectivity(values: np.ndarray, threshold: float, lo: float, hi: fl
     selectivity of ``v < ?`` as ``?/100`` for uniform v in [0, 100].
     """
     if hi <= lo:
-        raise ValueError("hi must exceed lo")
+        raise InvalidArgumentError("hi must exceed lo")
     return float(min(1.0, max(0.0, (threshold - lo) / (hi - lo))))
 
 

@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import InvalidArgumentError
+
 
 def zipf_probabilities(num_values: int, theta: float) -> np.ndarray:
     """Probability vector of a bounded zipfian over ranks ``1..num_values``."""
     if num_values < 1:
-        raise ValueError("num_values must be >= 1")
+        raise InvalidArgumentError("num_values must be >= 1")
     if theta < 0:
-        raise ValueError("theta must be >= 0")
+        raise InvalidArgumentError("theta must be >= 0")
     ranks = np.arange(1, num_values + 1, dtype=np.float64)
     weights = ranks ** (-float(theta))
     return weights / weights.sum()

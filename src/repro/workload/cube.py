@@ -87,7 +87,7 @@ class LineageCube:
             subset = Table({"__dummy": np.zeros(rows.size, dtype=np.int64)})
         layout = GroupLayout(cell_ids, num_cells)
         columns: Dict[str, np.ndarray] = {}
-        for k, arr in zip(self.keys, key_arrays):
+        for k, arr in zip(self.keys, key_arrays, strict=True):
             columns[k] = arr[cell_reps]
         for agg in self.aggs:
             columns[agg.alias] = compute_aggregate(agg, layout, subset)

@@ -92,7 +92,7 @@ def test_numeric_expressions_agree(rows, expr):
     )
     vectorized = evaluate(expr, table)
     compiled = _compiled_eval(expr, table)
-    for a, b in zip(np.asarray(vectorized).tolist(), compiled):
+    for a, b in zip(np.asarray(vectorized).tolist(), compiled, strict=True):
         assert a == pytest.approx(b), expr
 
 

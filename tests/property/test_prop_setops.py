@@ -33,7 +33,7 @@ def test_vector_matches_reference(a_vals, b_vals, op_all):
     out_v, loc_v = execute_setop(op, all_, a, b, config)
     out_r, loc_r = reference_setop(op, all_, a, b, config)
     assert out_v.to_rows() == out_r.to_rows()
-    for idx_v, idx_r in zip(loc_v, loc_r):
+    for idx_v, idx_r in zip(loc_v, loc_r, strict=True):
         assert (idx_v is None) == (idx_r is None)
         if idx_v is None:
             continue

@@ -76,8 +76,8 @@ def test_generated_sql_executes_on_both_backends(data, where, aggs, keys, tail):
     vec = db.sql(sql, capture=CaptureMode.INJECT)
     comp = db.sql(sql, capture=CaptureMode.INJECT, backend="compiled")
     assert len(vec) == len(comp)
-    for a, b in zip(vec.table.to_rows(), comp.table.to_rows()):
-        for x, y in zip(a, b):
+    for a, b in zip(vec.table.to_rows(), comp.table.to_rows(), strict=True):
+        for x, y in zip(a, b, strict=True):
             assert x == pytest.approx(y)
     if len(vec):
         probes = list(range(len(vec)))

@@ -101,7 +101,7 @@ class TestProfiler:
 
     def test_three_techniques_agree(self, physician_db):
         db, _ = physician_db
-        for det, dep, key in (
+        for det, dep, _key in (
             ("NPI", "PAC_ID", "NPI"),
             ("Zip", "State", "Zip:State"),
             ("Zip", "City", "Zip:City"),

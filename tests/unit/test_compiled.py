@@ -26,8 +26,8 @@ def cex(small_db):
 def _tables_equal(a, b, tol=1e-9):
     rows_a, rows_b = a.to_rows(), b.to_rows()
     assert len(rows_a) == len(rows_b)
-    for ra, rb in zip(rows_a, rows_b):
-        for x, y in zip(ra, rb):
+    for ra, rb in zip(rows_a, rows_b, strict=True):
+        for x, y in zip(ra, rb, strict=True):
             if isinstance(x, float) or isinstance(y, float):
                 assert abs(float(x) - float(y)) < tol
             else:

@@ -73,7 +73,7 @@ class TestTpch:
 
     def test_q1_group_structure(self, data):
         li = data["lineitem"]
-        pairs = set(zip(li.column("l_returnflag"), li.column("l_linestatus")))
+        pairs = set(zip(li.column("l_returnflag"), li.column("l_linestatus"), strict=True))
         assert pairs == {("A", "F"), ("R", "F"), ("N", "F"), ("N", "O")}
         nf = (
             (li.column("l_returnflag") == "N") & (li.column("l_linestatus") == "F")
@@ -129,7 +129,7 @@ class TestPhysician:
             ("LBN1", "CCN1", "LBN1"),
         ):
             mapping = {}
-            for a, b in zip(table.column(det), table.column(dep)):
+            for a, b in zip(table.column(det), table.column(dep), strict=True):
                 mapping.setdefault(a, set()).add(b)
             actual = {a for a, bs in mapping.items() if len(bs) > 1}
             assert actual == data.planted_violations[key], key

@@ -20,7 +20,7 @@ def tables(rng):
 def _names(left, right):
     fields = join_output_fields(left.schema, right.schema)
     src = left.schema.names + right.schema.names
-    return [(n, s) for (n, _, _), s in zip(fields, src)]
+    return [(n, s) for (n, _, _), s in zip(fields, src, strict=True)]
 
 
 class TestThetaChunking:

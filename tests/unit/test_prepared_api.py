@@ -297,7 +297,7 @@ class TestLineageResolutionCache:
         for i in range(4):
             cache.resolve(
                 "r", object(), "backward", "t", bytes([i]),
-                lambda: np.array([i]),
+                lambda i=i: np.array([i]),
             )
         assert len(cache) == 2
 

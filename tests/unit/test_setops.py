@@ -37,7 +37,7 @@ class TestAgainstReference:
         out_v, loc_v = execute_setop(op, all_, left, right, config)
         out_r, loc_r = reference_setop(op, all_, left, right, config)
         assert out_v.to_rows() == out_r.to_rows()
-        for idx_v, idx_r in zip(loc_v, loc_r):
+        for idx_v, idx_r in zip(loc_v, loc_r, strict=True):
             assert (idx_v is None) == (idx_r is None)
             if idx_v is None:
                 continue

@@ -23,7 +23,11 @@ class TestQueries:
         res = tpch_db.execute(q1())
         assert len(res.table) == 4
         pairs = set(
-            zip(res.table.column("l_returnflag"), res.table.column("l_linestatus"))
+            zip(
+                res.table.column("l_returnflag"),
+                res.table.column("l_linestatus"),
+                strict=True,
+            )
         )
         assert pairs == {("A", "F"), ("R", "F"), ("N", "F"), ("N", "O")}
 

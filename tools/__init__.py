@@ -1,0 +1,1 @@
+"""Repository maintenance tooling (not part of the ``repro`` library)."""

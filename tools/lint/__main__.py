@@ -1,0 +1,7 @@
+"""CLI entry point: ``python -m tools.lint src benchmarks``."""
+
+import sys
+
+from . import main
+
+sys.exit(main())
