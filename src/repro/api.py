@@ -92,6 +92,7 @@ from __future__ import annotations
 
 import sys
 import warnings
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Union
@@ -99,10 +100,17 @@ from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Union
 import numpy as np
 
 from . import sanitize
-from .errors import PlanError, StaleBindingError
+from .errors import PlanError, RecoveryError, StaleBindingError
 from .exec.vector.executor import ExecResult, VectorExecutor
 from .lineage.cache import LineageResolutionCache
 from .lineage.capture import CaptureConfig, CaptureMode, QueryLineage
+from .lineage.recovery import (
+    DurabilityManager,
+    EvictedStub,
+    RefreshPolicy,
+    reexecute_stub,
+    stub_for,
+)
 from .plan.logical import LineageScan, LogicalPlan, walk
 from .plan.rewrite import RewriteIndex, precompute_rewrites
 from .storage.catalog import Catalog
@@ -262,12 +270,28 @@ def plan_param_names(plan: LogicalPlan) -> FrozenSet[str]:
 
 
 class QueryResult:
-    """The outcome of one instrumented query execution."""
+    """The outcome of one instrumented query execution.
 
-    def __init__(self, database: "Database", plan: LogicalPlan, result: ExecResult):
+    ``statement`` / ``options`` record how the result was produced (when
+    it came through the SQL layer): they are what lets a durable
+    registry re-execute an evicted result and what WAL ``register``
+    records persist alongside the payload.  ``plan`` is ``None`` for
+    results reconstructed from durable state (nothing was re-executed).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        plan: Optional[LogicalPlan],
+        result: ExecResult,
+        statement: Optional[str] = None,
+        options: Optional[ExecOptions] = None,
+    ):
         self.database = database
         self.plan = plan
         self._result = result
+        self.statement = statement
+        self.options = options
 
     @property
     def table(self) -> Table:
@@ -356,6 +380,18 @@ class ResultRegistry(Mapping):
     Every registration of a name advances its **epoch**
     (:meth:`epoch`), which the lineage rid-resolution cache uses to
     invalidate memoized resolutions on re-registration.
+
+    Durability and graceful degradation
+    -----------------------------------
+    With a :class:`~repro.lineage.recovery.DurabilityManager` attached
+    (``Database.open``), every mutation is WAL-logged *before* it is
+    applied, so acknowledged registrations survive a crash.  With a
+    *refresher* attached (on by default for durable databases,
+    ``Database(refresh_evicted=True)`` otherwise), eviction leaves an
+    :class:`~repro.lineage.recovery.EvictedStub` behind and the next
+    lookup of the name transparently re-executes its statement.  A plain
+    in-memory registry keeps the historical behaviour exactly: evicted
+    names become unknown.
     """
 
     def __init__(
@@ -369,31 +405,120 @@ class ResultRegistry(Mapping):
         self._bytes: Dict[str, int] = {}
         self.max_results = max_results
         self.max_result_bytes = max_result_bytes
+        self._stubs: "OrderedDict[str, EvictedStub]" = OrderedDict()
+        self._durability: Optional[DurabilityManager] = None
+        self._refresher = None  # Callable[[EvictedStub], None]
+        self._refreshing: set = set()
+        self._caches: "weakref.WeakSet" = weakref.WeakSet()
 
     # -- Mapping protocol (what executors and the binder consume) ----------
 
     def __getitem__(self, name: str) -> "QueryResult":
-        entry = self._entries[name]
+        entry = self._entries.get(name)
+        if entry is None:
+            return self._refresh_evicted(name)
         self._entries.move_to_end(name)
         return entry
 
     def __contains__(self, name) -> bool:
-        return name in self._entries
+        if name in self._entries:
+            return True
+        return self._refresher is not None and name in self._stubs
 
     def __iter__(self) -> Iterator[str]:
-        return iter(self._entries)
+        if self._refresher is None:
+            return iter(self._entries)
+        names = list(self._entries)
+        names.extend(n for n in self._stubs if n not in self._entries)
+        return iter(names)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        if self._refresher is None:
+            return len(self._entries)
+        return len(self._entries) + sum(
+            1 for n in self._stubs if n not in self._entries
+        )
+
+    def _refresh_evicted(self, name: str) -> "QueryResult":
+        """Serve an evicted-but-refreshable name by re-executing its
+        statement (graceful degradation); unknown names raise the
+        Mapping-contract ``KeyError``."""
+        stub = self._stubs.get(name)
+        if stub is None or self._refresher is None:
+            return self._entries[name]  # canonical KeyError
+        if name in self._refreshing:
+            raise RecoveryError(
+                f"re-execution of evicted result {name!r} depends on "
+                "itself; the stub cannot be refreshed"
+            )
+        self._refreshing.add(name)
+        try:
+            self._refresher(stub)
+        finally:
+            self._refreshing.discard(name)
+        entry = self._entries.get(name)
+        if entry is None:
+            raise RecoveryError(
+                f"re-execution of evicted result {name!r} completed "
+                "without re-registering it"
+            )
+        return entry
 
     def epoch(self, name: str) -> int:
         """Registration epoch of ``name`` (advances on every register,
         including re-registration after a drop); 0 when never seen."""
         return self._epochs.get(name, 0)
 
+    # -- durability plumbing -----------------------------------------------
+
+    def attach_cache(self, cache) -> None:
+        """Track a rid-resolution cache (weakly) for wholesale
+        invalidation when durable state is recovered in place."""
+        self._caches.add(cache)
+
+    def invalidate_caches(self, name: Optional[str] = None) -> None:
+        for cache in list(self._caches):
+            cache.invalidate(name)
+
+    def epochs_snapshot(self) -> Dict[str, int]:
+        return dict(self._epochs)
+
+    def restore_epochs(self, epochs: Dict[str, int]) -> None:
+        """Recovery-only: install checkpointed registration epochs
+        (replayed WAL registers then advance from here)."""
+        self._epochs = {name: int(epoch) for name, epoch in epochs.items()}
+
+    def restore_entry(
+        self, name: str, result: "QueryResult", pin: bool = False
+    ) -> None:
+        """Recovery-only: insert a checkpointed entry *without* advancing
+        its epoch (the checkpoint's epoch snapshot already counts it)."""
+        self._entries[name] = result
+        self._entries.move_to_end(name)
+        if pin:
+            self._pinned.add(name)
+        else:
+            self._pinned.discard(name)
+        self._stubs.pop(name, None)
+        self._bytes.pop(name, None)
+        if self.max_result_bytes is not None:
+            self._bytes[name] = _lineage_bytes(result)
+
+    def apply_evict(self, name: str, stub: "EvictedStub") -> None:
+        """Recovery-only: re-apply a logged or checkpointed eviction."""
+        self._entries.pop(name, None)
+        self._bytes.pop(name, None)
+        self._pinned.discard(name)
+        self._stubs[name] = stub
+        self._stubs.move_to_end(name)
+
     # -- mutation ----------------------------------------------------------
 
     def register(self, name: str, result: "QueryResult", pin: bool = False) -> None:
+        if self._durability is not None:
+            # Write-ahead: the record is fsynced before memory changes,
+            # so a failure here acknowledges nothing.
+            self._durability.log_register(name, result, pin)
         if sanitize.enabled():
             # A registered result is shared state: Lb/Lf scans of other
             # statements gather through its columns, so debug mode makes
@@ -407,15 +532,40 @@ class ResultRegistry(Mapping):
             self._pinned.add(name)
         else:
             self._pinned.discard(name)
+        self._stubs.pop(name, None)
         self._bytes.pop(name, None)
         if self.max_result_bytes is not None:
             self._bytes[name] = _lineage_bytes(result)
         self._evict()
 
     def drop(self, name: str) -> None:
-        del self._entries[name]
+        if self._durability is not None and (
+            name in self._entries or name in self._stubs
+        ):
+            self._durability.log_drop(name)
+        if self._stubs.pop(name, None) is not None:
+            self._entries.pop(name, None)
+        else:
+            del self._entries[name]
         self._pinned.discard(name)
         self._bytes.pop(name, None)
+
+    def set_pin(self, name: str, pin: bool) -> None:
+        """Pin or unpin a live entry or a stub (logged when durable);
+        unpinning re-applies the eviction bounds."""
+        if name not in self._entries and name not in self._stubs:
+            raise PlanError(f"unknown result {name!r}")
+        if self._durability is not None:
+            self._durability.log_pin(name, pin)
+        stub = self._stubs.get(name)
+        if stub is not None:
+            stub.pin = bool(pin)
+        if name in self._entries:
+            if pin:
+                self._pinned.add(name)
+            else:
+                self._pinned.discard(name)
+                self._evict()
 
     def set_max_results(self, max_results: Optional[int]) -> None:
         if max_results is not None and max_results < 1:
@@ -458,8 +608,23 @@ class ResultRegistry(Mapping):
                 break
             bytes_excess -= self._bytes.get(name, 0)
             count_excess -= 1
+            stub = self._make_stub(name)
+            if stub is not None:
+                if self._durability is not None:
+                    self._durability.log_evict(stub)
+                self._stubs[name] = stub
+                self._stubs.move_to_end(name)
             del self._entries[name]
             self._bytes.pop(name, None)
+
+    def _make_stub(self, name: str) -> Optional["EvictedStub"]:
+        """Degradation stub for an entry about to be evicted, or ``None``
+        when the registry is plain (neither refreshable nor durable) —
+        plain registries keep the historical evicted-means-gone contract.
+        """
+        if self._refresher is None and self._durability is None:
+            return None
+        return stub_for(name, self._entries[name])
 
 
 def _lineage_bytes(result: "QueryResult") -> int:
@@ -529,6 +694,7 @@ class PreparedQuery:
         return self.database._execute_plan(
             self.plan, opts, params,
             rewrites=self._rewrites, cache=self._cache,
+            statement=self.statement,
         )
 
     def explain(self) -> str:
@@ -651,17 +817,97 @@ class Database:
     prior results (LRU eviction of unpinned entries, see
     :class:`ResultRegistry`); ``None`` keeps every registration until
     :meth:`drop_result`.
+
+    Durability
+    ----------
+    ``durable_path`` (or the :meth:`open` classmethod) attaches a
+    write-ahead log and checkpoint under that directory: every result
+    registration, drop, pin change, and eviction is fsynced to the WAL
+    *before* it is acknowledged, and re-opening the same path replays
+    checkpoint + WAL so every registered view answers its lineage
+    queries again — same rids, same epochs, same stale-rid guards —
+    without recapture.  ``refresh_evicted`` (default: on for durable
+    databases, off otherwise) turns evictions into graceful degradation:
+    the registry keeps a statement stub and transparently re-executes it
+    when ``Lb``/``Lf`` next touch the name, retrying under
+    ``refresh_policy``.
     """
 
     def __init__(
         self,
         max_results: Optional[int] = None,
         max_result_bytes: Optional[int] = None,
+        durable_path=None,
+        refresh_evicted: Optional[bool] = None,
+        refresh_policy: Optional[RefreshPolicy] = None,
+        failpoints=None,
     ):
         self.catalog = Catalog()
         self._results = ResultRegistry(max_results, max_result_bytes)
         self._vector = VectorExecutor(self.catalog, results=self._results)
         self._compiled = None  # built lazily; codegen backend is optional
+        if refresh_evicted is None:
+            refresh_evicted = durable_path is not None
+        self._refresh_policy = (
+            refresh_policy if refresh_policy is not None else RefreshPolicy()
+        )
+        if refresh_evicted:
+            self._results._refresher = self._refresh_evicted_stub
+        self._durability: Optional[DurabilityManager] = None
+        if durable_path is not None:
+            manager = DurabilityManager(durable_path, failpoints=failpoints)
+            # Recovery replays through the registry's normal mutators
+            # (logging suspended), then opens the WAL for appending.
+            manager.recover_into(self)
+            self._results._durability = manager
+            self._durability = manager
+
+    @classmethod
+    def open(cls, path, **kwargs) -> "Database":
+        """Open (or create) a durable database at ``path``.
+
+        Equivalent to ``Database(durable_path=path, **kwargs)``: recovers
+        the checkpoint and WAL under ``path`` (truncating a torn tail),
+        then serves every acknowledged registration.  Base tables are
+        *not* persisted — re-create them before running lineage-consuming
+        statements; checkpointed catalog epochs guarantee that a base
+        table replaced since capture still raises instead of answering
+        against the wrong rows.
+        """
+        return cls(durable_path=path, **kwargs)
+
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The durability manager (``None`` for in-memory databases)."""
+        return self._durability
+
+    def checkpoint(self) -> None:
+        """Snapshot the registry atomically and reset the WAL (bounding
+        replay time for the next :meth:`open`)."""
+        if self._durability is None:
+            raise PlanError("database is not durable; use Database.open(path)")
+        self._durability.checkpoint(self)
+
+    def close(self) -> None:
+        """Flush and close the WAL.  In-memory databases no-op."""
+        if self._durability is not None:
+            self._durability.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def pin_result(self, name: str, pin: bool = True) -> None:
+        """Pin (or unpin) a registered result; durable databases log the
+        change so it survives restart."""
+        self._results.set_pin(name, pin)
+
+    def _refresh_evicted_stub(self, stub: "EvictedStub") -> None:
+        reexecute_stub(self, stub, self._refresh_policy)
 
     # -- catalog management -----------------------------------------------------
 
@@ -842,7 +1088,7 @@ class Database:
             late_materialize=late_materialize,
         )
         plan = self.parse(statement)
-        return self._execute_plan(plan, opts, params)
+        return self._execute_plan(plan, opts, params, statement=statement)
 
     def parse(self, statement: str) -> LogicalPlan:
         """Parse + bind a SQL statement into a logical plan (no execution)."""
@@ -871,11 +1117,14 @@ class Database:
         params: Optional[dict],
         rewrites: Optional[RewriteIndex] = None,
         cache: Optional[LineageResolutionCache] = None,
+        statement: Optional[str] = None,
     ) -> QueryResult:
         """The one execution funnel: plain calls, prepared runs, and
         session statements all end here.  ``rewrites`` / ``cache`` are
         the prepared-statement fast-path handles threaded through to the
-        executors."""
+        executors; ``statement`` is the SQL source text (when there is
+        one), kept on the result so a durable registry can log and
+        re-execute it."""
         if options.name is not None:
             # Validate up front: a bad name must not discard a finished
             # (possibly expensive) execution.
@@ -897,7 +1146,9 @@ class Database:
             rewrites=rewrites,
             lineage_cache=cache,
         )
-        query_result = QueryResult(self, plan, result)
+        query_result = QueryResult(
+            self, plan, result, statement=statement, options=options
+        )
         if options.name is not None:
             self.register_result(options.name, query_result, pin=options.pin)
         return query_result

@@ -86,3 +86,48 @@ class RidRangeError(LineageError, IndexError):
 
 class WorkloadError(ReproError):
     """A lineage-consuming workload declaration is inconsistent."""
+
+
+class DurabilityError(ReproError):
+    """A durable-state operation (WAL append, checkpoint) failed.
+
+    The write-ahead path raises this *before* the in-memory registry
+    mutates, so a failed append never acknowledges an operation that the
+    log does not hold (see ``lineage/wal.py``).
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Replaying durable state could not reconstruct the registry.
+
+    Raised by :meth:`repro.api.Database.open` replay and by the
+    evicted-stub re-execution path when its retry budget is exhausted or
+    a stub's statement can no longer run (missing base table, cyclic
+    refresh).  Torn WAL *tails* are not errors — they are truncated as
+    un-acknowledged work — but inconsistencies that cannot be attributed
+    to a crash mid-append are.
+    """
+
+
+class WalCorruptionError(RecoveryError):
+    """A WAL record failed its checksum *mid-log*.
+
+    A bad final record is a torn tail (truncated silently on replay); a
+    bad record *followed by further valid frames* cannot be explained by
+    a crash during append and means the log bytes were damaged — replay
+    refuses to guess which side of the corruption to trust.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault-injection failpoint fired (tests/faults harness).
+
+    Simulates a crash at a named I/O site.  Deliberately *not* a
+    :class:`DurabilityError`: recovery code must never catch-and-continue
+    past a simulated crash, so the injection escapes any ``except
+    DurabilityError`` in the paths under test.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at failpoint {site!r}")
+        self.site = site

@@ -129,12 +129,17 @@ def execute_groupby(
                 index, _resizes = inject_backward_index(
                     group_ids, num_groups, config.chunk_size, capacities
                 )
+                # Chunked stable appends land bucket-by-bucket in rid
+                # order — the canonical inversion of the group ids, which
+                # the durability layer can persist as a marker.
+                index._inverse_of = group_ids
                 local_backward = index
             elif layout is not None:
                 # Reuse (P4): the aggregation's sorted layout *is* the
                 # backward rid index — γ'_ht reusing the hash table, in
                 # vectorized form.  No extra pass, no resizing.
                 local_backward = RidIndex(layout.offsets, layout.order)
+                local_backward._inverse_of = group_ids
             else:
                 local_backward = RidIndex.empty(0)
         if config.forward:

@@ -77,6 +77,13 @@ class LineageResolutionCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        # Registries that recover durable state in place (Database.open
+        # replaying into a live registry) need to invalidate attached
+        # caches wholesale — epoch checks cover re-registration, but a
+        # recovery may rewind to a state the epoch line cannot describe.
+        attach = getattr(registry, "attach_cache", None)
+        if callable(attach):
+            attach(self)
 
     # -- keys -----------------------------------------------------------------
 

@@ -115,11 +115,15 @@ class RidArray:
 class RidIndex:
     """A 1-to-N lineage index in CSR form: ``key rid -> bucket of rids``."""
 
-    __slots__ = ("offsets", "values")
+    __slots__ = ("offsets", "values", "_inverse_of")
 
     kind = "index"
 
     def __init__(self, offsets: np.ndarray, values: np.ndarray):
+        #: When set, the dense group-id array this index is the canonical
+        #: stable inversion of — lets the durability layer persist a
+        #: marker instead of the full CSR (see ``persist._is_canonical_inverse``).
+        self._inverse_of: Optional[np.ndarray] = None
         self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
         self.values = np.ascontiguousarray(values, dtype=np.int64)
         if self.offsets.ndim != 1 or self.offsets.shape[0] < 1:
@@ -159,7 +163,9 @@ class RidIndex:
         # A stable sort by group id lays member rids out bucket-by-bucket in
         # original order; counts (exact, from the same ids) delimit buckets.
         values = np.argsort(group_ids, kind="stable").astype(np.int64)
-        return cls(offsets, values)
+        index = cls(offsets, values)
+        index._inverse_of = group_ids
+        return index
 
     @classmethod
     def from_buckets(cls, buckets: Sequence[np.ndarray]) -> "RidIndex":

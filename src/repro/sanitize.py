@@ -123,6 +123,24 @@ def check_rid_bounds(rids: np.ndarray, domain: int, context: str) -> None:
         )
 
 
+def check_recovered_index(index, context: str = "recovered index") -> None:
+    """Validate a lineage index deserialized from durable storage.
+
+    Unlike every other hook in this module, this check runs
+    **unconditionally**: bytes read back from disk are untrusted input
+    (torn writes, bit rot, a foreign archive), and the cost is paid only
+    on the recovery path, never per query.  ``index`` is duck-typed — a
+    CSR index exposes ``offsets``/``values``, a 1-to-1 array only
+    ``values`` — so this stays import-cycle-free with
+    :mod:`repro.lineage.indexes`.
+    """
+    with force(True):
+        if hasattr(index, "offsets"):
+            check_csr(index.offsets, index.values, context)
+        else:
+            check_rid_array(index.values, context)
+
+
 def check_epoch(captured: Optional[int], live: int, relation: str, context: str) -> None:
     """Validate that a rid resolution's capture epoch matches the live
     catalog epoch (``None`` = capture predates epoch recording)."""

@@ -88,6 +88,31 @@ class Catalog:
         """
         return self._epochs.get(name, 0)
 
+    def epochs_snapshot(self) -> Dict[str, int]:
+        """Every recorded replacement epoch (what a durable checkpoint
+        persists so stale-rid guards survive a restart)."""
+        return dict(self._epochs)
+
+    def restore_epochs(self, epochs: Dict[str, int]) -> None:
+        """Recovery-only: re-install replacement epochs from a checkpoint.
+
+        Epochs may only move forward — the restored value must be at
+        least what this (fresh) catalog has already recorded — so a
+        recovered lineage handle compares against the same epoch line it
+        was captured on.  The first post-recovery ``create_table`` of a
+        base relation does not bump (creation is not replacement), which
+        is what lets a restarted process re-load its base tables and
+        keep serving checkpointed lineage.
+        """
+        for name, epoch in epochs.items():
+            epoch = int(epoch)
+            if epoch < 0 or epoch < self._epochs.get(name, 0):
+                raise CatalogError(
+                    f"cannot restore epoch {epoch} for {name!r}: epochs "
+                    f"only move forward (live: {self._epochs.get(name, 0)})"
+                )
+            self._epochs[name] = epoch
+
     def get(self, name: str) -> Table:
         try:
             return self._tables[name]

@@ -1,0 +1,17 @@
+"""Fixtures for the crash/recovery fault-injection suite."""
+
+import pytest
+
+from harness import open_db
+
+
+@pytest.fixture
+def durable_dir(tmp_path):
+    return tmp_path / "state"
+
+
+@pytest.fixture
+def durable_db(durable_dir):
+    db = open_db(durable_dir)
+    yield db
+    db.close()

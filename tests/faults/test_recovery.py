@@ -1,0 +1,214 @@
+"""Clean-restart recovery: replay, checkpoints, epochs, degradation."""
+
+import numpy as np
+import pytest
+
+from harness import (
+    assert_answers_identical,
+    make_base_table,
+    open_db,
+    register_view,
+    snapshot_answers,
+)
+from repro.api import Database, ExecOptions
+from repro.errors import PlanError, RecoveryError
+from repro.lineage.capture import CaptureMode
+from repro.lineage.recovery import RefreshPolicy
+
+
+class TestReopen:
+    def test_registered_views_answer_bit_identically(self, durable_dir):
+        db = open_db(durable_dir)
+        answers = {}
+        for i, name in enumerate(["va", "vb", "vc"]):
+            result = register_view(db, name, cut=i + 2)
+            answers[name] = snapshot_answers(result)
+        db.close()
+
+        db2 = open_db(durable_dir)
+        assert db2.results() == ["va", "vb", "vc"]
+        for name, snap in answers.items():
+            assert_answers_identical(db2.result(name), snap)
+        db2.close()
+
+    def test_lineage_consuming_sql_works_after_restart(self, durable_dir):
+        db = open_db(durable_dir)
+        register_view(db, "prev")
+        before = db.sql("SELECT z, v FROM Lb(prev, 't')").table.to_rows()
+        db.close()
+
+        db2 = open_db(durable_dir)
+        assert db2.sql("SELECT z, v FROM Lb(prev, 't')").table.to_rows() == before
+        db2.close()
+
+    def test_drop_and_reregister_survive(self, durable_dir):
+        db = open_db(durable_dir)
+        register_view(db, "va", cut=2)
+        register_view(db, "vb", cut=3)
+        db.drop_result("va")
+        second = register_view(db, "vb", cut=5)  # re-register: epoch 2
+        snap = snapshot_answers(second)
+        db.close()
+
+        db2 = open_db(durable_dir)
+        assert db2.results() == ["vb"]
+        assert_answers_identical(db2.result("vb"), snap)
+        assert db2._results.epoch("vb") == 2
+        assert db2._results.epoch("va") == 1  # history survives too
+        db2.close()
+
+    def test_checkpoint_bounds_replay_and_preserves_answers(self, durable_dir):
+        db = open_db(durable_dir)
+        snap_a = snapshot_answers(register_view(db, "va", cut=2))
+        db.checkpoint()
+        snap_b = snapshot_answers(register_view(db, "vb", cut=4))
+        db.close()
+
+        db2 = open_db(durable_dir)
+        report = db2.durability.last_recovery
+        assert report.checkpoint_loaded
+        assert report.records_replayed == 1  # only vb is in the WAL tail
+        assert_answers_identical(db2.result("va"), snap_a)
+        assert_answers_identical(db2.result("vb"), snap_b)
+        db2.close()
+
+    def test_pin_changes_survive(self, durable_dir):
+        db = open_db(durable_dir)
+        register_view(db, "va", pin=True)
+        register_view(db, "vb")
+        db.pin_result("vb", True)
+        db.pin_result("va", False)
+        db.close()
+
+        db2 = open_db(durable_dir)
+        assert "vb" in db2._results._pinned
+        assert "va" not in db2._results._pinned
+        db2.close()
+
+    def test_stale_rid_guard_survives_restart(self, durable_dir):
+        db = open_db(durable_dir)
+        register_view(db, "prev")
+        db.close()
+
+        db2 = open_db(durable_dir)
+        db2.create_table("t", make_base_table(), replace=True)  # epoch 1
+        with pytest.raises(PlanError, match="replaced since"):
+            db2.sql("SELECT z, v FROM Lb(prev, 't')")
+        db2.close()
+
+    def test_catalog_epochs_restored_from_checkpoint(self, durable_dir):
+        db = open_db(durable_dir)
+        db.create_table("t", make_base_table(), replace=True)  # epoch 1
+        register_view(db, "prev")
+        db.checkpoint()
+        db.close()
+
+        db2 = open_db(durable_dir)  # open_db's create_table must not bump
+        assert db2.catalog.epoch("t") == 1
+        # Captured at epoch 1, live at epoch 1: still served.
+        assert len(db2.sql("SELECT z, v FROM Lb(prev, 't')").table)
+        db2.close()
+
+    def test_plain_database_refuses_checkpoint(self):
+        with pytest.raises(PlanError, match="not durable"):
+            Database().checkpoint()
+
+
+class TestGracefulDegradation:
+    def test_evicted_result_reexecutes_transparently(self, durable_dir):
+        db = open_db(durable_dir, max_results=1)
+        snap = snapshot_answers(register_view(db, "va", cut=2))
+        register_view(db, "vb", cut=4)  # evicts va -> durable stub
+        assert sorted(db.results()) == ["va", "vb"]
+        refreshed = db.result("va")  # transparent re-execution
+        assert_answers_identical(refreshed, snap)
+        db.close()
+
+    def test_stub_survives_restart_and_reexecutes(self, durable_dir):
+        db = open_db(durable_dir, max_results=1)
+        snap = snapshot_answers(register_view(db, "va", cut=2))
+        register_view(db, "vb", cut=4)
+        db.close()
+
+        db2 = open_db(durable_dir, max_results=1)
+        assert "va" in db2._results._stubs
+        rows = db2.sql("SELECT z, v FROM Lb(va, 't')").table.to_rows()
+        assert rows  # served through re-execution
+        assert_answers_identical(db2.result("va"), snap)
+        db2.close()
+
+    def test_reexecution_failure_is_typed_and_bounded(self, durable_dir):
+        policy = RefreshPolicy(max_attempts=2, backoff_seconds=0.0)
+        db = open_db(durable_dir, max_results=1, refresh_policy=policy)
+        register_view(db, "va", cut=2)
+        register_view(db, "vb", cut=4)  # va -> stub
+        db.drop_table("t")  # re-execution must now fail every attempt
+        with pytest.raises(RecoveryError, match="2 attempt"):
+            db.result("va")
+        db.close()
+
+    def test_parameterized_statement_cannot_refresh(self, durable_dir):
+        db = open_db(durable_dir, max_results=1)
+        db.sql(
+            "SELECT z, COUNT(*) AS c FROM t WHERE v < :cut GROUP BY z",
+            params={"cut": 45.0},
+            options=ExecOptions(capture=CaptureMode.INJECT, name="va"),
+        )
+        register_view(db, "vb")  # va -> stub
+        with pytest.raises(RecoveryError, match="parameterized"):
+            db.result("va")
+        db.close()
+
+    def test_plain_database_keeps_hard_eviction(self):
+        # Historical contract: without durability or refresh_evicted,
+        # evicted names are simply unknown.
+        db = Database(max_results=1)
+        db.create_table("t", make_base_table())
+        register_view(db, "va")
+        register_view(db, "vb")
+        assert db.results() == ["vb"]
+        with pytest.raises(PlanError, match="unknown result"):
+            db.result("va")
+
+    def test_opt_in_refresh_without_durability(self):
+        db = Database(max_results=1, refresh_evicted=True)
+        db.create_table("t", make_base_table())
+        snap = snapshot_answers(register_view(db, "va", cut=2))
+        register_view(db, "vb", cut=4)
+        assert_answers_identical(db.result("va"), snap)
+
+
+class TestCorruptionHandling:
+    def test_corrupt_mid_log_raises_typed_error(self, durable_dir):
+        db = open_db(durable_dir)
+        register_view(db, "va", cut=2)
+        register_view(db, "vb", cut=4)
+        db.close()
+
+        wal_path = db.durability.wal_path
+        data = bytearray(wal_path.read_bytes())
+        data[40] ^= 0xFF  # damage the first record, not the tail
+        wal_path.write_bytes(bytes(data))
+        with pytest.raises(RecoveryError):
+            open_db(durable_dir)
+
+    def test_corrupt_checkpoint_raises_typed_error(self, durable_dir):
+        db = open_db(durable_dir)
+        register_view(db, "va")
+        db.checkpoint()
+        db.close()
+        db.durability.checkpoint_path.write_bytes(b"garbage")
+        with pytest.raises(RecoveryError):
+            open_db(durable_dir)
+
+    def test_group_commit_batch_recovers_together(self, durable_dir):
+        db = open_db(durable_dir)
+        with db.durability.group_commit():
+            snap_a = snapshot_answers(register_view(db, "va", cut=2))
+            snap_b = snapshot_answers(register_view(db, "vb", cut=4))
+        db.close()
+
+        db2 = open_db(durable_dir)
+        assert_answers_identical(db2.result("va"), snap_a)
+        assert_answers_identical(db2.result("vb"), snap_b)
+        db2.close()

@@ -1,0 +1,166 @@
+"""WAL framing: checksums, torn tails, mid-log corruption, group commit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DurabilityError, InjectedFault, WalCorruptionError
+from repro.lineage.wal import (
+    FILE_MAGIC,
+    FRAME_HEADER,
+    WAL_PARTIAL_APPEND,
+    Failpoints,
+    WriteAheadLog,
+    durable_truncate,
+    read_log,
+)
+
+
+def wal_at(tmp_path, **kwargs):
+    return WriteAheadLog(tmp_path / "test.wal", **kwargs)
+
+
+class TestFraming:
+    def test_roundtrip_meta_and_arrays(self, tmp_path):
+        wal = wal_at(tmp_path)
+        rids = np.array([3, 1, 4], dtype=np.int64)
+        wal.append("register", {"name": "a", "pin": True}, {"rids": rids})
+        wal.append("drop", {"name": "b"})
+        wal.close()
+        scan = read_log(tmp_path / "test.wal")
+        assert not scan.torn
+        assert [r.kind for r in scan.records] == ["register", "drop"]
+        assert scan.records[0].meta == {"name": "a", "pin": True}
+        assert np.array_equal(scan.records[0].arrays["rids"], rids)
+        assert scan.records[1].meta == {"name": "b"}
+
+    def test_seqnos_monotonic_and_resumable(self, tmp_path):
+        wal = wal_at(tmp_path)
+        assert wal.append("a", {}) == 1
+        assert wal.append("b", {}) == 2
+        wal.close()
+        resumed = wal_at(tmp_path, next_seqno=3)
+        assert resumed.append("c", {}) == 3
+        resumed.close()
+        scan = read_log(tmp_path / "test.wal")
+        assert [r.seqno for r in scan.records] == [1, 2, 3]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = read_log(tmp_path / "absent.wal")
+        assert scan.records == [] and not scan.torn
+
+    def test_bad_magic_is_corruption(self, tmp_path):
+        path = tmp_path / "test.wal"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 16)
+        with pytest.raises(WalCorruptionError, match="magic"):
+            read_log(path)
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            wal.append("a", {})
+
+
+class TestTornTails:
+    def _two_record_log(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append("first", {"n": 1})
+        wal.append("second", {"n": 2})
+        wal.close()
+        return tmp_path / "test.wal"
+
+    def test_truncated_final_body_is_torn_not_fatal(self, tmp_path):
+        path = self._two_record_log(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        scan = read_log(path)
+        assert scan.torn
+        assert [r.meta["n"] for r in scan.records] == [1]
+
+    def test_truncated_final_header_is_torn(self, tmp_path):
+        path = self._two_record_log(tmp_path)
+        data = path.read_bytes()
+        # Keep record 1 plus 3 bytes of record 2's frame header.
+        (length1,) = FRAME_HEADER.unpack_from(data, len(FILE_MAGIC))[:1]
+        first_end = len(FILE_MAGIC) + FRAME_HEADER.size + length1
+        path.write_bytes(data[: first_end + 3])
+        scan = read_log(path)
+        assert scan.torn
+        assert [r.meta["n"] for r in scan.records] == [1]
+
+    def test_corrupt_final_frame_is_torn(self, tmp_path):
+        path = self._two_record_log(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last frame
+        path.write_bytes(bytes(data))
+        scan = read_log(path)
+        assert scan.torn
+        assert [r.meta["n"] for r in scan.records] == [1]
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        path = self._two_record_log(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Damage the *first* record's payload: a bad frame followed by a
+        # valid one cannot be a torn tail.
+        data[len(FILE_MAGIC) + FRAME_HEADER.size] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="mid-file"):
+            read_log(path)
+
+    def test_truncate_then_append_resumes_cleanly(self, tmp_path):
+        path = self._two_record_log(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        scan = read_log(path)
+        durable_truncate(path, scan.valid_length)
+        wal = wal_at(tmp_path, next_seqno=scan.records[-1].seqno + 1)
+        wal.append("third", {"n": 3})
+        wal.close()
+        healed = read_log(path)
+        assert not healed.torn
+        assert [r.meta["n"] for r in healed.records] == [1, 3]
+
+    def test_injected_partial_append_produces_torn_tail(self, tmp_path):
+        fp = Failpoints()
+        wal = wal_at(tmp_path, failpoints=fp)
+        wal.append("first", {"n": 1})
+        fp.arm(WAL_PARTIAL_APPEND)
+        with pytest.raises(InjectedFault):
+            wal.append("second", {"n": 2})
+        with pytest.raises(DurabilityError, match="torn"):
+            wal.append("third", {"n": 3})  # poisoned until recovery
+        wal.close()
+        scan = read_log(tmp_path / "test.wal")
+        assert scan.torn
+        assert [r.meta["n"] for r in scan.records] == [1]
+
+
+class TestGroupCommit:
+    def test_batched_appends_land_once_synced(self, tmp_path):
+        wal = wal_at(tmp_path)
+        with wal.group_commit():
+            wal.append("a", {"n": 1})
+            wal.append("b", {"n": 2})
+        wal.close()
+        scan = read_log(tmp_path / "test.wal")
+        assert [r.meta["n"] for r in scan.records] == [1, 2]
+
+    def test_nested_blocks_sync_at_outermost_exit(self, tmp_path):
+        wal = wal_at(tmp_path)
+        with wal.group_commit():
+            with wal.group_commit():
+                wal.append("a", {"n": 1})
+            wal.append("b", {"n": 2})
+        assert wal.last_seqno == 2
+        wal.close()
+
+    def test_reset_empties_log_but_keeps_seqnos(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append("a", {})
+        wal.append("b", {})
+        wal.reset()
+        assert wal.last_seqno == 2
+        wal.append("c", {})
+        wal.close()
+        scan = read_log(tmp_path / "test.wal")
+        assert [r.seqno for r in scan.records] == [3]

@@ -21,6 +21,7 @@ CASES = [
     ("crossfilter_dashboard.py", ["20000"]),
     ("tpch_drilldown.py", ["0.05"]),
     ("provenance_and_refresh.py", []),
+    ("durable_restart.py", ["20000"]),
 ]
 
 

@@ -1,0 +1,128 @@
+"""Property tests: durable lineage archives round-trip bit-exactly.
+
+Random :class:`~repro.lineage.capture.QueryLineage` shapes — mixed
+RidArray/RidIndex indexes, empty indexes, deferred (thunk) entries,
+aliases, base epochs — are saved and re-loaded, and every backward /
+forward answer must come back identical.  Loads run with sanitize checks
+forced on, so a restored index that violates the CSR/rid invariants
+fails here even when the environment did not set ``REPRO_SANITIZE``
+(the nightly ci-deep job additionally runs the whole suite under
+``REPRO_SANITIZE=1``).
+"""
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import sanitize
+from repro.lineage.capture import QueryLineage
+from repro.lineage.indexes import RidArray, RidIndex
+from repro.lineage.persist import load_lineage, save_lineage
+
+# One relation's lineage shape: (kind, base_size, deferred) where kind
+# selects the index representation for the backward/forward pair.
+relation_shapes = st.tuples(
+    st.sampled_from(["array", "index", "empty"]),
+    st.integers(min_value=1, max_value=12),
+    st.booleans(),
+)
+
+lineage_shapes = st.tuples(
+    st.integers(min_value=0, max_value=8),  # output_size
+    st.lists(relation_shapes, min_size=1, max_size=3),
+    st.randoms(use_true_random=False),
+)
+
+
+def _build_indexes(rng, kind, output_size, base_size):
+    """A (backward, forward) pair over rid domains [0, base_size) and
+    [0, output_size); backward always has exactly output_size keys."""
+    if kind == "empty" or output_size == 0:
+        return RidIndex.empty(output_size), RidIndex.empty(base_size)
+    if kind == "array":
+        backward = RidArray(
+            np.array(
+                [rng.randrange(base_size) for _ in range(output_size)],
+                dtype=np.int64,
+            )
+        )
+    else:
+        backward = RidIndex.from_buckets(
+            [
+                np.array(
+                    sorted(
+                        rng.sample(
+                            range(base_size),
+                            rng.randint(0, min(3, base_size)),
+                        )
+                    ),
+                    dtype=np.int64,
+                )
+                for _ in range(output_size)
+            ]
+        )
+    forward = RidIndex.from_buckets(
+        [
+            np.array(
+                sorted(
+                    rng.sample(
+                        range(output_size), rng.randint(0, min(3, output_size))
+                    )
+                ),
+                dtype=np.int64,
+            )
+            for _ in range(base_size)
+        ]
+    )
+    return backward, forward
+
+
+@given(lineage_shapes)
+@settings(deadline=None)
+def test_roundtrip_bit_identical(shape):
+    output_size, relations, rng = shape
+    lineage = QueryLineage(output_size)
+    domains = {}
+    for i, (kind, base_size, deferred) in enumerate(relations):
+        key = f"rel{i}"
+        domains[key] = base_size
+        backward, forward = _build_indexes(rng, kind, output_size, base_size)
+        if deferred:
+            # Deferred capture stores thunks; save_lineage finalizes.
+            lineage.put_backward(key, lambda b=backward: b)
+            lineage.put_forward(key, lambda f=forward: f)
+        else:
+            lineage.put_backward(key, backward)
+            lineage.put_forward(key, forward)
+        lineage.put_base_epoch(key, rng.randrange(5))
+        if rng.random() < 0.5:
+            lineage.register_alias(f"alias{i}", key)
+
+    tmp = tempfile.mkdtemp()
+    path = os.path.join(tmp, "lineage.npz")
+    save_lineage(lineage, path)
+    with sanitize.force(True):
+        restored = load_lineage(path)
+
+    assert restored.output_size == lineage.output_size
+    assert restored.relations == lineage.relations
+    for i, (kind, base_size, deferred) in enumerate(relations):
+        key = f"rel{i}"
+        assert restored.base_epoch(key) == lineage.base_epoch(key)
+        for out in range(output_size):
+            assert np.array_equal(
+                restored.backward([out], key), lineage.backward([out], key)
+            )
+        for rid in range(base_size):
+            assert np.array_equal(
+                restored.forward(key, [rid]), lineage.forward(key, [rid])
+            )
+    for i in range(len(relations)):
+        alias = f"alias{i}"
+        if alias in lineage.relations and output_size:
+            assert np.array_equal(
+                restored.backward([0], alias), lineage.backward([0], alias)
+            )

@@ -134,3 +134,41 @@ class TestPersistence:
         with pytest.raises(LineageError, match="multiple"):
             restored.backward([0], "zipf")
         assert restored.backward([0], "zipf#0").size == 1
+
+    def test_base_epochs_survive(self, small_db, overview, tmp_path):
+        # Regression: the original loader silently dropped base_epochs,
+        # so a restored handle could be applied to a replaced base table
+        # without tripping the stale-rid guard.
+        path = str(tmp_path / "epochs.npz")
+        lineage = overview.lineage
+        lineage.finalize()
+        assert lineage.base_epoch("zipf") is not None
+        save_lineage(lineage, path)
+        restored = load_lineage(path)
+        assert restored.base_epoch("zipf") == lineage.base_epoch("zipf")
+
+    def test_save_is_atomic(self, small_db, overview, tmp_path, monkeypatch):
+        # A crash mid-save must leave either the old archive or the new
+        # one, never a truncated file: save_lineage writes a temp file
+        # and promotes it with os.replace.
+        from repro.lineage import wal as wal_mod
+
+        path = tmp_path / "atomic.npz"
+        save_lineage(overview.lineage, str(path))
+        before = path.read_bytes()
+
+        def broken_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(wal_mod.os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            save_lineage(overview.lineage, str(path))
+        assert path.read_bytes() == before  # old archive intact
+
+    def test_corrupt_archive_raises_recovery_error(self, tmp_path):
+        from repro.errors import RecoveryError
+
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(RecoveryError):
+            load_lineage(str(path))

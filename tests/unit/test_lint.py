@@ -150,6 +150,45 @@ class TestRPR006NoDeprecatedExecKwargs:
         assert codes(src, "src/repro/api.py") == []
 
 
+class TestRPR007DurableWritesOnly:
+    PATH = "src/repro/lineage/persist.py"
+
+    def test_flags_bare_write_open(self):
+        assert codes('f = open(path, "wb")\n', self.PATH) == ["RPR007"]
+
+    def test_flags_append_and_update_modes(self):
+        assert codes('open(path, "ab")\n', self.PATH) == ["RPR007"]
+        assert codes('open(path, "r+b")\n', "src/repro/lineage/wal.py") == [
+            "RPR007"
+        ]
+
+    def test_flags_mode_keyword_and_dynamic_mode(self):
+        assert codes('open(path, mode="w")\n', self.PATH) == ["RPR007"]
+        # A mode the linter cannot read statically is treated as writable.
+        assert codes("open(path, mode)\n", self.PATH) == ["RPR007"]
+
+    def test_flags_os_open(self):
+        assert codes("fd = os.open(path, os.O_WRONLY)\n", self.PATH) == [
+            "RPR007"
+        ]
+
+    def test_passes_read_only_open(self):
+        assert codes('data = open(path, "rb").read()\n', self.PATH) == []
+        assert codes("open(path)\n", self.PATH) == []
+
+    def test_passes_durable_helpers(self):
+        src = (
+            "durable_atomic_write(path, payload)\n"
+            "handle = durable_open_append(path)\n"
+            "durable_truncate(path, length)\n"
+        )
+        assert codes(src, self.PATH) == []
+
+    def test_out_of_scope_elsewhere(self):
+        # Non-durable modules may write files directly (reports, plots).
+        assert codes('open(path, "wb")\n', "src/repro/apps/report.py") == []
+
+
 class TestSuppressions:
     def test_justified_noqa_waives(self):
         src = 'raise ValueError("x")  # repro: noqa RPR004 -- fixture needs a builtin\n'
@@ -187,8 +226,8 @@ class TestRuleMetadata:
             assert rule.name
             assert rule.__doc__ and "Autofix hint" in rule.__doc__
 
-    def test_six_rules_active(self):
-        assert len(ALL_RULES) == 6
+    def test_seven_rules_active(self):
+        assert len(ALL_RULES) == 7
 
 
 class TestRepositoryIsClean:

@@ -1,4 +1,4 @@
-"""The six repo-specific AST rules (see package docstring for noqa).
+"""The seven repo-specific AST rules (see package docstring for noqa).
 
 Every rule carries its error code, the invariant it enforces, and an
 autofix hint in its docstring; ``python -m tools.lint --list-rules``
@@ -435,6 +435,76 @@ class NoDeprecatedExecKwargs(Rule):
                 )
 
 
+class DurableWritesOnly(Rule):
+    """Durable-path file writes must go through the fsync helpers.
+
+    Invariant: modules on the durability path (``lineage/wal.py``,
+    ``lineage/persist.py``) never open a file for writing directly — a
+    bare ``open(path, "wb")`` / ``os.open(..., O_WRONLY)`` write is
+    exactly the torn-on-crash, never-fsynced pattern the WAL exists to
+    prevent.  All writes flow through ``durable_atomic_write`` (temp +
+    fsync + rename), ``durable_open_append`` (the WAL's append handle),
+    or ``durable_truncate`` — the helpers that own the fsync discipline
+    and carry their own audited ``noqa`` markers.
+
+    Autofix hint: call ``repro.lineage.wal.durable_atomic_write(path,
+    data)`` (whole-file artifacts) or extend the helper set; never
+    inline an ``open`` in durable code.
+    """
+
+    code = "RPR007"
+    name = "durable-writes-only"
+
+    SCOPE = (
+        "src/repro/lineage/wal.py",
+        "src/repro/lineage/persist.py",
+    )
+
+    #: open()/io.open() mode characters that make a handle writable.
+    WRITE_MODE_CHARS = frozenset("wax+")
+
+    def applies(self, ctx) -> bool:
+        return ctx.is_file(*self.SCOPE)
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        """The mode string of an open()/io.open() call, '' when omitted,
+        None when not statically known."""
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            mode = next(
+                (kw.value for kw in node.keywords if kw.arg == "mode"), None
+            )
+        if mode is None:
+            return ""
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted(node.func)
+            if callee in ("open", "io.open"):
+                mode = self._open_mode(node)
+                if mode is None or self.WRITE_MODE_CHARS & set(mode):
+                    shown = "dynamic" if mode is None else repr(mode)
+                    yield (
+                        node.lineno, node.col_offset,
+                        f"writable open(mode={shown}) on the durable path; "
+                        "use durable_atomic_write / durable_open_append / "
+                        "durable_truncate (which own the fsync discipline)",
+                    )
+            elif callee in ("os.open", "os.fdopen"):
+                yield (
+                    node.lineno, node.col_offset,
+                    f"{callee}() on the durable path; use the durable_* "
+                    "helpers (which own the fsync discipline)",
+                )
+
+
 ALL_RULES: List[Rule] = [
     LineageComposeOnly(),
     NoInplaceOnHandout(),
@@ -442,4 +512,5 @@ ALL_RULES: List[Rule] = [
     ReproErrorsOnly(),
     EpochThreading(),
     NoDeprecatedExecKwargs(),
+    DurableWritesOnly(),
 ]
