@@ -1,0 +1,181 @@
+"""Concurrent brushing through the serving layer vs serialized R/W.
+
+The paper's serving story (Section 6.5: many users brushing while
+refreshes land) needs two numbers: what one thread pays when every
+brush is serialized behind a refresh, and what N snapshot readers
+sustain when the writer refreshes on its own cadence.  Four throughput
+axes, all brushes/second on the same statement:
+
+* ``concurrent_brush_serialized_rw_per_s`` — one thread alternating
+  {refresh the base table + re-register the view; brush}: every brush
+  pays a fresh epoch, the no-serving-layer baseline.
+* ``concurrent_brush_readers_{1,4,8}_per_s`` — a
+  :class:`~repro.serve.DatabaseServer` with a background writer doing
+  the same refresh on a ~10 ms cadence while N reader threads brush a
+  hot bar pool against pinned snapshots.  Within one epoch window the
+  per-snapshot answer memo collapses repeated questions, which is what
+  lets aggregate throughput scale with readers even on one core.
+
+Medians are merged into ``BENCH_latemat.json`` next to the
+late-materialization axes (same artifact, disjoint keys).  Gates apply
+at ``REPRO_SCALE >= 1`` only.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from bench_lineage_scan_late_mat import merge_bench_json
+
+from repro.api import Database, ExecOptions
+from repro.bench.harness import scale, scaled
+from repro.datagen import make_ontime_table
+from repro.lineage.capture import CaptureMode
+from repro.storage import Table
+
+VIEW = "SELECT latlon_bin, COUNT(*) AS cnt FROM ontime GROUP BY latlon_bin"
+BRUSH = (
+    "SELECT carrier, COUNT(*) AS cnt "
+    "FROM Lb(view, 'ontime', :bars) GROUP BY carrier"
+)
+VIEW_OPTS = ExecOptions(capture=CaptureMode.INJECT, name="view", pin=True)
+
+PAYLOAD_COLS = 6
+HOT_BARS = 8
+WRITER_CADENCE_S = 0.010
+
+#: brushes/second per axis, collected across tests and emitted once.
+RESULTS = {}
+
+
+def _measure_seconds() -> float:
+    # Long enough at full scale for several writer epochs per axis;
+    # smoke runs just need every code path exercised once.
+    return max(0.2, 0.8 * min(scale(), 1.0))
+
+
+@pytest.fixture(scope="module")
+def brush_db():
+    db = Database()
+    db.create_table(
+        "ontime",
+        make_ontime_table(scaled(200_000), payload_cols=PAYLOAD_COLS),
+    )
+    db.sql(VIEW, options=VIEW_OPTS)
+    return db
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_json():
+    yield
+    medians = {
+        f"concurrent_brush_{axis}_per_s": round(value, 1)
+        for axis, value in sorted(RESULTS.items())
+    }
+    if "serialized_rw" in RESULTS and "readers_4" in RESULTS:
+        medians["concurrent_brush_speedup_4_vs_serialized"] = round(
+            RESULTS["readers_4"] / RESULTS["serialized_rw"], 2
+        )
+    merge_bench_json(medians)
+
+
+def _refresh(db):
+    """One write operation: bump a payload column in place
+    (``preserve_rids`` — rids stay valid) and re-register the view
+    (registry epoch bump — every cached brush answer goes stale)."""
+    t = db.table("ontime")
+    columns = {name: t.column(name) for name in t.schema.names}
+    columns["payload0"] = columns["payload0"] + 1
+    db.create_table(
+        "ontime", Table(columns), replace=True, preserve_rids=True
+    )
+    db.sql(VIEW, options=VIEW_OPTS)
+
+
+def _hot_bars(db):
+    counts = np.asarray(db.result("view").table.column("cnt"))
+    order = np.argsort(counts)[::-1][:HOT_BARS]
+    return [np.array([int(bar)], dtype=np.int64) for bar in order]
+
+
+def test_serialized_rw(brush_db):
+    """Baseline: refresh-then-brush on one thread, no serving layer."""
+    db = brush_db
+    bars = _hot_bars(db)
+    plan = db.parse(BRUSH)
+    _refresh(db)
+    db.execute(plan, params={"bars": bars[0]})  # warmup
+    brushes = 0
+    deadline = time.perf_counter() + _measure_seconds()
+    start = time.perf_counter()
+    while time.perf_counter() < deadline:
+        _refresh(db)
+        res = db.execute(plan, params={"bars": bars[brushes % HOT_BARS]})
+        assert res.table.num_rows >= 1
+        brushes += 1
+    RESULTS["serialized_rw"] = brushes / (time.perf_counter() - start)
+
+
+@pytest.mark.parametrize("readers", [1, 4, 8])
+def test_concurrent_readers(brush_db, readers):
+    """N snapshot readers brushing hot bars while the writer refreshes
+    on a fixed cadence."""
+    db = brush_db
+    bars = _hot_bars(db)
+    stop = threading.Event()
+    errors = []
+    counts = [0] * readers
+
+    with db.serve(readers=readers) as server:
+        server.sql(BRUSH, params={"bars": bars[0]})  # warmup / prepare
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    server.write(_refresh)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+                    return
+                stop.wait(WRITER_CADENCE_S)
+
+        def reader(slot):
+            i = slot  # stagger starting bars across readers
+            try:
+                while not stop.is_set():
+                    res = server.sql(BRUSH, params={"bars": bars[i % HOT_BARS]})
+                    assert res.table.num_rows >= 1
+                    counts[slot] += 1
+                    i += 1
+            except Exception as exc:  # noqa: BLE001 - recorded
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)]
+        threads += [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(readers)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        time.sleep(_measure_seconds())
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        elapsed = time.perf_counter() - start
+
+    assert not errors, errors[:3]
+    total = sum(counts)
+    assert total > 0, "readers never completed a brush"
+    RESULTS[f"readers_{readers}"] = total / elapsed
+
+
+def test_concurrent_scaling_gate(brush_db):
+    """Acceptance: 4 snapshot readers sustain >= 4x the serialized R/W
+    baseline, and 8 readers >= 1.5x one reader (the answer memo must
+    turn extra readers into throughput, not just contention), at the
+    default bench scale."""
+    if scale() < 1.0:
+        pytest.skip("concurrency gates apply at REPRO_SCALE >= 1 only")
+    assert RESULTS["readers_4"] >= 4.0 * RESULTS["serialized_rw"], RESULTS
+    assert RESULTS["readers_8"] >= 1.5 * RESULTS["readers_1"], RESULTS

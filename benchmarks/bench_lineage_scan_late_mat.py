@@ -111,7 +111,6 @@ def latemat_db():
 @pytest.fixture(scope="module", autouse=True)
 def emit_json():
     yield
-    path = Path(os.environ.get("BENCH_LATEMAT_PATH", "BENCH_latemat.json"))
     medians_ms = {
         f"{name}_{variant}": ms
         for name, variants in sorted(RESULTS.items())
@@ -122,17 +121,34 @@ def emit_json():
         for name, v in sorted(RESULTS.items())
         if v.get("pushed")
     }
-    path.write_text(
-        json.dumps(
-            {
-                "scale": scale(),
-                "medians_ms": medians_ms,
-                "speedup_vs_materialized": speedups,
-            },
-            indent=2,
-        )
-        + "\n"
+    merge_bench_json(
+        medians_ms, {"speedup_vs_materialized": speedups}
     )
+
+
+def merge_bench_json(medians_ms, extra_sections=None):
+    """Merge one bench module's medians into ``BENCH_latemat.json``.
+
+    The artifact is shared by several modules (this one and
+    ``bench_concurrent_brush.py``), each owning a disjoint key set;
+    merging instead of overwriting lets either run standalone without
+    erasing the other's axes.  A stale ``scale`` mismatch invalidates
+    the whole file — mixed-scale medians are not comparable."""
+    path = Path(os.environ.get("BENCH_LATEMAT_PATH", "BENCH_latemat.json"))
+    payload = {"scale": scale(), "medians_ms": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (ValueError, OSError):
+            existing = {}
+        if existing.get("scale") == scale():
+            payload = existing
+            payload.setdefault("medians_ms", {})
+    payload["medians_ms"].update(medians_ms)
+    payload["medians_ms"] = dict(sorted(payload["medians_ms"].items()))
+    for section, values in (extra_sections or {}).items():
+        payload[section] = values
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def _bars(db):

@@ -31,12 +31,14 @@ from .errors import (
     RidRangeError,
     SanitizeError,
     SchemaError,
+    ServingError,
     SqlError,
     StaleBindingError,
     WorkloadError,
 )
 from .lineage.capture import CaptureConfig, CaptureMode, QueryLineage
 from .lineage.indexes import RidArray, RidIndex
+from .serve import DatabaseServer, Snapshot
 from .storage.table import ColumnType, Schema, Table
 from .workload.spec import (
     AggPushdownSpec,
@@ -58,6 +60,7 @@ __all__ = [
     "CatalogError",
     "ColumnType",
     "Database",
+    "DatabaseServer",
     "ExecOptions",
     "FilteredBackwardSpec",
     "ForwardSpec",
@@ -74,8 +77,10 @@ __all__ = [
     "SanitizeError",
     "Schema",
     "SchemaError",
+    "ServingError",
     "Session",
     "SkippingSpec",
+    "Snapshot",
     "SqlError",
     "StaleBindingError",
     "Table",

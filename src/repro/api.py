@@ -91,11 +91,12 @@ occurrence specifically, while ``"t"`` raises for being ambiguous.
 from __future__ import annotations
 
 import sys
+import threading
 import warnings
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, replace as _dc_replace
-from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Union
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -408,55 +409,75 @@ class ResultRegistry(Mapping):
         self._stubs: "OrderedDict[str, EvictedStub]" = OrderedDict()
         self._durability: Optional[DurabilityManager] = None
         self._refresher = None  # Callable[[EvictedStub], None]
-        self._refreshing: set = set()
+        self._refreshing = threading.local()  # per-thread cycle guard
         self._caches: "weakref.WeakSet" = weakref.WeakSet()
+        # Guards the in-memory maps (entries / pins / epochs / stubs /
+        # bytes) so reader threads resolving names while a writer
+        # registers can never observe a half-applied mutation.  Re-entrant
+        # because refresh/evict paths re-enter register() on the same
+        # thread.  Durability logging happens outside any long hold — the
+        # lock is for memory, not for fsync.
+        self._lock = threading.RLock()
 
     # -- Mapping protocol (what executors and the binder consume) ----------
 
     def __getitem__(self, name: str) -> "QueryResult":
-        entry = self._entries.get(name)
-        if entry is None:
-            return self._refresh_evicted(name)
-        self._entries.move_to_end(name)
-        return entry
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None:
+                self._entries.move_to_end(name)
+                return entry
+        return self._refresh_evicted(name)
 
     def __contains__(self, name) -> bool:
-        if name in self._entries:
-            return True
-        return self._refresher is not None and name in self._stubs
+        with self._lock:
+            if name in self._entries:
+                return True
+            return self._refresher is not None and name in self._stubs
 
     def __iter__(self) -> Iterator[str]:
-        if self._refresher is None:
-            return iter(self._entries)
-        names = list(self._entries)
-        names.extend(n for n in self._stubs if n not in self._entries)
+        with self._lock:
+            if self._refresher is None:
+                return iter(list(self._entries))
+            names = list(self._entries)
+            names.extend(n for n in self._stubs if n not in self._entries)
         return iter(names)
 
     def __len__(self) -> int:
-        if self._refresher is None:
-            return len(self._entries)
-        return len(self._entries) + sum(
-            1 for n in self._stubs if n not in self._entries
-        )
+        with self._lock:
+            if self._refresher is None:
+                return len(self._entries)
+            return len(self._entries) + sum(
+                1 for n in self._stubs if n not in self._entries
+            )
 
     def _refresh_evicted(self, name: str) -> "QueryResult":
         """Serve an evicted-but-refreshable name by re-executing its
         statement (graceful degradation); unknown names raise the
-        Mapping-contract ``KeyError``."""
-        stub = self._stubs.get(name)
-        if stub is None or self._refresher is None:
-            return self._entries[name]  # canonical KeyError
-        if name in self._refreshing:
+        Mapping-contract ``KeyError``.
+
+        The re-execution itself runs without the registry lock held (it
+        plans and executes a whole statement); the self-dependency guard
+        is per-thread so two threads refreshing the same name race to
+        re-register rather than misdiagnose a cycle.
+        """
+        with self._lock:
+            stub = self._stubs.get(name)
+            if stub is None or self._refresher is None:
+                return self._entries[name]  # canonical KeyError
+        refreshing = self._refreshing_names()
+        if name in refreshing:
             raise RecoveryError(
                 f"re-execution of evicted result {name!r} depends on "
                 "itself; the stub cannot be refreshed"
             )
-        self._refreshing.add(name)
+        refreshing.add(name)
         try:
             self._refresher(stub)
         finally:
-            self._refreshing.discard(name)
-        entry = self._entries.get(name)
+            refreshing.discard(name)
+        with self._lock:
+            entry = self._entries.get(name)
         if entry is None:
             raise RecoveryError(
                 f"re-execution of evicted result {name!r} completed "
@@ -464,10 +485,30 @@ class ResultRegistry(Mapping):
             )
         return entry
 
+    def _refreshing_names(self) -> set:
+        names = getattr(self._refreshing, "names", None)
+        if names is None:
+            names = self._refreshing.names = set()
+        return names
+
     def epoch(self, name: str) -> int:
         """Registration epoch of ``name`` (advances on every register,
         including re-registration after a drop); 0 when never seen."""
         return self._epochs.get(name, 0)
+
+    def snapshot_state(
+        self,
+    ) -> "Tuple[Dict[str, QueryResult], Dict[str, int]]":
+        """Consistent copy of ``(entries, epochs)`` for snapshot views.
+
+        Taken under the lock so a concurrent registration can never
+        yield a new result paired with its pre-registration epoch.
+        Evicted stubs are deliberately absent: serving one would require
+        re-execution against *live* state, which is a write — snapshot
+        readers treat evicted names as unknown.
+        """
+        with self._lock:
+            return dict(self._entries), dict(self._epochs)
 
     # -- durability plumbing -----------------------------------------------
 
@@ -486,31 +527,34 @@ class ResultRegistry(Mapping):
     def restore_epochs(self, epochs: Dict[str, int]) -> None:
         """Recovery-only: install checkpointed registration epochs
         (replayed WAL registers then advance from here)."""
-        self._epochs = {name: int(epoch) for name, epoch in epochs.items()}
+        with self._lock:
+            self._epochs = {name: int(epoch) for name, epoch in epochs.items()}
 
     def restore_entry(
         self, name: str, result: "QueryResult", pin: bool = False
     ) -> None:
         """Recovery-only: insert a checkpointed entry *without* advancing
         its epoch (the checkpoint's epoch snapshot already counts it)."""
-        self._entries[name] = result
-        self._entries.move_to_end(name)
-        if pin:
-            self._pinned.add(name)
-        else:
-            self._pinned.discard(name)
-        self._stubs.pop(name, None)
-        self._bytes.pop(name, None)
-        if self.max_result_bytes is not None:
-            self._bytes[name] = _lineage_bytes(result)
+        with self._lock:
+            self._entries[name] = result
+            self._entries.move_to_end(name)
+            if pin:
+                self._pinned.add(name)
+            else:
+                self._pinned.discard(name)
+            self._stubs.pop(name, None)
+            self._bytes.pop(name, None)
+            if self.max_result_bytes is not None:
+                self._bytes[name] = _lineage_bytes(result)
 
     def apply_evict(self, name: str, stub: "EvictedStub") -> None:
         """Recovery-only: re-apply a logged or checkpointed eviction."""
-        self._entries.pop(name, None)
-        self._bytes.pop(name, None)
-        self._pinned.discard(name)
-        self._stubs[name] = stub
-        self._stubs.move_to_end(name)
+        with self._lock:
+            self._entries.pop(name, None)
+            self._bytes.pop(name, None)
+            self._pinned.discard(name)
+            self._stubs[name] = stub
+            self._stubs.move_to_end(name)
 
     # -- mutation ----------------------------------------------------------
 
@@ -525,30 +569,32 @@ class ResultRegistry(Mapping):
             # the read-only handout contract physical.
             for values in result.table.columns().values():
                 sanitize.freeze(values)
-        self._entries[name] = result
-        self._entries.move_to_end(name)
-        self._epochs[name] = self._epochs.get(name, 0) + 1
-        if pin:
-            self._pinned.add(name)
-        else:
-            self._pinned.discard(name)
-        self._stubs.pop(name, None)
-        self._bytes.pop(name, None)
-        if self.max_result_bytes is not None:
-            self._bytes[name] = _lineage_bytes(result)
-        self._evict()
+        with self._lock:
+            self._entries[name] = result
+            self._entries.move_to_end(name)
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+            if pin:
+                self._pinned.add(name)
+            else:
+                self._pinned.discard(name)
+            self._stubs.pop(name, None)
+            self._bytes.pop(name, None)
+            if self.max_result_bytes is not None:
+                self._bytes[name] = _lineage_bytes(result)
+            self._evict()
 
     def drop(self, name: str) -> None:
         if self._durability is not None and (
             name in self._entries or name in self._stubs
         ):
             self._durability.log_drop(name)
-        if self._stubs.pop(name, None) is not None:
-            self._entries.pop(name, None)
-        else:
-            del self._entries[name]
-        self._pinned.discard(name)
-        self._bytes.pop(name, None)
+        with self._lock:
+            if self._stubs.pop(name, None) is not None:
+                self._entries.pop(name, None)
+            else:
+                del self._entries[name]
+            self._pinned.discard(name)
+            self._bytes.pop(name, None)
 
     def set_pin(self, name: str, pin: bool) -> None:
         """Pin or unpin a live entry or a stub (logged when durable);
@@ -557,23 +603,25 @@ class ResultRegistry(Mapping):
             raise PlanError(f"unknown result {name!r}")
         if self._durability is not None:
             self._durability.log_pin(name, pin)
-        stub = self._stubs.get(name)
-        if stub is not None:
-            stub.pin = bool(pin)
-        if name in self._entries:
-            if pin:
-                self._pinned.add(name)
-            else:
-                self._pinned.discard(name)
-                self._evict()
+        with self._lock:
+            stub = self._stubs.get(name)
+            if stub is not None:
+                stub.pin = bool(pin)
+            if name in self._entries:
+                if pin:
+                    self._pinned.add(name)
+                else:
+                    self._pinned.discard(name)
+                    self._evict()
 
     def set_max_results(self, max_results: Optional[int]) -> None:
         if max_results is not None and max_results < 1:
             raise PlanError(
                 f"max_results must be a positive bound or None, got {max_results}"
             )
-        self.max_results = max_results
-        self._evict()
+        with self._lock:
+            self.max_results = max_results
+            self._evict()
 
     def set_max_result_bytes(self, max_result_bytes: Optional[int]) -> None:
         if max_result_bytes is not None and max_result_bytes < 1:
@@ -581,12 +629,13 @@ class ResultRegistry(Mapping):
                 "max_result_bytes must be a positive bound or None, "
                 f"got {max_result_bytes}"
             )
-        self.max_result_bytes = max_result_bytes
-        if max_result_bytes is not None:
-            for name, entry in self._entries.items():
-                if name not in self._bytes:
-                    self._bytes[name] = _lineage_bytes(entry)
-        self._evict()
+        with self._lock:
+            self.max_result_bytes = max_result_bytes
+            if max_result_bytes is not None:
+                for name, entry in self._entries.items():
+                    if name not in self._bytes:
+                        self._bytes[name] = _lineage_bytes(entry)
+            self._evict()
 
     def _evict(self) -> None:
         if self.max_results is None and self.max_result_bytes is None:
@@ -1095,6 +1144,27 @@ class Database:
         from .sql import parse_sql
 
         return parse_sql(statement, self.catalog, self._results)
+
+    # -- concurrent serving ------------------------------------------------------
+
+    def snapshot(self):
+        """An immutable, consistently-pinned read view of the database
+        (:class:`~repro.serve.Snapshot`): the catalog and result registry
+        as of this instant, with their epochs.  Reads against it never
+        see later writes.  See :mod:`repro.serve`."""
+        from .serve import Snapshot
+
+        return Snapshot.capture(self)
+
+    def serve(self, readers: int = 4, options: Optional[ExecOptions] = None):
+        """Start a concurrent serving front
+        (:class:`~repro.serve.DatabaseServer`): ``readers`` pooled reader
+        threads executing against pinned snapshots, plus one writer
+        thread applying mutations and publishing new snapshots, with
+        WAL group-commit batching when the database is durable."""
+        from .serve import DatabaseServer
+
+        return DatabaseServer(self, readers=readers, options=options)
 
     def explain(self, statement: str) -> str:
         """The logical plan a SQL statement binds to, as an ASCII tree."""

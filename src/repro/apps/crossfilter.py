@@ -649,6 +649,14 @@ class CrossfilterSession:
             self._exec_session.close()
             self._exec_session = None
 
+    def serve(self, server) -> "ConcurrentCrossfilter":
+        """Concurrent-session entry point: brush this (declarative)
+        session through a :class:`~repro.serve.DatabaseServer`, so many
+        reader threads brush against pinned snapshots while refreshes
+        land through the server's writer.  See
+        :class:`ConcurrentCrossfilter`."""
+        return ConcurrentCrossfilter(self, server)
+
     # -- benchmarking helpers -----------------------------------------------------------
 
     def run_all_interactions(
@@ -667,3 +675,80 @@ class CrossfilterSession:
                 times.append(time.perf_counter() - t0)
             latencies[dim] = times
         return latencies
+
+
+class ConcurrentCrossfilter:
+    """Thread-safe brushing front for one declarative crossfilter session.
+
+    Wraps a BT-family :class:`CrossfilterSession` built with
+    ``from_database`` and routes every per-view re-aggregation statement
+    through a :class:`~repro.serve.DatabaseServer` — each brush pins
+    **one** snapshot and runs all N-1 view updates against it, so a
+    brush racing a refresh answers entirely pre- or entirely post-epoch,
+    never a blend across views.  The wrapper itself is immutable after
+    construction (bar orders are prebuilt; the underlying session is
+    never mutated by a brush), so any number of threads may brush
+    concurrently.
+    """
+
+    def __init__(self, session: CrossfilterSession, server):
+        if session.database is None:
+            raise WorkloadError(
+                "concurrent brushing requires a declarative session "
+                "(CrossfilterSession.from_database)"
+            )
+        if session.technique not in ("bt", "bt+ft"):
+            raise WorkloadError(
+                "concurrent brushing requires a lineage-backed technique "
+                f"('bt' or 'bt+ft'), got {session.technique!r}"
+            )
+        missing = [d for d in session.views if d not in session._result_names]
+        if missing:
+            raise WorkloadError(
+                f"dimensions {missing} have no registered view result; "
+                "concurrent brushing needs every view SQL-backed"
+            )
+        self.session = session
+        self.server = server
+        # Prebuild the per-view bin-value -> bar-id maps: the session
+        # memoizes them lazily, which is a benign single-thread race but
+        # a real one under a reader pool.
+        self._orders = {
+            dim: dict(session._bar_index(view))
+            for dim, view in session.views.items()
+        }
+
+    def brush(self, dimension: str, bar: int, snapshot=None) -> Dict[str, np.ndarray]:
+        """Highlight one bar; returns updated counts per other view."""
+        return self.brush_many(dimension, [bar], snapshot=snapshot)
+
+    def brush_many(
+        self, dimension: str, bars: Sequence[int], snapshot=None
+    ) -> Dict[str, np.ndarray]:
+        """Highlight a set of bars against one pinned snapshot (latest
+        if omitted): every per-view statement of this brush reads the
+        same epoch."""
+        session = self.session
+        if dimension not in session.views:
+            raise WorkloadError(f"unknown dimension {dimension!r}")
+        view = session.views[dimension]
+        bars = list(dict.fromkeys(bars))
+        for bar in bars:
+            if not 0 <= bar < view.num_bars:
+                raise WorkloadError(f"bar {bar} out of range for {dimension}")
+        snap = snapshot if snapshot is not None else self.server.snapshot()
+        params = {"bars": np.asarray(bars, dtype=np.int64)}
+        out: Dict[str, np.ndarray] = {}
+        for other in session._others(dimension):
+            statement = session._view_statement(other.dimension, dimension)
+            res = self.server.sql(statement, params=params, snapshot=snap)
+            counts = np.zeros(other.num_bars, dtype=np.int64)
+            order = self._orders[other.dimension]
+            for value, cnt in zip(
+                res.table.column(other.dimension),
+                res.table.column("cnt"),
+                strict=True,
+            ):
+                counts[order[value]] = int(cnt)
+            out[other.dimension] = counts
+        return out

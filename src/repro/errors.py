@@ -88,6 +88,14 @@ class WorkloadError(ReproError):
     """A lineage-consuming workload declaration is inconsistent."""
 
 
+class ServingError(ReproError):
+    """A concurrent-serving contract was violated (see ``repro/serve.py``).
+
+    Raised when a reader tries to mutate through a snapshot (snapshot
+    reads are strictly read-only; writes go through the server's writer
+    thread) or when a closed server is asked for more work."""
+
+
 class DurabilityError(ReproError):
     """A durable-state operation (WAL append, checkpoint) failed.
 

@@ -165,6 +165,13 @@ def resolve_scan_source(
     """
     result = _resolve_result(plan, results)
     lineage = result.lineage
+    # The epoch governing cache validity must come from the registry this
+    # execution reads (a live registry, or a pinned snapshot view) — a
+    # shared cache deriving it from its own live registry would file a
+    # snapshot's rids under the current epoch.  Plain-mapping fixtures
+    # have no epochs; None lets the cache fall back to identity tokens.
+    epoch_of = getattr(results, "epoch", None)
+    registry_epoch = epoch_of(plan.result) if callable(epoch_of) else None
 
     if plan.direction == "backward":
         base_name = resolve_base_table(catalog, lineage, plan.relation)
@@ -207,7 +214,7 @@ def resolve_scan_source(
         if cache is not None:
             rids = cache.resolve(
                 plan.result, result, "backward", plan.relation,
-                subset_key, compute_backward,
+                subset_key, compute_backward, epoch=registry_epoch,
             )
         else:
             rids = compute_backward()
@@ -261,7 +268,7 @@ def resolve_scan_source(
     if cache is not None:
         rids = cache.resolve(
             plan.result, result, "forward", plan.relation,
-            subset_key, compute_forward,
+            subset_key, compute_forward, epoch=registry_epoch,
         )
     else:
         rids = compute_forward()

@@ -20,8 +20,10 @@ Correctness rests on two invariants:
   (:meth:`~repro.api.ResultRegistry.epoch` advances on re-registration).
   A lookup whose stored epoch differs from the live epoch recomputes, so
   re-registering a name can never serve another result's rids.  Registries
-  without epochs (plain dict fixtures) fall back to the identity of the
-  result object, which changes on replacement all the same.
+  without epochs (plain dict fixtures) fall back to a weakref-backed
+  monotonic identity token of the result object — not ``id()``, whose
+  values CPython reuses after collection — which changes on replacement
+  all the same.
 * **Immutability** — cached arrays are handed out with the writeable flag
   cleared; every consumer treats rid arrays as read-only (filters copy via
   fancy indexing), so sharing one array across statements is safe, and an
@@ -29,13 +31,25 @@ Correctness rests on two invariants:
 
 The cache is LRU-bounded (``max_entries``) so a long session brushing
 thousands of distinct subsets cannot hold every resolved rid set alive.
+
+Thread-safety: lookups and installs take an internal lock, but
+``compute()`` runs outside it, so two threads racing the same cold key
+both compute and one install wins — wasted work, never a wrong answer.
+This is what lets one cache be shared across the serving layer's reader
+pool (:mod:`repro.serve`).  Callers executing against a pinned snapshot
+must pass the snapshot's ``epoch`` explicitly: deriving the epoch from
+the cache's (live) registry would file an old snapshot's rids under the
+current epoch and serve them to current-epoch readers.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
+import threading
+import weakref
 from collections import OrderedDict
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -77,6 +91,11 @@ class LineageResolutionCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
+        # Identity tokens for registries without epochs: id(result) ->
+        # (weakref to the result, monotonic token).  See _epoch below.
+        self._ident_tokens: Dict[int, Tuple[Optional[weakref.ref], int]] = {}
+        self._ident_counter = itertools.count(1)
         # Registries that recover durable state in place (Database.open
         # replaying into a live registry) need to invalidate attached
         # caches wholesale — epoch checks cover re-registration, but a
@@ -91,25 +110,69 @@ class LineageResolutionCache:
     def subset_key(rids: Optional[np.ndarray]) -> object:
         """Hashable fingerprint of a traced rid subset (``None`` = all).
 
-        Small subsets key by their raw bytes; subsets beyond
-        :data:`SUBSET_KEY_INLINE_BYTES` key by ``(length, blake2b-128
-        digest)`` so the stored key is O(1)-sized regardless of brush
-        size (the length is included so a truncated-prefix collision
-        would also have to collide the digest).
+        Both key forms carry the dtype string and the element count in
+        addition to the buffer bytes: raw bytes alone would make an
+        int32 subset and an int64 subset with identical buffers collide
+        to one entry.  Small subsets key by ``(dtype, length, bytes)``
+        (exact, collision-free); subsets beyond
+        :data:`SUBSET_KEY_INLINE_BYTES` key by ``(dtype, length,
+        blake2b-128 digest)`` so the stored key is O(1)-sized regardless
+        of brush size (the length is included so a truncated-prefix
+        collision would also have to collide the digest).
         """
         if rids is None:
             return ALL_RIDS
         data = rids.tobytes()
         if len(data) <= SUBSET_KEY_INLINE_BYTES:
-            return data
+            return (rids.dtype.str, rids.shape[0], data)
         digest = hashlib.blake2b(data, digest_size=16).digest()
-        return (rids.shape[0], digest)
+        return (rids.dtype.str, rids.shape[0], digest)
 
     def _epoch(self, name: str, result: object) -> object:
         epoch = getattr(self._registry, "epoch", None)
         if callable(epoch):
             return epoch(name)
-        return id(result)
+        return self._ident_token(result)
+
+    def _ident_token(self, result: object) -> Tuple[str, int]:
+        """Monotonic identity token for registries without epochs.
+
+        A raw ``id(result)`` is unsound as an epoch surrogate: CPython
+        reuses addresses, so a new result allocated after the cached one
+        is garbage-collected can present the *same* id and be served the
+        old rids.  Instead each distinct live object gets a token from a
+        monotonic counter, with a weakref proving the mapping still
+        refers to the same object — a dead or mismatched weakref means
+        the id was reused, which mints a fresh token (a cache miss).
+        Objects that cannot be weak-referenced (``object()`` test
+        markers) are held by strong reference instead — a pinned object
+        can never be collected, so its id can never be reused.
+        """
+        key = id(result)
+        with self._lock:
+            entry = self._ident_tokens.get(key)
+            if entry is not None:
+                ref, token = entry
+                target = ref() if isinstance(ref, weakref.ref) else ref
+                if target is result:
+                    return ("ident", token)
+            token = next(self._ident_counter)
+            self_ref = weakref.ref(self)
+
+            def _drop(_dead, _key=key, _token=token, _self_ref=self_ref):
+                cache = _self_ref()
+                if cache is not None:
+                    with cache._lock:
+                        live = cache._ident_tokens.get(_key)
+                        if live is not None and live[1] == _token:
+                            del cache._ident_tokens[_key]
+
+            try:
+                ref = weakref.ref(result, _drop)
+            except TypeError:
+                ref = result
+            self._ident_tokens[key] = (ref, token)
+            return ("ident", token)
 
     # -- lookup ---------------------------------------------------------------
 
@@ -121,23 +184,35 @@ class LineageResolutionCache:
         relation: str,
         subset_key: object,
         compute: Callable[[], np.ndarray],
+        epoch: object = None,
     ) -> np.ndarray:
         """The memoized resolution: cached rids when the entry is live
-        (same registry epoch), else ``compute()`` — stored read-only."""
+        (same registry epoch), else ``compute()`` — stored read-only.
+
+        ``epoch`` overrides the epoch derived from the cache's own
+        registry.  Executors running against a pinned snapshot pass the
+        snapshot registry's epoch here so one cache shared across
+        snapshots never files an old epoch's rids under the live one.
+        ``compute()`` runs without the lock held — it may execute index
+        lookups or recursive resolution and must not deadlock readers.
+        """
         key = (name, direction, relation, subset_key)
-        epoch = self._epoch(name, result)
-        entry = self._entries.get(key)
-        if entry is not None and entry[0] == epoch:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry[1]
+        if epoch is None:
+            epoch = self._epoch(name, result)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == epoch:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
         rids = np.asarray(compute())
         rids.setflags(write=False)
-        self._entries[key] = (epoch, rids)
-        self._entries.move_to_end(key)
-        self.misses += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (epoch, rids)
+            self._entries.move_to_end(key)
+            self.misses += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
         return rids
 
     # -- maintenance ----------------------------------------------------------
@@ -147,14 +222,16 @@ class LineageResolutionCache:
 
         Epoch checks already catch re-registration; this is for explicit
         memory release (``Session.close``)."""
-        if name is None:
-            self._entries.clear()
-            return
-        for key in [k for k in self._entries if k[0] == name]:
-            del self._entries[key]
+        with self._lock:
+            if name is None:
+                self._entries.clear()
+                return
+            for key in [k for k in self._entries if k[0] == name]:
+                del self._entries[key]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
         """Hit/miss counters plus the live entry count (for benchmarks)."""

@@ -43,6 +43,7 @@ the per-call path.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -195,7 +196,12 @@ class QueryLineage:
         self._base_epochs: Dict[str, int] = {}
         # Per-index dedup scratch: a reusable boolean flag array sized to
         # the index's rid domain (allocated lazily, reset after each use).
+        # The scratch is shared mutable state, so flag-array dedup and
+        # thunk finalization serialize on a lock: concurrent snapshot
+        # readers (repro/serve.py) resolve lineage on the *same* result
+        # object, and one thread's reset must never clear another's bits.
         self._dedup_flags: Dict[Tuple[str, str], np.ndarray] = {}
+        self._dedup_lock = threading.Lock()
         self.finalize_seconds = 0.0
 
     # -- population (used by executors) ----------------------------------------
@@ -252,10 +258,13 @@ class QueryLineage:
     def _materialize(self, table: Dict[str, IndexOrThunk], key: str) -> LineageIndex:
         entry = table[key]
         if callable(entry):
-            start = time.perf_counter()
-            entry = entry()
-            self.finalize_seconds += time.perf_counter() - start
-            table[key] = entry
+            with self._dedup_lock:
+                entry = table[key]
+                if callable(entry):  # not finalized by a racing thread
+                    start = time.perf_counter()
+                    entry = entry()
+                    self.finalize_seconds += time.perf_counter() - start
+                    table[key] = entry
         return entry
 
     def backward_index(self, relation: str) -> LineageIndex:
@@ -286,14 +295,15 @@ class QueryLineage:
         span = int(rids.max()) + 1
         if span > rids.size * _DEDUP_FLAGS_DENSITY:
             return np.unique(rids)
-        flags = self._dedup_flags.get((direction, key))
-        if flags is None or flags.shape[0] < span:
-            flags = np.zeros(span, dtype=bool)
-            self._dedup_flags[(direction, key)] = flags
-        view = flags[:span]
-        view[rids] = True
-        out = np.flatnonzero(view)
-        view[out] = False
+        with self._dedup_lock:
+            flags = self._dedup_flags.get((direction, key))
+            if flags is None or flags.shape[0] < span:
+                flags = np.zeros(span, dtype=bool)
+                self._dedup_flags[(direction, key)] = flags
+            view = flags[:span]
+            view[rids] = True
+            out = np.flatnonzero(view)
+            view[out] = False
         return out
 
     def backward(self, out_rids, relation: str) -> np.ndarray:

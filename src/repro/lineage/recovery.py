@@ -291,7 +291,12 @@ class DurabilityManager:
 
     def group_commit(self):
         """Batch WAL appends under one fsync (see
-        :meth:`~repro.lineage.wal.WriteAheadLog.group_commit`)."""
+        :meth:`~repro.lineage.wal.WriteAheadLog.group_commit`).
+
+        The serving layer's writer thread wraps each drained batch of
+        queued write operations in one of these blocks, so a burst of
+        registrations pays a single fsync; records are acknowledged to
+        the submitting callers only after the block exits."""
         if self._wal is None:
             raise DurabilityError("durability manager is closed")
         return self._wal.group_commit()

@@ -55,6 +55,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -413,6 +414,14 @@ class WriteAheadLog:
     monotonically across :meth:`reset` (checkpoints record the watermark
     they cover, so replay can skip already-checkpointed records even
     when a crash preserved both the checkpoint and the full log).
+
+    Thread-safety: the serving layer funnels all mutations through one
+    writer thread, which is the primary serialization.  Appends and the
+    group-commit depth are additionally guarded by a re-entrant lock as
+    a defensive backstop, so two threads that *do* append concurrently
+    interleave whole frames (never torn ones).  A ``group_commit`` block
+    amortizes fsyncs for its own thread's appends; it is not a
+    cross-thread transaction.
     """
 
     def __init__(
@@ -430,6 +439,7 @@ class WriteAheadLog:
         self._group_depth = 0
         self._pending_sync = False
         self._poisoned = False
+        self._lock = threading.RLock()
 
     @property
     def last_seqno(self) -> int:
@@ -443,13 +453,6 @@ class WriteAheadLog:
         that ordering is the whole durability contract.  Inside a
         :meth:`group_commit` block the fsync is deferred to block exit.
         """
-        if self._file is None:
-            raise DurabilityError("write-ahead log is closed")
-        if self._poisoned:
-            raise DurabilityError(
-                "write-ahead log took an injected torn write; the harness "
-                "must reopen (recover) instead of appending further"
-            )
         chunks = _encode_chunks(kind, meta, arrays)
         payload_len = sum(chunk.nbytes for chunk in chunks)
         if payload_len > MAX_RECORD_BYTES:
@@ -457,28 +460,36 @@ class WriteAheadLog:
                 f"WAL record of {payload_len} bytes exceeds the "
                 f"{MAX_RECORD_BYTES}-byte frame limit"
             )
-        seqno = self._next_seqno
-        crc = zlib.crc32(seqno.to_bytes(8, "little"))
-        for chunk in chunks:
-            crc = zlib.crc32(chunk, crc)
-        header = FRAME_HEADER.pack(payload_len, crc, seqno)
-        self.failpoints.hit(WAL_BEFORE_APPEND)
-        if self.failpoints.take(WAL_PARTIAL_APPEND):
-            # Simulate a crash mid-write: half the frame reaches disk.
-            frame = header + b"".join(chunks)
-            self._file.write(frame[: max(1, len(frame) // 2)])
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self._poisoned = True
-            raise InjectedFault(WAL_PARTIAL_APPEND)
-        self._file.write(header)
-        for chunk in chunks:
-            self._file.write(chunk)
-        self._next_seqno = seqno + 1
-        if self._group_depth:
-            self._pending_sync = True
-        else:
-            self._commit()
+        with self._lock:
+            if self._file is None:
+                raise DurabilityError("write-ahead log is closed")
+            if self._poisoned:
+                raise DurabilityError(
+                    "write-ahead log took an injected torn write; the harness "
+                    "must reopen (recover) instead of appending further"
+                )
+            seqno = self._next_seqno
+            crc = zlib.crc32(seqno.to_bytes(8, "little"))
+            for chunk in chunks:
+                crc = zlib.crc32(chunk, crc)
+            header = FRAME_HEADER.pack(payload_len, crc, seqno)
+            self.failpoints.hit(WAL_BEFORE_APPEND)
+            if self.failpoints.take(WAL_PARTIAL_APPEND):
+                # Simulate a crash mid-write: half the frame reaches disk.
+                frame = header + b"".join(chunks)
+                self._file.write(frame[: max(1, len(frame) // 2)])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._poisoned = True
+                raise InjectedFault(WAL_PARTIAL_APPEND)
+            self._file.write(header)
+            for chunk in chunks:
+                self._file.write(chunk)
+            self._next_seqno = seqno + 1
+            if self._group_depth:
+                self._pending_sync = True
+            else:
+                self._commit()
         return seqno
 
     def _commit(self) -> None:
@@ -492,14 +503,16 @@ class WriteAheadLog:
 
         Records inside the block are acknowledged *at block exit*; the
         durability contract holds for the batch as a unit."""
-        self._group_depth += 1
+        with self._lock:
+            self._group_depth += 1
         try:
             yield
         finally:
-            self._group_depth -= 1
-            if self._group_depth == 0 and self._pending_sync:
-                self._pending_sync = False
-                self._commit()
+            with self._lock:
+                self._group_depth -= 1
+                if self._group_depth == 0 and self._pending_sync:
+                    self._pending_sync = False
+                    self._commit()
 
     def reset(self) -> None:
         """Atomically replace the log with an empty one (post-checkpoint).
@@ -507,12 +520,14 @@ class WriteAheadLog:
         Seqnos keep increasing; the checkpoint's recorded watermark makes
         a crash *between* checkpoint write and this reset idempotent on
         replay."""
-        self._file.close()
-        durable_atomic_write(self.path, FILE_MAGIC)
-        self._file = durable_open_append(self.path)
-        self._poisoned = False
+        with self._lock:
+            self._file.close()
+            durable_atomic_write(self.path, FILE_MAGIC)
+            self._file = durable_open_append(self.path)
+            self._poisoned = False
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None

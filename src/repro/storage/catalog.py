@@ -20,6 +20,7 @@ positions, same identity), which is exactly what
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, Optional, Tuple
 
 from ..errors import CatalogError
@@ -28,12 +29,22 @@ from .table import Table
 
 
 class Catalog:
-    """Name → table mapping with helpers for base-relation identity."""
+    """Name → table mapping with helpers for base-relation identity.
+
+    Thread-safety: mutations (register / drop / epoch restore) and the
+    column-stats memo take an internal lock, so a writer replacing a
+    table while reader threads compute stats cannot corrupt either map.
+    Plain reads (``get``, ``epoch``) are single dict lookups — atomic
+    under the GIL — and stay lock-free; readers wanting a *consistent*
+    multi-name view pin a snapshot via :meth:`snapshot_state` (the
+    serving layer's :class:`~repro.serve.CatalogSnapshot` does).
+    """
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
         self._epochs: Dict[str, int] = {}
         self._column_stats: Dict[Tuple[str, int, str], ColumnStats] = {}
+        self._lock = threading.RLock()
 
     def register(
         self,
@@ -44,23 +55,47 @@ class Catalog:
     ) -> None:
         if not name or not name.isidentifier():
             raise CatalogError(f"invalid table name {name!r}")
-        if name in self._tables and not replace:
-            raise CatalogError(f"table {name!r} already exists")
-        replacing = name in self._tables and self._tables[name] is not table
-        self._tables[name] = table
-        if replacing:
-            self._evict_column_stats(name)
-        if replacing and not preserve_rids:
-            self._epochs[name] = self._epochs.get(name, 0) + 1
+        with self._lock:
+            if name in self._tables and not replace:
+                raise CatalogError(f"table {name!r} already exists")
+            replacing = name in self._tables and self._tables[name] is not table
+            if replacing and preserve_rids:
+                # preserve_rids asserts rows were updated in place (same
+                # positions, same identity) — a different cardinality or
+                # shape breaks that contract while keeping captured
+                # lineage "valid", so rids would point past the end or
+                # at reshaped rows.  Refuse rather than serve garbage.
+                old = self._tables[name]
+                if table.num_rows != old.num_rows:
+                    raise CatalogError(
+                        f"preserve_rids replacement of {name!r} must keep "
+                        f"the row count ({old.num_rows} rows, got "
+                        f"{table.num_rows}); replace without preserve_rids "
+                        "to invalidate captured lineage instead"
+                    )
+                if table.schema != old.schema:
+                    raise CatalogError(
+                        f"preserve_rids replacement of {name!r} must keep "
+                        f"the schema ({old.schema!r}, got {table.schema!r}); "
+                        "replace without preserve_rids to invalidate "
+                        "captured lineage instead"
+                    )
+            self._tables[name] = table
+            if replacing:
+                self._evict_column_stats(name)
+            if replacing and not preserve_rids:
+                self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def drop(self, name: str) -> None:
-        if name not in self._tables:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._tables[name]
-        self._evict_column_stats(name)
-        # A later re-registration under this name is a different relation;
-        # advancing here makes drop+create indistinguishable from replace.
-        self._epochs[name] = self._epochs.get(name, 0) + 1
+        with self._lock:
+            if name not in self._tables:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._tables[name]
+            self._evict_column_stats(name)
+            # A later re-registration under this name is a different
+            # relation; advancing here makes drop+create
+            # indistinguishable from replace.
+            self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def _evict_column_stats(self, name: str) -> None:
         for key in [k for k in self._column_stats if k[0] == name]:
@@ -72,13 +107,37 @@ class Catalog:
         the late-materializing chain executor consults this per join hop
         to pick build sides and detect pk-fk fast paths, so repeated
         interactive statements never re-scan the column."""
-        table = self.get(name)
-        key = (name, self.epoch(name), column)
-        stats = self._column_stats.get(key)
+        table, epoch = self.get_versioned(name)
+        return self.stats_for(name, table, epoch, column)
+
+    def stats_for(
+        self, name: str, table: Table, epoch: int, column: str
+    ) -> ColumnStats:
+        """Epoch-pinned variant of :meth:`column_stats` for snapshot
+        views: the caller supplies the table and epoch it pinned, so a
+        reader on an old snapshot memoizes under the old epoch while the
+        live catalog has moved on.  The scan itself runs outside the
+        lock; two racing readers may both compute, one install wins.
+        """
+        key = (name, epoch, column)
+        with self._lock:
+            stats = self._column_stats.get(key)
         if stats is None:
             stats = collect_column_stats(table.column(column))
-            self._column_stats[key] = stats
+            with self._lock:
+                stats = self._column_stats.setdefault(key, stats)
         return stats
+
+    def snapshot_state(self) -> Tuple[Dict[str, Table], Dict[str, int]]:
+        """Consistent copy of ``(tables, epochs)`` for snapshot views.
+
+        Taken under the lock so a concurrent replacement can never yield
+        a new table paired with its pre-replacement epoch.  Tables are
+        immutable, so the shallow dict copies pin a full point-in-time
+        image.
+        """
+        with self._lock:
+            return dict(self._tables), dict(self._epochs)
 
     def epoch(self, name: str) -> int:
         """Replacement epoch of a relation name (0 until first replaced).
@@ -91,7 +150,8 @@ class Catalog:
     def epochs_snapshot(self) -> Dict[str, int]:
         """Every recorded replacement epoch (what a durable checkpoint
         persists so stale-rid guards survive a restart)."""
-        return dict(self._epochs)
+        with self._lock:
+            return dict(self._epochs)
 
     def restore_epochs(self, epochs: Dict[str, int]) -> None:
         """Recovery-only: re-install replacement epochs from a checkpoint.
@@ -104,14 +164,15 @@ class Catalog:
         is what lets a restarted process re-load its base tables and
         keep serving checkpointed lineage.
         """
-        for name, epoch in epochs.items():
-            epoch = int(epoch)
-            if epoch < 0 or epoch < self._epochs.get(name, 0):
-                raise CatalogError(
-                    f"cannot restore epoch {epoch} for {name!r}: epochs "
-                    f"only move forward (live: {self._epochs.get(name, 0)})"
-                )
-            self._epochs[name] = epoch
+        with self._lock:
+            for name, epoch in epochs.items():
+                epoch = int(epoch)
+                if epoch < 0 or epoch < self._epochs.get(name, 0):
+                    raise CatalogError(
+                        f"cannot restore epoch {epoch} for {name!r}: epochs "
+                        f"only move forward (live: {self._epochs.get(name, 0)})"
+                    )
+                self._epochs[name] = epoch
 
     def get(self, name: str) -> Table:
         try:

@@ -1,0 +1,211 @@
+"""Thread-safety hammering for the shared lineage rid-resolution cache
+and the catalog's column-stats memo.
+
+These tests assert the *contract*, not scheduling: no exceptions under
+contention, bounded entry counts, and counter bookkeeping that adds up.
+Wrong-answer races (stale rids, mixed epochs) are covered by the
+isolation property in ``test_snapshot_isolation.py``; this file covers
+the data structures themselves.
+"""
+
+import gc
+import threading
+
+import numpy as np
+
+from repro.lineage.cache import LineageResolutionCache
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+THREADS = 8
+ITERATIONS = 300
+
+
+def _hammer(worker, threads=THREADS):
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def run(seed):
+        try:
+            barrier.wait(timeout=10)
+            worker(seed)
+        except Exception as exc:  # any exception is a failure
+            errors.append(exc)
+
+    pool = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=60)
+    assert not errors, errors[:3]
+
+
+class _Registry(dict):
+    """Epoch-bearing registry stub: epochs bump under test control."""
+
+    def __init__(self):
+        super().__init__()
+        self.epochs = {}
+
+    def epoch(self, name):
+        return self.epochs.get(name, 0)
+
+
+class TestCacheHammer:
+    def test_mixed_keys_epochs_and_invalidations(self):
+        registry = _Registry()
+        cache = LineageResolutionCache(registry, max_entries=64)
+        names = [f"view{i}" for i in range(4)]
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for i in range(ITERATIONS):
+                name = names[int(rng.integers(0, len(names)))]
+                subset = LineageResolutionCache.subset_key(
+                    rng.integers(0, 50, int(rng.integers(1, 6)))
+                )
+                epoch = int(rng.integers(0, 3))
+                out = cache.resolve(
+                    name,
+                    None,
+                    "backward",
+                    "t",
+                    subset,
+                    lambda: np.arange(3),
+                    epoch=epoch,
+                )
+                assert not out.flags.writeable
+                if i % 97 == 0:
+                    cache.invalidate(name)
+                if i % 193 == 0:
+                    cache.invalidate()
+
+        _hammer(worker)
+        assert len(cache) <= cache.max_entries
+        # Every resolve either hit or missed; invalidation never loses one.
+        assert cache.hits + cache.misses == THREADS * ITERATIONS
+
+    def test_lru_bound_holds_under_contention(self):
+        registry = _Registry()
+        cache = LineageResolutionCache(registry, max_entries=16)
+
+        def worker(seed):
+            for i in range(ITERATIONS):
+                subset = LineageResolutionCache.subset_key(
+                    np.array([seed, i], dtype=np.int64)
+                )
+                cache.resolve(
+                    "view", None, "backward", "t", subset, lambda: np.arange(2)
+                )
+                assert len(cache) <= 16
+
+        _hammer(worker)
+        assert len(cache) <= 16
+
+    def test_ident_tokens_survive_concurrent_gc(self):
+        """Epoch-less registries key by identity token; racing threads
+        resolving short-lived result objects (collected mid-run, with
+        explicit gc churn) must neither crash nor leak token entries."""
+
+        class _Result:
+            pass
+
+        cache = LineageResolutionCache({"view": None}, max_entries=64)
+
+        def worker(seed):
+            for i in range(ITERATIONS):
+                result = _Result()
+                out = cache.resolve(
+                    "view",
+                    result,
+                    "backward",
+                    "t",
+                    ("<i8", 1, bytes(8)),
+                    lambda: np.array([seed]),
+                )
+                assert out is not None
+                del result
+                if i % 50 == 0:
+                    gc.collect()
+
+        _hammer(worker)
+        gc.collect()
+        # All hammered results are dead; their weakref callbacks must
+        # have reaped the token table.
+        assert len(cache._ident_tokens) == 0
+
+
+class TestLineageDedupScratch:
+    def test_concurrent_backward_never_tears(self):
+        """``QueryLineage._distinct`` dedups dense batches through a
+        reusable flag array; before it was locked, one thread's reset
+        (``view[out] = False``) could clear another thread's freshly set
+        bits, so concurrent ``backward`` calls on the same result
+        returned missing (even empty) rid sets."""
+        from repro.lineage.capture import QueryLineage
+        from repro.lineage.indexes import RidIndex
+
+        groups, per_group = 4, 200
+        group_ids = np.repeat(np.arange(groups), per_group)
+        lineage = QueryLineage(output_size=groups)
+        lineage.put_backward(
+            "t", RidIndex.from_group_ids(group_ids, groups)
+        )
+        expected = {
+            g: np.flatnonzero(group_ids == g) for g in range(groups)
+        }
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(ITERATIONS):
+                g = int(rng.integers(0, groups))
+                out = lineage.backward(np.array([g], dtype=np.int64), "t")
+                assert np.array_equal(out, expected[g]), (
+                    f"torn dedup for group {g}: got {out.size} rids"
+                )
+
+        _hammer(worker)
+
+
+class TestCatalogStatsHammer:
+    def test_stats_during_replacements(self):
+        """Readers computing column stats while a writer replaces the
+        table: each reader's stats must describe the exact table version
+        it fetched (rows match), and the memo never crashes."""
+        catalog = Catalog()
+
+        def install(rows):
+            catalog.register(
+                "t",
+                Table({"z": np.arange(rows, dtype=np.int64)}),
+                replace=True,
+            )
+
+        install(1)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            rows = 1
+            try:
+                while not stop.is_set():
+                    rows = rows % 7 + 1
+                    install(rows)
+            except Exception as exc:  # any exception is a failure
+                errors.append(exc)
+
+        def reader(seed):
+            for _ in range(ITERATIONS):
+                table, epoch = catalog.get_versioned("t")
+                stats = catalog.stats_for("t", table, epoch, "z")
+                assert stats.rows == table.num_rows
+                assert stats.is_unique
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        try:
+            _hammer(reader, threads=4)
+        finally:
+            stop.set()
+            writer_thread.join(timeout=30)
+        assert not errors

@@ -14,6 +14,7 @@ from repro.apps import (
 )
 from repro.datagen import make_ontime_table, make_physician_table
 from repro.errors import WorkloadError
+from repro.storage import Table
 from repro.plan.logical import AggCall, GroupBy, Scan, col
 
 
@@ -91,6 +92,59 @@ class TestCrossfilter:
         session = CrossfilterSession(ontime, ("carrier", "delay_bin"), "bt+ft")
         latencies = session.run_all_interactions(max_per_view=3)
         assert all(len(v) <= 3 for v in latencies.values())
+
+
+class TestConcurrentCrossfilter:
+    def _declarative(self, ontime):
+        db = Database()
+        db.create_table("ontime", ontime)
+        session = CrossfilterSession.from_database(
+            db, "ontime", ("carrier", "delay_bin"), "bt"
+        )
+        return db, session
+
+    def test_concurrent_brush_matches_serial(self, ontime):
+        db, session = self._declarative(ontime)
+        with db.serve(readers=2) as server:
+            concurrent = session.serve(server)
+            for bar in (0, 1, 2):
+                serial = session.brush("carrier", bar)
+                parallel = concurrent.brush("carrier", bar)
+                assert sorted(serial) == sorted(parallel)
+                for dim, counts in serial.items():
+                    assert np.array_equal(parallel[dim], counts)
+        session.close()
+
+    def test_brush_many_pins_one_snapshot(self, ontime):
+        db, session = self._declarative(ontime)
+        with db.serve(readers=2) as server:
+            concurrent = session.serve(server)
+            snap = server.snapshot()
+            before = concurrent.brush_many("carrier", [0, 1], snapshot=snap)
+            # A write lands; the pinned snapshot keeps answering pre-epoch.
+            server.write(
+                lambda d: d.create_table(
+                    "junk",
+                    Table({"z": np.array([1], dtype=np.int64)}),
+                )
+            )
+            after = concurrent.brush_many("carrier", [0, 1], snapshot=snap)
+            for dim in before:
+                assert np.array_equal(before[dim], after[dim])
+        session.close()
+
+    def test_requires_declarative_lineage_backed_session(self, ontime):
+        direct = CrossfilterSession(ontime, ("carrier",), "bt")
+        db, session = self._declarative(ontime)
+        with db.serve(readers=1) as server:
+            with pytest.raises(WorkloadError, match="declarative"):
+                direct.serve(server)
+            concurrent = session.serve(server)
+            with pytest.raises(WorkloadError, match="unknown dimension"):
+                concurrent.brush("altitude", 0)
+            with pytest.raises(WorkloadError, match="out of range"):
+                concurrent.brush("carrier", 10_000)
+        session.close()
 
 
 class TestProfiler:

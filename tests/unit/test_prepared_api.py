@@ -314,14 +314,17 @@ class TestLineageResolutionCache:
         b = LineageResolutionCache.subset_key(np.arange(16, dtype=np.int64))
         c = LineageResolutionCache.subset_key(np.arange(1, 17, dtype=np.int64))
         assert a == b and a != c
-        assert isinstance(a, bytes) and len(a) == 16 * 8
+        dtype, size, data = a
+        assert dtype == np.dtype(np.int64).str and size == 16
+        assert isinstance(data, bytes) and len(data) == 16 * 8
 
     def test_subset_key_large_subsets_hash_to_constant_size(self):
         """A 1M-rid brush must not pin a second megabyte-scale byte copy
-        in every cache key: large subsets key by (length, digest)."""
+        in every cache key: large subsets key by (dtype, length, digest)."""
         rids = np.arange(1_000_000, dtype=np.int64)
         key = LineageResolutionCache.subset_key(rids)
-        size, digest = key
+        dtype, size, digest = key
+        assert dtype == np.dtype(np.int64).str
         assert size == 1_000_000
         assert isinstance(digest, bytes) and len(digest) == 16  # O(1)-sized
         assert key == LineageResolutionCache.subset_key(rids.copy())

@@ -157,6 +157,68 @@ class TestColumnStats:
         assert catalog.column_stats("t", "z").is_unique  # recomputed
 
 
+class TestPreserveRidsGuard:
+    """``preserve_rids=True`` asserts an in-place row update; a
+    replacement that changes cardinality or schema would keep captured
+    lineage "valid" while the rids point past the end or at reshaped
+    rows — the catalog must refuse it."""
+
+    def _catalog(self):
+        from repro.storage.catalog import Catalog
+        from repro.storage.table import Table
+
+        catalog = Catalog()
+        catalog.register(
+            "t",
+            Table({
+                "z": np.array([1, 2, 3], dtype=np.int64),
+                "w": np.array([1.0, 2.0, 3.0]),
+            }),
+        )
+        return catalog, Table
+
+    def test_row_count_change_raises(self):
+        from repro.errors import CatalogError
+
+        catalog, Table = self._catalog()
+        shrunk = Table({
+            "z": np.array([1, 2], dtype=np.int64),
+            "w": np.array([1.0, 2.0]),
+        })
+        with pytest.raises(CatalogError, match="row count"):
+            catalog.register("t", shrunk, replace=True, preserve_rids=True)
+        # The refused replacement must not have landed.
+        assert catalog.get("t").num_rows == 3
+        assert catalog.epoch("t") == 0
+
+    def test_schema_change_raises(self):
+        from repro.errors import CatalogError
+
+        catalog, Table = self._catalog()
+        reshaped = Table({
+            "z": np.array([1, 2, 3], dtype=np.int64),
+            "other": np.array([1.0, 2.0, 3.0]),
+        })
+        with pytest.raises(CatalogError, match="schema"):
+            catalog.register("t", reshaped, replace=True, preserve_rids=True)
+
+    def test_same_shape_preserves_epoch(self):
+        catalog, Table = self._catalog()
+        updated = Table({
+            "z": np.array([1, 2, 3], dtype=np.int64),
+            "w": np.array([9.0, 9.0, 9.0]),
+        })
+        catalog.register("t", updated, replace=True, preserve_rids=True)
+        assert catalog.epoch("t") == 0
+        assert catalog.get("t") is updated
+
+    def test_plain_replace_may_change_shape(self):
+        catalog, Table = self._catalog()
+        shrunk = Table({"z": np.array([1], dtype=np.int64)})
+        catalog.register("t", shrunk, replace=True)
+        assert catalog.epoch("t") == 1
+
+
 class TestChooseBuildSide:
     """The join-hop build-side decision table (see ISSUE: cardinality-
     aware build sides with a pk-fk fast path on the unique side)."""
