@@ -742,13 +742,60 @@ class ConcurrentCrossfilter:
         for other in session._others(dimension):
             statement = session._view_statement(other.dimension, dimension)
             res = self.server.sql(statement, params=params, snapshot=snap)
-            counts = np.zeros(other.num_bars, dtype=np.int64)
-            order = self._orders[other.dimension]
-            for value, cnt in zip(
-                res.table.column(other.dimension),
-                res.table.column("cnt"),
-                strict=True,
-            ):
-                counts[order[value]] = int(cnt)
-            out[other.dimension] = counts
+            out[other.dimension] = self._counts_from(other, res)
         return out
+
+    def brush_batch(
+        self, dimension: str, bars_list: Sequence[Sequence[int]], snapshot=None
+    ) -> List[Dict[str, np.ndarray]]:
+        """Serve N users' brushes on one dimension in a single pass:
+        one result dict per user, all against one pinned snapshot.
+
+        Semantically equivalent to N :meth:`brush_many` calls, but each
+        per-view re-aggregation statement goes through
+        :meth:`~repro.serve.DatabaseServer.sql_batch`, which coalesces
+        the N ``Lb`` resolutions into one CSR backward pass and executes
+        the predicate/gather/group-key work once over the union of the
+        users' rid sets — the multi-user amortization of the paper's
+        "millions of users" serving story.
+        """
+        session = self.session
+        if dimension not in session.views:
+            raise WorkloadError(f"unknown dimension {dimension!r}")
+        view = session.views[dimension]
+        cleaned = []
+        for bars in bars_list:
+            bars = list(dict.fromkeys(bars))
+            for bar in bars:
+                if not 0 <= bar < view.num_bars:
+                    raise WorkloadError(
+                        f"bar {bar} out of range for {dimension}"
+                    )
+            cleaned.append(bars)
+        if not cleaned:
+            return []
+        snap = snapshot if snapshot is not None else self.server.snapshot()
+        params_list = [
+            {"bars": np.asarray(bars, dtype=np.int64)} for bars in cleaned
+        ]
+        out: List[Dict[str, np.ndarray]] = [{} for _ in cleaned]
+        for other in session._others(dimension):
+            statement = session._view_statement(other.dimension, dimension)
+            results = self.server.sql_batch(
+                statement, params_list, snapshot=snap
+            )
+            for user, res in enumerate(results):
+                out[user][other.dimension] = self._counts_from(other, res)
+        return out
+
+    def _counts_from(self, view, result) -> np.ndarray:
+        """Dense bar-order counts from one re-aggregation result."""
+        counts = np.zeros(view.num_bars, dtype=np.int64)
+        order = self._orders[view.dimension]
+        for value, cnt in zip(
+            result.table.column(view.dimension),
+            result.table.column("cnt"),
+            strict=True,
+        ):
+            counts[order[value]] = int(cnt)
+        return counts

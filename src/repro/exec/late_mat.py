@@ -79,6 +79,7 @@ from ..substrate.stats import (
     JoinSideStats,
     choose_build_side,
 )
+from . import morsel
 from .lineage_scan import resolve_scan_source, scan_node_lineage
 from .timings import (
     LATE_MAT_BUILD_SWAPS,
@@ -137,10 +138,17 @@ def _slice_names(source: Table, columns) -> List[str]:
     return source.schema.names[:1]
 
 
-def _gather(source: Table, rids: np.ndarray, names: Sequence[str]) -> Table:
-    """Narrow gather: one fancy-index per listed column, nothing else."""
+def _gather(
+    source: Table,
+    rids: np.ndarray,
+    names: Sequence[str],
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
+) -> Table:
+    """Narrow gather: one (morsel-parallel) fancy-index per listed
+    column, nothing else."""
     return Table(
-        {n: source.column(n)[rids] for n in names},
+        {n: morsel.gather(source.column(n), rids, workers, counter) for n in names},
         Schema([(n, source.schema.type_of(n)) for n in names]),
     )
 
@@ -225,7 +233,12 @@ class _ChainState:
             leaf.node,
         )
 
-    def column_values(self, name: str) -> np.ndarray:
+    def column_values(
+        self,
+        name: str,
+        workers: int = 1,
+        counter: Optional[morsel.MorselCounter] = None,
+    ) -> np.ndarray:
         """One output column of this chain node, gathered through the
         leaf's position array (never more rows than currently survive)."""
         idx = self._index.get(name)
@@ -240,9 +253,11 @@ class _ChainState:
         pos = self.positions[leaf_idx]
         if leaf.table is not None:
             values = leaf.table.column(src)
-            return values if pos is None else values[pos]
+            return values if pos is None else morsel.gather(values, pos, workers, counter)
         base = leaf.source.column(src)
-        return base[leaf.rids if pos is None else leaf.rids[pos]]
+        if pos is None:
+            return morsel.gather(base, leaf.rids, workers, counter)
+        return morsel.gather(base, morsel.gather(leaf.rids, pos, workers, counter), workers, counter)
 
     def key_stats(self, keys: Sequence[str], catalog: Catalog) -> JoinSideStats:
         """Cardinality + key-uniqueness statistics for this node as one
@@ -295,9 +310,13 @@ class _ChainContext:
     __slots__ = (
         "catalog", "results", "config", "params",
         "next_key", "run_child", "cache", "stats",
+        "workers", "counter",
     )
 
-    def __init__(self, catalog, results, config, params, next_key, run_child, cache, stats):
+    def __init__(
+        self, catalog, results, config, params, next_key, run_child, cache, stats,
+        workers=1, counter=None,
+    ):
         self.catalog = catalog
         self.results = results
         self.config = config
@@ -306,6 +325,8 @@ class _ChainContext:
         self.run_child = run_child
         self.cache = cache
         self.stats = stats
+        self.workers = workers
+        self.counter = counter
 
 
 def _resolve_scan_side(
@@ -316,6 +337,8 @@ def _resolve_scan_side(
     config: CaptureConfig,
     params: Optional[dict],
     cache: Optional[LineageResolutionCache],
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
 ) -> _JoinInput:
     """Resolve a lineage-backed chain leaf to ``(source, surviving rids)``
     plus its node lineage, filtering in the rid domain (identical to the
@@ -327,7 +350,8 @@ def _resolve_scan_side(
     )
     if side.predicate is not None:
         pred_table = _gather(
-            source, rids, _slice_names(source, side.predicate.columns())
+            source, rids, _slice_names(source, side.predicate.columns()),
+            workers, counter,
         )
         mask = np.asarray(
             evaluate(side.predicate, pred_table, params), dtype=bool
@@ -351,6 +375,8 @@ def _chain_select(
     predicate,
     config: CaptureConfig,
     params: Optional[dict],
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
 ) -> _ChainState:
     """A pushed ``Select`` over a chain node, in the position domain:
     gather only the predicate's columns, narrow every leaf's positions to
@@ -370,7 +396,7 @@ def _chain_select(
         # Constant predicate: one cheap stand-in column carries the rows.
         names = _slice_names(_StandInSchema(state.schema), referenced)
     pred_table = Table(
-        {n: state.column_values(n) for n in names},
+        {n: state.column_values(n, workers, counter) for n in names},
         Schema([(n, state.schema.type_of(n)) for n in names]),
     )
     mask = np.asarray(evaluate(predicate, pred_table, params), dtype=bool)
@@ -402,12 +428,16 @@ def _run_hop(hop: PushedJoinHop, ctx: _ChainContext) -> _ChainState:
         right = _run_hop(hop.right, ctx)
         state = _join_states(hop, left, right, ctx)
         if hop.predicate is not None:
-            state = _chain_select(state, hop.predicate, ctx.config, ctx.params)
+            state = _chain_select(
+                state, hop.predicate, ctx.config, ctx.params,
+                ctx.workers, ctx.counter,
+            )
         return state
     if hop.scan is not None:
         leaf = _resolve_scan_side(
             hop, ctx.next_key(), ctx.catalog, ctx.results,
             ctx.config, ctx.params, ctx.cache,
+            ctx.workers, ctx.counter,
         )
     else:
         table, node = ctx.run_child(hop.plan)
@@ -426,8 +456,8 @@ def _join_states(
     from .vector.join import compute_matches_oriented, join_lineage_locals
 
     join = hop.join
-    left_keys = [left.column_values(k) for k in join.left_keys]
-    right_keys = [right.column_values(k) for k in join.right_keys]
+    left_keys = [left.column_values(k, ctx.workers, ctx.counter) for k in join.left_keys]
+    right_keys = [right.column_values(k, ctx.workers, ctx.counter) for k in join.right_keys]
     decision = choose_build_side(
         left.key_stats(join.left_keys, ctx.catalog),
         right.key_stats(join.right_keys, ctx.catalog),
@@ -439,7 +469,8 @@ def _join_states(
         if decision.pkfk and not join.pkfk:
             ctx.stats.pkfk_detected += 1
     matches = compute_matches_oriented(
-        left_keys, right_keys, decision.build_left, decision.pkfk
+        left_keys, right_keys, decision.build_left, decision.pkfk,
+        workers=ctx.workers, counter=ctx.counter,
     )
 
     fields = join_output_fields(left.schema, right.schema)
@@ -476,7 +507,12 @@ def _join_states(
     )
 
 
-def _gather_chain_output(state: _ChainState, columns) -> Table:
+def _gather_chain_output(
+    state: _ChainState,
+    columns,
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
+) -> Table:
     """Materialize the chain's narrow output table: only the referenced
     columns (or, for ``columns=None``, the full core schema), gathered at
     the final surviving positions only — the late gather."""
@@ -501,7 +537,7 @@ def _gather_chain_output(state: _ChainState, columns) -> Table:
             )
         ]
     return Table(
-        {n: state.column_values(n) for n in keep},
+        {n: state.column_values(n, workers, counter) for n in keep},
         Schema([(n, state.schema.type_of(n)) for n in keep]),
     )
 
@@ -516,6 +552,8 @@ def execute_pushed(
     run_child: RunChild,
     cache: Optional[LineageResolutionCache] = None,
     stats: Optional[PushedStats] = None,
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
 ) -> Tuple[Table, NodeLineage]:
     """Execute a pushed tree; returns ``(output table, node lineage)``.
 
@@ -523,7 +561,9 @@ def execute_pushed(
     lineage-scan leaf); ``run_child`` executes a plain chain leaf through
     the backend's own recursion; ``stats`` (when provided) accumulates
     the run's chain-hop / build-side / pk-fk decisions for the executors'
-    ``timings`` counters.
+    ``timings`` counters.  ``workers > 1`` runs the rid gathers, hop
+    probes, and group-by kernels morsel-parallel (bit-identical output,
+    see :mod:`repro.exec.morsel`).
     """
     from ..expr.ast import evaluate
     from .vector.groupby import execute_distinct, execute_groupby
@@ -532,7 +572,8 @@ def execute_pushed(
         if stats is not None:
             stats.chain_hops += pushed.chain_hops
         ctx = _ChainContext(
-            catalog, results, config, params, next_key, run_child, cache, stats
+            catalog, results, config, params, next_key, run_child, cache, stats,
+            workers, counter,
         )
         state = _run_hop(pushed.join, ctx)
         if pushed.predicate is not None:
@@ -540,8 +581,8 @@ def execute_pushed(
             # the position domain (only its columns gathered, standard
             # selection lineage) so the late gather below sees only the
             # final survivors.
-            state = _chain_select(state, pushed.predicate, config, params)
-        table = _gather_chain_output(state, pushed.columns)
+            state = _chain_select(state, pushed.predicate, config, params, workers, counter)
+        table = _gather_chain_output(state, pushed.columns, workers, counter)
         node = state.node
         if pushed.groupby is None and pushed.project is None:
             return table, node
@@ -553,7 +594,8 @@ def execute_pushed(
 
         if pushed.predicate is not None:
             pred_table = _gather(
-                source, rids, _slice_names(source, pushed.predicate.columns())
+                source, rids, _slice_names(source, pushed.predicate.columns()),
+                workers, counter,
             )
             mask = np.asarray(
                 evaluate(pushed.predicate, pred_table, params), dtype=bool
@@ -573,7 +615,9 @@ def execute_pushed(
             # itself, full schema, late-gathered at the surviving rids.
             return source.take(rids), node
 
-        table = _gather(source, rids, _slice_names(source, pushed.columns))
+        table = _gather(
+            source, rids, _slice_names(source, pushed.columns), workers, counter
+        )
 
     if pushed.groupby is not None:
         # The tree's static output schema (keys + aggregate types),
@@ -581,7 +625,8 @@ def execute_pushed(
         # materializing executors do.
         schema = infer_schema(pushed.groupby, catalog)
         table, local_bw, local_fw = execute_groupby(
-            table, pushed.groupby, config, params, schema
+            table, pushed.groupby, config, params, schema,
+            workers=workers, counter=counter,
         )
         node = compose_node(table.num_rows, node, local_bw, local_fw)
 
@@ -607,3 +652,363 @@ def execute_pushed(
         # Bag projection needs no capture: rids are unchanged (3.2.1).
 
     return table, node
+
+
+def batchable_pushed(pushed: PushedLineageQuery, config: CaptureConfig) -> bool:
+    """Whether N same-plan executions differing only in the rid subset
+    bound to the lineage scan's parameter can coalesce into one shared
+    pass (:func:`execute_pushed_batch`).
+
+    Restricted to the crossfilter re-aggregation shape: a single
+    *backward* lineage-scan core (no join), a parameterized rid subset,
+    capture disabled (brush statements run ``capture=None``), and a
+    ``COUNT(*)``-only GROUP BY with no HAVING, optionally under a bag
+    projection.  Everything else falls back to per-binding execution.
+    """
+    from ..expr.ast import Param
+
+    if config.enabled:
+        return False
+    if pushed.join is not None or pushed.scan is None:
+        return False
+    if pushed.scan.direction != "backward":
+        return False
+    if not isinstance(pushed.scan.rids, Param):
+        return False
+    gb = pushed.groupby
+    if gb is None or gb.having is not None:
+        return False
+    if any(agg.func != "count" or agg.arg is not None for agg in gb.aggs):
+        return False
+    if pushed.project is not None and pushed.project.distinct:
+        return False
+    return True
+
+
+def execute_pushed_batch(
+    pushed: PushedLineageQuery,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    params_list: Sequence[Optional[dict]],
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
+    lineage_cache=None,
+) -> List[Table]:
+    """Execute one :func:`batchable_pushed` tree for N parameter bindings
+    in a single shared pass; returns one output table per binding, each
+    bit-identical to what :func:`execute_pushed` produces for that
+    binding alone.
+
+    The serving workload shape (N concurrent brushes against one view)
+    makes per-binding work almost entirely redundant: the bindings' rid
+    subsets overlap, and per-binding execution re-resolves, re-gathers,
+    and — dominant for string group keys — re-factorizes the shared
+    rows N times.  This path instead:
+
+    1. resolves every binding's ``Lb`` in **one**
+       :meth:`~repro.lineage.capture.QueryLineage.backward_batch` CSR
+       pass (shared index materialization and dedup scratch);
+    2. forms the sorted-distinct **union** of the rid sets with one
+       bitmap over the base-row domain (O(domain + Σ|rids|) — no sort:
+       ``np.flatnonzero`` of the flags is already ascending);
+    3. evaluates the pushed predicate and gathers / factorizes the
+       group keys **once** over the union, then scatters the shared
+       codes into a rid-indexed map (``-1`` = outside the filtered
+       union);
+    4. maps each binding's rids to codes in **one** gather and derives
+       its groups with :func:`~repro.exec.vector.kernels.subset_groups`
+       — first-occurrence code order is provably the group order
+       ``factorize`` assigns on the binding's own rows — aggregating
+       the ``COUNT(*)`` columns with one bincount.
+
+    When the view's backward index is a **partition** (each base rid in
+    at most one bar's bucket — the GROUP BY crossfilter shape), the
+    shared pass decomposes further *per bar*
+    (:func:`~repro.exec.lineage_scan.resolve_scan_bars_batch` +
+    :func:`_batch_tables_by_bars`): per-bar count and first-rid vectors
+    are computed once over disjoint bar segments totalling the union
+    mass, and each binding's answer reduces to summing / minimizing a
+    handful of ``num_codes``-sized vectors — no per-binding pass over
+    its Σ rows at all.  Non-partition indexes (or very wide brushes) use
+    the set-based stage (:func:`_batch_tables_from_sets`).
+
+    Callers must ensure all bindings agree on every parameter except the
+    scan's rid parameter (shared predicate/key evaluation reads the
+    first binding's params); ``DatabaseServer.sql_batch`` checks this
+    and falls back otherwise.
+    """
+    from .lineage_scan import resolve_scan_bars_batch, resolve_scan_sources_batch
+
+    scan = pushed.scan
+    decomposed = resolve_scan_bars_batch(
+        scan, catalog, results, params_list, cache=lineage_cache
+    )
+    if decomposed is not None:
+        tables = _batch_tables_by_bars(
+            pushed, catalog, decomposed, params_list[0], workers, counter
+        )
+        if tables is not None:
+            return tables
+        # Per-bar matrices would be too large (high-cardinality group
+        # keys): reassemble each binding's set from its disjoint bar
+        # segments and run the set-based stage instead.
+        source, probes, bar_ids, bar_sets, _name, domain, _epoch = decomposed
+        rid_sets = [
+            np.unique(
+                np.concatenate(
+                    [bar_sets[j] for j in np.searchsorted(bar_ids, probe)]
+                )
+            )
+            if probe.size
+            else np.empty(0, dtype=np.int64)
+            for probe in probes
+        ]
+    else:
+        source, rid_sets, _name, domain, _epoch = resolve_scan_sources_batch(
+            scan, catalog, results, params_list, cache=lineage_cache
+        )
+    return _batch_tables_from_sets(
+        pushed, catalog, source, rid_sets, domain, params_list[0],
+        workers, counter,
+    )
+
+
+def _shared_batch_codes(
+    pushed: PushedLineageQuery,
+    source: Table,
+    rows: np.ndarray,
+    shared_params: Optional[dict],
+    workers: int,
+    counter: Optional[morsel.MorselCounter],
+):
+    """The shared head of both batch stages: evaluate the pushed
+    predicate over ``rows`` (one gather of only the predicate's
+    columns), then gather / factorize the group keys once over the
+    survivors.  Returns ``(mask, codes, num_codes, key_by_code)`` where
+    ``mask`` is None without a predicate and ``codes`` aligns with the
+    surviving rows (``rows[mask]``)."""
+    from ..expr.ast import evaluate
+    from .vector.kernels import factorize
+
+    mask = None
+    if pushed.predicate is not None:
+        pred_table = _gather(
+            source, rows, _slice_names(source, pushed.predicate.columns()),
+            workers, counter,
+        )
+        mask = np.asarray(
+            evaluate(pushed.predicate, pred_table, shared_params), dtype=bool
+        )
+        rows = rows[mask]
+
+    gb = pushed.groupby
+    kept_table = _gather(
+        source, rows, _slice_names(source, pushed.columns), workers, counter
+    )
+    key_arrays = [
+        np.asarray(evaluate(e, kept_table, shared_params)) for e, _ in gb.keys
+    ]
+    n_kept = int(rows.shape[0])
+    if n_kept == 0:
+        codes, num_codes = np.empty(0, dtype=np.int64), 0
+        reps = np.empty(0, dtype=np.int64)
+    elif key_arrays:
+        codes, num_codes, reps = factorize(key_arrays)
+    else:
+        codes, num_codes = np.zeros(n_kept, dtype=np.int64), 1
+        reps = np.zeros(1, dtype=np.int64)
+    # Per-code representative key values (num_codes-sized): a code's key
+    # value is the same on every row of the code, so any binding's output
+    # key column is one tiny gather from these.
+    key_by_code = [arr[reps] for arr in key_arrays]
+    return mask, codes, num_codes, key_by_code
+
+
+def _batch_output_table(
+    pushed: PushedLineageQuery,
+    schema: Schema,
+    group_codes: np.ndarray,
+    counts: np.ndarray,
+    key_by_code: List[np.ndarray],
+    shared_params: Optional[dict],
+) -> Table:
+    """One binding's output table from its (first-occurrence ordered)
+    group codes and counts, plus the optional bag projection on top."""
+    from ..expr.ast import evaluate
+
+    gb = pushed.groupby
+    columns: Dict[str, np.ndarray] = {}
+    for (_expr, alias), by_code in zip(gb.keys, key_by_code, strict=True):
+        columns[alias] = by_code[group_codes]
+    for i, agg in enumerate(gb.aggs):
+        if counts.shape[0] == 0:
+            columns[agg.alias] = np.empty(
+                0, dtype=schema.type_of(agg.alias).numpy_dtype
+            )
+        else:
+            columns[agg.alias] = counts if i == 0 else counts.copy()
+    table = Table(columns, schema)
+    if pushed.project is not None:
+        table = Table(
+            {
+                alias: np.asarray(evaluate(expr, table, shared_params))
+                for expr, alias in pushed.project.exprs
+            },
+            Schema(
+                [
+                    (alias, infer_expr_type(expr, table.schema))
+                    for expr, alias in pushed.project.exprs
+                ]
+            ),
+        )
+    return table
+
+
+def _batch_tables_from_sets(
+    pushed: PushedLineageQuery,
+    catalog: Catalog,
+    source: Table,
+    rid_sets: Sequence[np.ndarray],
+    domain: int,
+    shared_params: Optional[dict],
+    workers: int,
+    counter: Optional[morsel.MorselCounter],
+) -> List[Table]:
+    """Set-based batch stage: one shared pass over the bindings' rid
+    **union**, then one ``code_of_rid`` gather + subset grouping per
+    binding (steps 2-4 of :func:`execute_pushed_batch`'s docstring)."""
+    from .vector.kernels import subset_groups
+
+    if len(rid_sets) > 1:
+        flags = np.zeros(domain, dtype=bool)
+        for rids in rid_sets:
+            flags[rids] = True
+        union = np.flatnonzero(flags)
+    else:
+        union = rid_sets[0]
+
+    mask, codes, num_codes, key_by_code = _shared_batch_codes(
+        pushed, source, union, shared_params, workers, counter
+    )
+    if mask is not None:
+        union = union[mask]
+    # rid -> shared code over the base-row domain; -1 marks rows outside
+    # the (predicate-filtered) union.  Each binding then maps its rids to
+    # codes in ONE gather — no per-binding selection vectors.
+    code_of_rid = np.full(domain, -1, dtype=np.int64)
+    code_of_rid[union] = codes
+    schema = infer_schema(pushed.groupby, catalog)
+
+    tables: List[Table] = []
+    for rids in rid_sets:
+        sub = code_of_rid[rids]
+        if mask is not None:
+            sub = sub[sub >= 0]
+        group_codes, counts = subset_groups(sub, num_codes)
+        tables.append(
+            _batch_output_table(
+                pushed, schema, group_codes, counts, key_by_code, shared_params
+            )
+        )
+    return tables
+
+
+#: Cap on ``num_bars * num_codes`` for the per-bar count / first-rid
+#: matrices (int64 cells); beyond it the decomposed stage hands back to
+#: the set-based stage rather than allocate tens of MB.
+_BAR_MATRIX_MAX_CELLS = 1 << 21
+
+
+def _batch_tables_by_bars(
+    pushed: PushedLineageQuery,
+    catalog: Catalog,
+    decomposed,
+    shared_params: Optional[dict],
+    workers: int,
+    counter: Optional[morsel.MorselCounter],
+) -> Optional[List[Table]]:
+    """Per-bar batch stage, for partition-shaped backward indexes.
+
+    Each binding's rid set is the disjoint union of its bars' backward
+    buckets, so per-binding aggregates decompose exactly:
+
+    * ``counts`` — a binding's per-group count is the **sum** of its
+      bars' per-group counts (disjointness: no row counted twice);
+    * ``group order`` — :func:`~repro.exec.vector.kernels.factorize`
+      numbers a binding's groups by first occurrence over its sorted
+      rids, i.e. ascending *minimum member rid*; a binding's minimum rid
+      for a group is the **min** over its bars' per-group minimum rids.
+
+    So one pass over the concatenated (disjoint, union-sized) bar
+    segments builds a ``counts`` matrix and a ``first-rid`` matrix of
+    shape ``(num_bars, num_codes)``, and each binding's output reduces
+    to ``counts[bars].sum(axis=0)`` / ``first[bars].min(axis=0)`` plus a
+    ``num_codes``-sized argsort — independent of the binding's row
+    count.  Returns ``None`` when the matrices would exceed
+    :data:`_BAR_MATRIX_MAX_CELLS` (caller falls back to the set-based
+    stage).
+    """
+    source, probes, bar_ids, bar_sets, _name, domain, _epoch = decomposed
+    n_bars = int(bar_ids.shape[0])
+    seg_offsets = np.zeros(n_bars + 1, dtype=np.int64)
+    if n_bars:
+        np.cumsum(
+            np.fromiter(
+                (s.shape[0] for s in bar_sets), dtype=np.int64, count=n_bars
+            ),
+            out=seg_offsets[1:],
+        )
+    rows = (
+        np.concatenate(bar_sets) if n_bars else np.empty(0, dtype=np.int64)
+    )
+
+    mask, codes_kept, num_codes, key_by_code = _shared_batch_codes(
+        pushed, source, rows, shared_params, workers, counter
+    )
+    if n_bars * max(num_codes, 1) > _BAR_MATRIX_MAX_CELLS:
+        return None
+    if mask is None:
+        codes = codes_kept
+    else:
+        # Align codes with the full segment layout; -1 = filtered out.
+        codes = np.full(rows.shape[0], -1, dtype=np.int64)
+        codes[mask] = codes_kept
+
+    counts_mat = np.zeros((n_bars, num_codes), dtype=np.int64)
+    # Sentinel `domain` (> any rid) so min() over bars ignores absent
+    # groups; a group is present for a binding iff its min stays < domain.
+    first_mat = np.full((n_bars, num_codes), domain, dtype=np.int64)
+    for j in range(n_bars):
+        seg = codes[seg_offsets[j] : seg_offsets[j + 1]]
+        seg_rids = rows[seg_offsets[j] : seg_offsets[j + 1]]
+        if mask is not None:
+            keep = seg >= 0
+            seg = seg[keep]
+            seg_rids = seg_rids[keep]
+        if seg.size == 0:
+            continue
+        counts_mat[j] = np.bincount(seg, minlength=num_codes)
+        # Bar buckets are sorted ascending; the reversed scatter leaves,
+        # per code, the bar's smallest member rid (later writes win).
+        first_mat[j][seg[::-1]] = seg_rids[::-1]
+
+    schema = infer_schema(pushed.groupby, catalog)
+    tables: List[Table] = []
+    empty = np.empty(0, dtype=np.int64)
+    for probe in probes:
+        if probe.size and num_codes:
+            idx = np.searchsorted(bar_ids, probe)
+            counts_all = counts_mat[idx].sum(axis=0)
+            first_all = first_mat[idx].min(axis=0)
+            present = np.flatnonzero(first_all < domain)
+            order = np.argsort(first_all[present], kind="stable")
+            group_codes = present[order]
+            counts = counts_all[group_codes]
+        else:
+            group_codes, counts = empty, empty
+        tables.append(
+            _batch_output_table(
+                pushed, schema, group_codes, counts, key_by_code, shared_params
+            )
+        )
+    return tables

@@ -280,6 +280,226 @@ def resolve_scan_source(
     return result.table, rids, plan.result, result.table.num_rows, None
 
 
+def _registry_epoch(results, name: str) -> Optional[int]:
+    """The registry replacement epoch governing cache validity for
+    ``name`` — see the comment in :func:`resolve_scan_source`."""
+    epoch_of = getattr(results, "epoch", None)
+    return epoch_of(name) if callable(epoch_of) else None
+
+
+def _check_backward_batch(
+    plan: LineageScan,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+):
+    """Shared prologue of the batched backward resolvers: registry
+    lookup plus every epoch / schema-drift guard of the per-binding
+    path.  Returns ``(result, lineage, base, base_name, epoch,
+    captured_epoch)``."""
+    if plan.direction != "backward":
+        raise PlanError("batched lineage resolution supports backward scans only")
+    result = _resolve_result(plan, results)
+    lineage = result.lineage
+    base_name = resolve_base_table(catalog, lineage, plan.relation)
+    base, epoch = catalog.get_versioned(base_name)
+    captured_epoch = lineage.base_epoch(plan.relation)
+    if captured_epoch is not None and captured_epoch != epoch:
+        raise PlanError(
+            f"base relation {base_name!r} was replaced since result "
+            f"{plan.result!r} captured its lineage (epoch "
+            f"{captured_epoch} vs {epoch}); re-run the base query"
+        )
+    if plan.schema is not None and base.schema != plan.schema:
+        raise StaleBindingError(
+            f"relation {plan.relation!r} of result {plan.result!r} now "
+            f"resolves to schema {base.schema!r}, but the plan was "
+            f"bound against {plan.schema!r}; re-parse the statement"
+        )
+    return result, lineage, base, base_name, epoch, captured_epoch
+
+
+def resolve_scan_sources_batch(
+    plan: LineageScan,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    params_list,
+    cache: Optional[LineageResolutionCache] = None,
+) -> Tuple[Table, list, str, int, Optional[int]]:
+    """Batched :func:`resolve_scan_source` for N parameter bindings of one
+    *backward* lineage scan — the multi-brush serving shape, where N
+    concurrent users' statements differ only in the rid subset bound to
+    the scan's parameter.
+
+    Every guard of the per-binding path applies (registry lookup, epoch
+    and schema drift, shrink, sanitizer bounds), but the index
+    materialization and dedup scratch are shared through **one**
+    :meth:`~repro.lineage.capture.QueryLineage.backward_batch` CSR pass
+    instead of N independent ``backward`` calls.  The resolution
+    ``cache`` is consulted per binding first (``peek``), only the misses
+    go through the coalesced CSR pass, and the computed sets are stored
+    back — so a steady-state brush workload pays the same zero
+    resolutions the per-binding path would, while a cold batch pays one
+    pass instead of N.
+
+    Returns ``(source, [rids...], source_name, domain, epoch)`` with one
+    sorted-distinct rid array per binding, each bit-identical to what
+    :func:`resolve_scan_source` computes for that binding alone.
+    """
+    result, lineage, base, base_name, epoch, captured_epoch = (
+        _check_backward_batch(plan, catalog, results)
+    )
+    probes = [
+        resolve_rid_spec(plan.rids, params, result.table.num_rows)
+        for params in params_list
+    ]
+    rid_sets: list = [None] * len(probes)
+    if cache is not None:
+        registry_epoch = _registry_epoch(results, plan.result)
+        keys = [LineageResolutionCache.subset_key(p) for p in probes]
+        miss_idx = []
+        for i, key in enumerate(keys):
+            got = cache.peek(
+                plan.result, result, "backward", plan.relation, key,
+                epoch=registry_epoch,
+            )
+            if got is None:
+                miss_idx.append(i)
+            else:
+                rid_sets[i] = got
+        if miss_idx:
+            computed = lineage.backward_batch(
+                [probes[i] for i in miss_idx], plan.relation
+            )
+            for i, rids in zip(miss_idx, computed):
+                rid_sets[i] = cache.store(
+                    plan.result, result, "backward", plan.relation,
+                    keys[i], rids, epoch=registry_epoch,
+                )
+    else:
+        rid_sets = lineage.backward_batch(probes, plan.relation)
+    for rids in rid_sets:
+        if rids.size and int(rids[-1]) >= base.num_rows:
+            raise PlanError(
+                f"result {plan.result!r} holds lineage rids beyond "
+                f"relation {base_name!r} ({base.num_rows} rows); the base "
+                "table was replaced — re-run the base query"
+            )
+        if sanitize.enabled():
+            sanitize.check_rid_bounds(
+                rids, base.num_rows, f"Lb({plan.result!r}, {base_name!r})"
+            )
+    if sanitize.enabled():
+        sanitize.check_epoch(
+            captured_epoch, epoch, base_name, f"Lb({plan.result!r})"
+        )
+    return base, rid_sets, base_name, base.num_rows, epoch
+
+
+#: Above this many distinct bars the per-bar decomposition stops paying
+#: (per-bar vectors grow with the bar count while the set-based path's
+#: cost does not); fall back to set-based resolution.
+_BAR_DECOMPOSE_MAX_BARS = 4096
+
+
+def resolve_scan_bars_batch(
+    plan: LineageScan,
+    catalog: Catalog,
+    results: Optional[Mapping[str, object]],
+    params_list,
+    cache: Optional[LineageResolutionCache] = None,
+):
+    """Per-bar decomposition of :func:`resolve_scan_sources_batch`.
+
+    When the scan's backward index is a *partition* (every base rid in at
+    most one output bucket — the GROUP BY crossfilter-view shape,
+    detected via :meth:`~repro.lineage.indexes.RidIndex.is_partitioned`),
+    each binding's backward set is the **disjoint union** of per-bar
+    buckets.  Resolving per distinct bar instead of per binding means:
+
+    * overlapping brushes resolve each shared bar once, not once per
+      user, and the ``cache`` memoizes *per-bar* sets — reusable across
+      any combination of future brushes over the same view;
+    * downstream, per-bar aggregates can be computed over segments whose
+      total size is the **union** mass (each base row appears in exactly
+      one segment), and per-binding answers reduce to tiny
+      ``num_codes``-sized vector sums — see
+      :func:`repro.exec.late_mat.execute_pushed_batch`.
+
+    Returns ``None`` when the decomposition does not apply (non-partition
+    index, or more than :data:`_BAR_DECOMPOSE_MAX_BARS` distinct bars) —
+    callers fall back to set-based resolution.  Otherwise returns
+    ``(source, probes, bar_ids, bar_sets, source_name, domain, epoch)``
+    where ``probes[i]`` is binding ``i``'s sorted-deduped bar probe,
+    ``bar_ids`` the sorted distinct bars across all bindings, and
+    ``bar_sets[j]`` the sorted backward rid set of ``bar_ids[j]``.  All
+    guards of the per-binding path apply (epoch / schema drift, shrink,
+    sanitizer bounds).
+    """
+    result, lineage, base, base_name, epoch, captured_epoch = (
+        _check_backward_batch(plan, catalog, results)
+    )
+    index = lineage.backward_index(plan.relation)
+    partitioned = getattr(index, "is_partitioned", None)
+    if partitioned is None or not partitioned():
+        return None
+    probes = [
+        np.unique(resolve_rid_spec(plan.rids, params, result.table.num_rows))
+        for params in params_list
+    ]
+    bar_ids = (
+        np.unique(np.concatenate(probes)) if probes
+        else np.empty(0, dtype=np.int64)
+    )
+    n_bars = int(bar_ids.shape[0])
+    if n_bars > _BAR_DECOMPOSE_MAX_BARS:
+        return None
+    bar_sets: list = [None] * n_bars
+    bar_probes = [bar_ids[j : j + 1] for j in range(n_bars)]
+    if cache is not None:
+        registry_epoch = _registry_epoch(results, plan.result)
+        # Single-bar subset keys: identical to what a one-bar brush
+        # through the per-binding path would file, so both populations
+        # share entries.
+        keys = [LineageResolutionCache.subset_key(p) for p in bar_probes]
+        miss_idx = []
+        for j, key in enumerate(keys):
+            got = cache.peek(
+                plan.result, result, "backward", plan.relation, key,
+                epoch=registry_epoch,
+            )
+            if got is None:
+                miss_idx.append(j)
+            else:
+                bar_sets[j] = got
+        if miss_idx:
+            computed = lineage.backward_batch(
+                [bar_probes[j] for j in miss_idx], plan.relation
+            )
+            for j, rids in zip(miss_idx, computed):
+                bar_sets[j] = cache.store(
+                    plan.result, result, "backward", plan.relation,
+                    keys[j], rids, epoch=registry_epoch,
+                )
+    else:
+        bar_sets = lineage.backward_batch(bar_probes, plan.relation)
+    for rids in bar_sets:
+        if rids.size and int(rids[-1]) >= base.num_rows:
+            raise PlanError(
+                f"result {plan.result!r} holds lineage rids beyond "
+                f"relation {base_name!r} ({base.num_rows} rows); the base "
+                "table was replaced — re-run the base query"
+            )
+        if sanitize.enabled():
+            sanitize.check_rid_bounds(
+                rids, base.num_rows, f"Lb({plan.result!r}, {base_name!r})"
+            )
+    if sanitize.enabled():
+        sanitize.check_epoch(
+            captured_epoch, epoch, base_name, f"Lb({plan.result!r})"
+        )
+    return base, probes, bar_ids, bar_sets, base_name, base.num_rows, epoch
+
+
 def scan_node_lineage(
     plan: LineageScan,
     key: str,

@@ -1,0 +1,205 @@
+"""Morsel-driven parallel execution substrate (ROADMAP item 2).
+
+The hot kernels — hop probes, rid gathers, group-by bincounts — are
+single pure-numpy passes over position ranges, and numpy releases the
+GIL inside them (fancy indexing, ``bincount``), so plain threads give
+real parallelism with zero-copy shared arrays.  This module supplies the
+three pieces every parallel kernel shares:
+
+* a **partitioner**: :func:`morsel_ranges` splits ``n`` positions into
+  fixed-size contiguous morsels (default ``64Ki`` rows, overridable via
+  ``REPRO_MORSEL_SIZE`` for tests that need boundaries inside tiny
+  tables);
+* one **shared worker pool**, created lazily and grown on demand, so
+  concurrent snapshot readers (``serve.py``) reuse threads instead of
+  spawning a pool per query;
+* **deterministic merges**: every helper returns results in morsel
+  (i.e. input) order — :func:`gather` writes disjoint output slices,
+  :func:`bincount` sums int64 partials (associative and exact) — so
+  ``parallel=N`` output is bit-identical to serial for every ``N``.
+  Float reductions are deliberately *not* offered: reordering float
+  adds changes results, and the plan-equivalence harnesses assert
+  bit-identity.
+
+Counters fold on the coordinator only: workers never touch a timings
+dict; the dispatching thread bumps a :class:`MorselCounter` after each
+merge and the executor folds it into ``timings[MORSEL_TASKS]`` once.
+The pool never runs nested work — only leaf kernels are dispatched, and
+workers never submit or wait on further tasks — so it cannot deadlock
+at any worker count.  See CONTRIBUTING.md, "Parallel execution
+contract".
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidArgumentError
+
+#: Rows per morsel.  64Ki int64 positions keep per-task numpy calls far
+#: above dispatch overhead while still splitting fig14-scale tables into
+#: enough morsels to occupy 4-8 workers.
+DEFAULT_MORSEL_SIZE = 1 << 16
+
+
+def morsel_size() -> int:
+    """Rows per morsel; ``REPRO_MORSEL_SIZE`` overrides (tests set it to
+    single digits so 30-row Hypothesis tables still split)."""
+    raw = os.environ.get("REPRO_MORSEL_SIZE")
+    if raw is None:
+        return DEFAULT_MORSEL_SIZE
+    try:
+        size = int(raw)
+    except ValueError as exc:
+        raise InvalidArgumentError(f"REPRO_MORSEL_SIZE must be an int, got {raw!r}") from exc
+    if size < 1:
+        raise InvalidArgumentError(f"REPRO_MORSEL_SIZE must be >= 1, got {size}")
+    return size
+
+
+def resolve_parallel(value: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else ``REPRO_PARALLEL``,
+    else serial (1).  The env default is what lets CI run the whole
+    tier-1 suite under ``REPRO_PARALLEL=4`` without touching call sites."""
+    if value is None:
+        raw = os.environ.get("REPRO_PARALLEL")
+        if raw is None:
+            return 1
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise InvalidArgumentError(f"REPRO_PARALLEL must be an int, got {raw!r}") from exc
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise InvalidArgumentError(f"parallel must be an int >= 1, got {value!r}")
+    if value < 1:
+        raise InvalidArgumentError(f"parallel must be >= 1, got {value}")
+    return value
+
+
+def morsel_ranges(n: int, size: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Contiguous ``(lo, hi)`` position ranges covering ``[0, n)``.
+
+    Empty input yields no morsels (never a single empty range); the last
+    morsel is short when ``size`` does not divide ``n``.
+    """
+    if size is None:
+        size = morsel_size()
+    if n <= 0:
+        return []
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+class MorselCounter:
+    """Tasks dispatched to the pool, counted on the coordinating thread
+    only (after the merge) — never incremented from a worker."""
+
+    __slots__ = ("tasks",)
+
+    def __init__(self) -> None:
+        self.tasks = 0
+
+
+_pool_lock = threading.Lock()
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_workers = 0
+
+
+def _shared_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide worker pool, grown (recreated) when a caller asks
+    for more workers than it currently has.  Old pools retire after
+    draining; shrink requests are ignored so concurrent readers never
+    steal each other's threads."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is None or workers > _pool_workers:
+            old = _pool
+            _pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-morsel"
+            )
+            _pool_workers = workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _pool
+
+
+def run_tasks(
+    thunks: Sequence[Callable[[], object]],
+    workers: int,
+    counter: Optional[MorselCounter] = None,
+) -> List[object]:
+    """Run ``thunks`` and return their results in submission order — the
+    deterministic-merge primitive every parallel kernel builds on.
+
+    Serial (no pool, no futures) when ``workers <= 1`` or there is at
+    most one thunk; a worker exception propagates to the coordinator.
+    """
+    if workers <= 1 or len(thunks) <= 1:
+        return [thunk() for thunk in thunks]
+    pool = _shared_pool(workers)
+    futures = [pool.submit(thunk) for thunk in thunks]
+    if counter is not None:
+        counter.tasks += len(futures)
+    return [future.result() for future in futures]
+
+
+def gather(
+    values: np.ndarray,
+    indices: np.ndarray,
+    workers: int = 1,
+    counter: Optional[MorselCounter] = None,
+) -> np.ndarray:
+    """``values[indices]`` with the index array split into morsels.
+
+    Workers write disjoint slices of one preallocated output, so the
+    result is element-for-element identical to the serial gather (no
+    reduction, no reordering) for any worker count and dtype — object
+    columns included.
+    """
+    n = int(indices.shape[0])
+    ranges = morsel_ranges(n) if workers > 1 else []
+    if len(ranges) <= 1:
+        return values[indices]
+    out = np.empty(n, dtype=values.dtype)
+
+    def task(lo: int, hi: int) -> None:
+        out[lo:hi] = values[indices[lo:hi]]
+
+    run_tasks([lambda lo=lo, hi=hi: task(lo, hi) for lo, hi in ranges], workers, counter)
+    return out
+
+
+def bincount(
+    group_ids: np.ndarray,
+    num_groups: int,
+    workers: int = 1,
+    counter: Optional[MorselCounter] = None,
+) -> np.ndarray:
+    """``np.bincount(group_ids, minlength=num_groups)`` via per-morsel
+    int64 partial counts summed at the merge — integer addition is
+    associative, so the result is exact and order-independent.
+
+    Requires every id in ``[0, num_groups)`` (true for dense group ids
+    by construction); ids beyond ``num_groups`` would give the morsel
+    partials ragged lengths.
+    """
+    n = int(group_ids.shape[0])
+    ranges = morsel_ranges(n) if workers > 1 else []
+    if len(ranges) <= 1:
+        return np.bincount(group_ids, minlength=num_groups)
+    partials = run_tasks(
+        [
+            lambda lo=lo, hi=hi: np.bincount(group_ids[lo:hi], minlength=num_groups)
+            for lo, hi in ranges
+        ],
+        workers,
+        counter,
+    )
+    total = partials[0].astype(np.int64, copy=True)
+    for part in partials[1:]:
+        total += part
+    return total

@@ -39,6 +39,12 @@ LATE_MAT_BUILD_SWAPS = "late_mat_build_swaps"
 #: Chain hops probed with the pk-fk fast path (build keys unique).
 LATE_MAT_PKFK_DETECTED = "late_mat_pkfk_detected"
 
+#: Morsel tasks dispatched to the shared worker pool during this
+#: execution (0 / absent when the run was serial).  Folded once on the
+#: coordinating thread after each kernel's merge — workers never touch
+#: the timings dict (see CONTRIBUTING.md, "Parallel execution contract").
+MORSEL_TASKS = "morsel_tasks"
+
 #: Every registered timings key.  Tests assert BENCH-gated keys appear
 #: here; the linter does not consult this set (it checks that *call
 #: sites* reference ``timings.<CONSTANT>``), so a key missing from it is
@@ -52,5 +58,6 @@ ALL_KEYS = frozenset(
         LATE_MAT_CHAIN_HOPS,
         LATE_MAT_BUILD_SWAPS,
         LATE_MAT_PKFK_DETECTED,
+        MORSEL_TASKS,
     }
 )

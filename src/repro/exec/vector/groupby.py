@@ -27,6 +27,7 @@ from ...lineage.capture import CaptureConfig, CaptureMode, IndexOrThunk
 from ...lineage.indexes import GrowableRidIndex, RidArray, RidIndex
 from ...plan.logical import GroupBy
 from ...storage.table import Schema, Table
+from .. import morsel
 from .kernels import GroupLayout, chunk_ranges, compute_aggregate, factorize
 
 
@@ -90,12 +91,20 @@ def execute_groupby(
     params: Optional[dict],
     output_schema: Schema,
     label: str = "groupby",
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
 ) -> Tuple[Table, Optional[IndexOrThunk], Optional[IndexOrThunk]]:
-    """Run aggregation; returns ``(output, local backward, local forward)``."""
+    """Run aggregation; returns ``(output, local backward, local forward)``.
+
+    ``workers > 1`` runs the layout bincount and the per-aggregate value
+    gathers morsel-parallel; group assignment (``factorize``) and the
+    reduceat reductions stay serial, so output rows and lineage are
+    bit-identical to the serial run.
+    """
     group_ids, num_groups, representatives, key_arrays = build_groups(
         child, node.keys, params
     )
-    layout = GroupLayout(group_ids, num_groups) if num_groups else None
+    layout = GroupLayout(group_ids, num_groups, workers, counter) if num_groups else None
 
     columns: Dict[str, np.ndarray] = {}
     for (_expr, alias), arr in zip(node.keys, key_arrays, strict=True):
@@ -106,7 +115,9 @@ def execute_groupby(
                 0, dtype=output_schema.type_of(agg.alias).numpy_dtype
             )
         else:
-            columns[agg.alias] = compute_aggregate(agg, layout, child, params)
+            columns[agg.alias] = compute_aggregate(
+                agg, layout, child, params, workers, counter
+            )
     output = Table(columns, output_schema)
 
     local_backward: Optional[IndexOrThunk] = None

@@ -22,6 +22,7 @@ from ...errors import PlanError
 from ...expr.ast import evaluate
 from ...plan.logical import AggCall
 from ...storage.table import Table
+from .. import morsel
 
 
 #: Dense-domain factorize threshold: below this (or 4x the input size) the
@@ -72,6 +73,37 @@ def factorize(arrays: Sequence[np.ndarray]) -> Tuple[np.ndarray, int, np.ndarray
     group_ids = rank[inverse.reshape(-1)]
     representatives = first_idx[order].astype(np.int64)
     return group_ids, int(uniq.shape[0]), representatives
+
+
+def subset_groups(
+    codes: np.ndarray, num_codes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group one row *subset* by its shared dense codes: returns
+    ``(group_codes, counts)`` where ``group_codes`` lists the distinct
+    codes present in the subset in **first-occurrence order** and
+    ``counts[g]`` is the subset's row count for ``group_codes[g]``.
+
+    The multi-brush batch path factorizes the union of all users' rows
+    once, then derives each user's groups from the shared codes with
+    pure integer ops instead of N per-user factorize passes.  Two subset
+    rows share a code iff they share a key tuple, and :func:`factorize`
+    numbers groups by first occurrence — so emitting the subset's codes
+    in first-occurrence order (with per-code key values looked up from
+    the union's representatives) reproduces *bit-identically* the output
+    ``factorize`` + bincount would build from the subset's own gathered
+    key values, which is what keeps batched brushes equal to per-user
+    runs."""
+    n = int(codes.shape[0])
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    first = np.full(num_codes, -1, dtype=np.int64)
+    first[codes[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    present = np.flatnonzero(first >= 0)
+    order, _rank = _rank_first_occurrence(first[present])
+    group_codes = present[order]
+    counts = np.bincount(codes, minlength=num_codes)[group_codes].astype(np.int64)
+    return group_codes, counts
 
 
 def _rank_first_occurrence(first_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -129,11 +161,20 @@ class GroupLayout:
 
     __slots__ = ("_order", "offsets", "group_ids", "num_groups")
 
-    def __init__(self, group_ids: np.ndarray, num_groups: int):
+    def __init__(
+        self,
+        group_ids: np.ndarray,
+        num_groups: int,
+        workers: int = 1,
+        counter: Optional[morsel.MorselCounter] = None,
+    ):
         self.group_ids = group_ids
         self.num_groups = num_groups
         self._order = None
-        counts = np.bincount(group_ids, minlength=num_groups)
+        # Morsel-parallel when workers > 1: per-morsel int64 partials
+        # summed at the merge — exact, so offsets are bit-identical to
+        # serial.  The deferred argsort in `order` stays serial.
+        counts = morsel.bincount(group_ids, num_groups, workers, counter)
         self.offsets = np.empty(num_groups + 1, dtype=np.int64)
         self.offsets[0] = 0
         np.cumsum(counts, out=self.offsets[1:])
@@ -153,8 +194,15 @@ def compute_aggregate(
     layout: GroupLayout,
     child: Table,
     params: Optional[dict] = None,
+    workers: int = 1,
+    counter: Optional[morsel.MorselCounter] = None,
 ) -> np.ndarray:
-    """Evaluate one aggregate over every group."""
+    """Evaluate one aggregate over every group.
+
+    Only the value *gather* into group order runs morsel-parallel (a
+    permutation — element-identical for any worker count); the reduceat
+    reductions stay serial so float sums never reassociate.
+    """
     n_groups = layout.num_groups
     if agg.func == "count" and agg.arg is None:
         return layout.counts().astype(np.int64)
@@ -171,7 +219,7 @@ def compute_aggregate(
         combined = layout.group_ids.astype(np.int64) * domain + codes
         uniq = np.unique(combined)
         return np.bincount(uniq // domain, minlength=n_groups).astype(np.int64)
-    sorted_vals = values[layout.order]
+    sorted_vals = morsel.gather(values, layout.order, workers, counter)
     if sorted_vals.dtype == bool:
         # Boolean predicates aggregate as 0/1 counts (e.g. TPC-H Q12's
         # CASE-like sums); reduceat over bool would compute logical OR.

@@ -306,6 +306,48 @@ class QueryLineage:
             view[out] = False
         return out
 
+    def _distinct_many(
+        self, rid_groups: List[np.ndarray], direction: str, key: str
+    ) -> List[np.ndarray]:
+        """Batched :meth:`_distinct`: one result per group, with the
+        dedup lock acquired **once** for all dense groups and one flag
+        view (sized to the largest touched span) reused across them.
+
+        The per-group eligibility rules are identical to
+        :meth:`_distinct` — small or sparse groups take the ``np.unique``
+        path outside the lock — so each returned array is bit-identical
+        to a per-group call; only the lock churn and repeated scratch
+        lookups go away.  The scratch is still only ever read or grown
+        under ``_dedup_lock`` (the PR 8 torn-scratch rule).
+        """
+        out: List[Optional[np.ndarray]] = [None] * len(rid_groups)
+        dense: List[tuple] = []
+        max_span = 0
+        for i, rids in enumerate(rid_groups):
+            if rids.size < _DEDUP_FLAGS_MIN:
+                out[i] = np.unique(rids)
+                continue
+            span = int(rids.max()) + 1
+            if span > rids.size * _DEDUP_FLAGS_DENSITY:
+                out[i] = np.unique(rids)
+                continue
+            dense.append((i, rids, span))
+            if span > max_span:
+                max_span = span
+        if dense:
+            with self._dedup_lock:
+                flags = self._dedup_flags.get((direction, key))
+                if flags is None or flags.shape[0] < max_span:
+                    flags = np.zeros(max_span, dtype=bool)
+                    self._dedup_flags[(direction, key)] = flags
+                for i, rids, span in dense:
+                    view = flags[:span]
+                    view[rids] = True
+                    result = np.flatnonzero(view)
+                    view[result] = False
+                    out[i] = result
+        return out
+
     def backward(self, out_rids, relation: str) -> np.ndarray:
         """Backward lineage query Lb(O' ⊆ O, relation) → distinct base rids."""
         key = self._resolve_key(relation, self._backward)
@@ -329,20 +371,18 @@ class QueryLineage:
         """
         key = self._resolve_key(relation, self._backward)
         index = self._materialize(self._backward, key)
-        return [
-            self._distinct(index.lookup_many(group), "b", key)
-            for group in out_rid_groups
-        ]
+        return self._distinct_many(
+            [index.lookup_many(group) for group in out_rid_groups], "b", key
+        )
 
     def forward_batch(self, in_rid_groups, relation: str) -> List[np.ndarray]:
         """Batched Lf: one distinct output-rid array per group of base rids
         (see :meth:`backward_batch`)."""
         key = self._resolve_key(relation, self._forward)
         index = self._materialize(self._forward, key)
-        return [
-            self._distinct(index.lookup_many(group), "f", key)
-            for group in in_rid_groups
-        ]
+        return self._distinct_many(
+            [index.lookup_many(group) for group in in_rid_groups], "f", key
+        )
 
     def base_epoch(self, relation: str) -> Optional[int]:
         """The catalog epoch of ``relation``'s base table at capture time,

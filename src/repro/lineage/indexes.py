@@ -39,18 +39,45 @@ def _as_rids(rids) -> np.ndarray:
     return arr
 
 
+def _values_distinct(values: np.ndarray) -> bool:
+    """Whether no rid appears twice in ``values`` (across all buckets).
+
+    Dense rid populations (the partition case this guards) scatter into
+    a boolean span in O(n + span); sparse ones fall back to
+    ``np.unique``'s sort.
+    """
+    if values.size <= 1:
+        return True
+    span = int(values.max()) + 1
+    if span <= 4 * values.size:
+        seen = np.zeros(span, dtype=bool)
+        seen[values] = True
+        return int(np.count_nonzero(seen)) == values.size
+    return int(np.unique(values).size) == values.size
+
+
 class RidArray:
     """A 1-to-1 lineage index: ``key rid -> single rid`` (or NO_MATCH)."""
 
-    __slots__ = ("values",)
+    __slots__ = ("values", "_partitioned")
 
     kind = "array"
 
     def __init__(self, values: np.ndarray):
+        self._partitioned: Optional[bool] = None
         self.values = np.ascontiguousarray(values, dtype=np.int64)
         if sanitize.enabled():
             sanitize.check_rid_array(self.values)
             sanitize.freeze(self.values)
+
+    def is_partitioned(self) -> bool:
+        """Whether the matched buckets are pairwise disjoint — i.e. no
+        source rid is reachable from two different keys.  Computed once
+        and cached (indexes are immutable after construction)."""
+        if self._partitioned is None:
+            matched = self.values[self.values != NO_MATCH]
+            self._partitioned = _values_distinct(matched)
+        return self._partitioned
 
     @classmethod
     def identity(cls, n: int) -> "RidArray":
@@ -115,7 +142,7 @@ class RidArray:
 class RidIndex:
     """A 1-to-N lineage index in CSR form: ``key rid -> bucket of rids``."""
 
-    __slots__ = ("offsets", "values", "_inverse_of")
+    __slots__ = ("offsets", "values", "_inverse_of", "_partitioned")
 
     kind = "index"
 
@@ -124,6 +151,7 @@ class RidIndex:
         #: stable inversion of — lets the durability layer persist a
         #: marker instead of the full CSR (see ``persist._is_canonical_inverse``).
         self._inverse_of: Optional[np.ndarray] = None
+        self._partitioned: Optional[bool] = None
         self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
         self.values = np.ascontiguousarray(values, dtype=np.int64)
         if self.offsets.ndim != 1 or self.offsets.shape[0] < 1:
@@ -165,6 +193,9 @@ class RidIndex:
         values = np.argsort(group_ids, kind="stable").astype(np.int64)
         index = cls(offsets, values)
         index._inverse_of = group_ids
+        # An argsort is a permutation: every member rid lands in exactly
+        # one bucket, so the partition property holds by construction.
+        index._partitioned = True
         return index
 
     @classmethod
@@ -193,6 +224,18 @@ class RidIndex:
     @property
     def num_edges(self) -> int:
         return int(self.values.shape[0])
+
+    def is_partitioned(self) -> bool:
+        """Whether the buckets are pairwise disjoint — every source rid
+        belongs to at most one key (a *partition*, e.g. the backward
+        index of a GROUP BY over its input).  When true, any key subset's
+        backward set is the disjoint union of per-key buckets, which the
+        multi-brush batch path exploits to share per-bar work across
+        users.  Computed once and cached (indexes are immutable after
+        construction); :meth:`from_group_ids` sets it by construction."""
+        if self._partitioned is None:
+            self._partitioned = _values_distinct(self.values)
+        return self._partitioned
 
     def lookup(self, rid: int) -> np.ndarray:
         if not 0 <= rid < self.num_keys:

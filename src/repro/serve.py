@@ -247,6 +247,7 @@ class Snapshot:
             late_materialize=opts.late_materialize,
             rewrites=rewrites,
             lineage_cache=self.lineage_cache,
+            parallel=opts.parallel,
         )
         return QueryResult(self._database, plan, result, options=opts)
 
@@ -327,6 +328,37 @@ def _param_fingerprint(params: Optional[dict]) -> Optional[tuple]:
     except TypeError:
         return None
     return key
+
+
+def _params_shared_except(params_list, free_name: str) -> bool:
+    """Whether every binding in ``params_list`` agrees on every parameter
+    except ``free_name`` (the lineage scan's rid subset).
+
+    The batched execution path evaluates shared expressions (predicate,
+    group-by keys, projections) once, reading non-rid parameters from the
+    first binding — sound only when the bindings genuinely agree.  Arrays
+    compare by value (``np.array_equal``); anything that resists
+    comparison disqualifies the batch (the caller falls back to the
+    per-binding loop, so correctness never depends on this check passing).
+    """
+    first = params_list[0] or {}
+    first_keys = set(first) - {free_name}
+    for params in params_list[1:]:
+        other = params or {}
+        if set(other) - {free_name} != first_keys:
+            return False
+        for name in first_keys:
+            a, b = first[name], other[name]
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                if not np.array_equal(np.asarray(a), np.asarray(b)):
+                    return False
+            else:
+                try:
+                    if a != b:
+                        return False
+                except (TypeError, ValueError):
+                    return False
+    return True
 
 
 #: Queue sentinel that stops the writer thread.
@@ -445,6 +477,105 @@ class DatabaseServer:
             snap.store_answer(key, result)
         return result
 
+    def sql_batch(
+        self,
+        statement: str,
+        params_list,
+        options=None,
+        snapshot: Optional[Snapshot] = None,
+    ):
+        """Execute one read statement for N parameter bindings against a
+        single pinned snapshot, returning one :class:`QueryResult` per
+        binding (in submission order).
+
+        When the prepared plan is the crossfilter re-aggregation shape
+        (a batchable pushed lineage subtree — see
+        :func:`~repro.exec.late_mat.batchable_pushed`) and the bindings
+        agree on every parameter except the lineage scan's rid subset,
+        the N resolutions coalesce into **one** CSR backward pass and one
+        shared position-domain execution (predicate, gather, key
+        evaluation, factorization run once over the union of rid sets;
+        per-binding answers fall out of selection vectors).  Anything
+        else falls back to per-binding :meth:`sql` — the batch form is an
+        optimization, never a semantic change: answers are bit-identical
+        to the per-binding loop.
+        """
+        snap = snapshot if snapshot is not None else self._snapshot
+        opts = options if options is not None else self._options
+        params_list = list(params_list)
+        if not params_list:
+            return []
+        results = self._try_execute_batch(statement, params_list, opts, snap)
+        if results is not None:
+            return results
+        return [
+            self.sql(statement, params, opts, snap) for params in params_list
+        ]
+
+    def _try_execute_batch(self, statement, params_list, opts, snap):
+        """The coalesced path of :meth:`sql_batch`, or ``None`` when the
+        statement/bindings are not batch-eligible (caller falls back)."""
+        from time import perf_counter
+
+        from .api import QueryResult, _as_config
+        from .exec import morsel
+        from .exec.late_mat import batchable_pushed, execute_pushed_batch
+        from .exec.timings import EXECUTE, LATE_MAT_SUBTREES, MORSEL_TASKS
+        from .exec.vector.executor import ExecResult
+        from .expr.ast import Param
+
+        if opts.name is not None or not opts.late_materialize:
+            return None
+        if opts.backend not in ("vector", "compiled"):
+            return None
+        if len(params_list) < 2:
+            return None
+        prepared = self._prepare(statement)
+        pushed = prepared.rewrites.lookup(prepared.plan)
+        if pushed is None:
+            return None
+        config = _as_config(opts.capture)
+        if not batchable_pushed(pushed, config):
+            return None
+        rid_param = pushed.scan.rids
+        assert isinstance(rid_param, Param)  # guaranteed by batchable_pushed
+        if not _params_shared_except(params_list, rid_param.name):
+            return None
+        for params in params_list:
+            missing = prepared.param_names - set(params or ())
+            if missing:
+                raise PlanError(
+                    f"prepared statement is missing parameter(s) "
+                    f"{sorted(missing)}; expected {sorted(prepared.param_names)}"
+                )
+        workers = morsel.resolve_parallel(opts.parallel)
+        counter = morsel.MorselCounter() if workers > 1 else None
+        start = perf_counter()
+        try:
+            tables = execute_pushed_batch(
+                pushed,
+                snap.catalog,
+                snap.results,
+                params_list,
+                workers=workers,
+                counter=counter,
+                lineage_cache=snap.lineage_cache,
+            )
+        except StaleBindingError:
+            # Let the per-binding fallback re-bind and retry.
+            return None
+        elapsed = perf_counter() - start
+        out = []
+        for table in tables:
+            timings = {EXECUTE: elapsed, LATE_MAT_SUBTREES: 1.0}
+            if counter is not None and counter.tasks:
+                timings[MORSEL_TASKS] = float(counter.tasks)
+            result = ExecResult(table, None, timings)
+            out.append(
+                QueryResult(self._db, prepared.plan, result, options=opts)
+            )
+        return out
+
     def submit_query(
         self,
         statement: str,
@@ -453,21 +584,26 @@ class DatabaseServer:
         snapshot: Optional[Snapshot] = None,
     ) -> Future:
         """Pooled form of :meth:`sql`: run on one of the server's
-        ``readers`` threads, returning a future."""
-        if self._closed:
-            raise ServingError("server is closed")
-        return self._reader_pool().submit(
-            self.sql, statement, params, options, snapshot
-        )
+        ``readers`` threads, returning a future.
 
-    def _reader_pool(self) -> ThreadPoolExecutor:
+        The closed check and the pool submission happen under one
+        ``_pool_lock`` acquisition: a bare ``self._closed`` test followed
+        by an unlocked ``pool.submit`` races :meth:`close` — the pool can
+        shut down between check and submit, and the caller would see the
+        executor's ``RuntimeError("cannot schedule new futures after
+        shutdown")`` instead of :class:`ServingError`.
+        """
         with self._pool_lock:
+            if self._closed:
+                raise ServingError("server is closed")
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.readers,
                     thread_name_prefix="repro-serve-reader",
                 )
-            return self._pool
+            return self._pool.submit(
+                self.sql, statement, params, options, snapshot
+            )
 
     def _prepare(
         self,
@@ -500,10 +636,15 @@ class DatabaseServer:
         """Queue one mutation — a callable taking the :class:`Database` —
         for the writer thread; the returned future resolves to the
         callable's return value *after* the batch's WAL fsync."""
-        if self._closed:
-            raise ServingError("server is closed")
-        future: Future = Future()
-        self._writes.put((future, fn))
+        # Check-and-enqueue under the pool lock (shared with close()):
+        # otherwise a write submitted between close()'s flag flip and its
+        # _SHUTDOWN enqueue lands behind the sentinel and its future
+        # never resolves.
+        with self._pool_lock:
+            if self._closed:
+                raise ServingError("server is closed")
+            future: Future = Future()
+            self._writes.put((future, fn))
         return future
 
     def write(self, fn: Callable[[object], object]):
@@ -591,14 +732,23 @@ class DatabaseServer:
 
     def close(self) -> None:
         """Drain queued writes, stop the writer thread, and shut the
-        reader pool down.  Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
+        reader pool down.  Idempotent.
+
+        The closed flag flips and the pool handle is detached under
+        ``_pool_lock``, so every :meth:`submit_query` /
+        :meth:`submit_write` call either completes before the flip (its
+        future is honoured: queued writes drain, pooled reads run to
+        completion under ``shutdown(wait=True)``) or observes the flag
+        and raises :class:`ServingError`.  The blocking work — writer
+        join, pool shutdown — happens outside the lock.
+        """
+        with self._pool_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
         self._writes.put(_SHUTDOWN)
         self._writer.join()
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
 

@@ -304,3 +304,142 @@ class TestInterleavingStress:
                 thread.join(timeout=30)
         assert not errors, errors[:3]
         assert observed, "readers never completed a brush"
+
+
+class TestCloseRace:
+    """Satellite regression: ``close()`` used to flip the closed flag and
+    shut the pools down outside the submit lock, so a concurrent
+    ``submit_query``/``submit_write`` could slip between the check and
+    the enqueue and surface a bare ``RuntimeError`` from the dead pool
+    (or enqueue a write behind the shutdown sentinel, leaving its future
+    unresolved forever).  Every racing submit must either succeed or
+    raise ``ServingError`` — nothing else, and nothing may hang."""
+
+    ROUNDS = 20
+    THREADS = 4
+
+    def test_submit_vs_close_never_raises_bare_runtime_error(self):
+        for _ in range(self.ROUNDS):
+            db = _make_db()
+            server = db.serve(readers=2)
+            server.sql(BRUSH, params={"bars": [0]})  # prepare once
+            unexpected = []
+            futures = []
+            start = threading.Barrier(self.THREADS + 1)
+
+            def hammer(slot):
+                try:
+                    start.wait(timeout=10)
+                    for i in range(50):
+                        if slot % 2:
+                            futures.append(
+                                server.submit_query(BRUSH, params={"bars": [0]})
+                            )
+                        else:
+                            futures.append(server.submit_write(lambda d: None))
+                except ServingError:
+                    return  # the only acceptable refusal
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    unexpected.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(slot,))
+                for slot in range(self.THREADS)
+            ]
+            for t in threads:
+                t.start()
+            start.wait(timeout=10)
+            server.close()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive(), "hammer thread hung after close()"
+            assert not unexpected, unexpected[:3]
+            # Every future accepted before the close must resolve (a
+            # write enqueued behind the shutdown sentinel never would).
+            for future in futures:
+                future.result(timeout=30)
+
+
+class TestSqlBatch:
+    """Multi-brush batching through the serving layer: N bindings of one
+    statement answered in one coalesced pass, bit-identical to N
+    independent ``sql`` calls — including on every fallback route."""
+
+    COUNT_BRUSH = (
+        "SELECT z, COUNT(*) AS c FROM Lb(v, 't', :bars) GROUP BY z"
+    )
+
+    def _assert_batch_matches_singles(self, server, stmt, params_list):
+        singles = [server.sql(stmt, params=p) for p in params_list]
+        batched = server.sql_batch(stmt, params_list)
+        assert len(batched) == len(singles)
+        for single, batch in zip(singles, batched):
+            assert single.table.schema == batch.table.schema
+            assert single.table.to_rows() == batch.table.to_rows()
+
+    def test_batched_equals_singles_on_coalesced_path(self):
+        db = _make_db()
+        params_list = [
+            {"bars": np.array([0, 1], dtype=np.int64)},
+            {"bars": np.array([1, 2], dtype=np.int64)},
+            {"bars": np.array([2], dtype=np.int64)},
+            {"bars": np.empty(0, dtype=np.int64)},   # brush-clear
+            {"bars": np.array([0, 0, 2], dtype=np.int64)},  # duplicates
+        ]
+        with db.serve(readers=2) as server:
+            self._assert_batch_matches_singles(
+                server, self.COUNT_BRUSH, params_list
+            )
+
+    def test_batched_equals_singles_on_fallback_statement(self):
+        # SUM(w) is not COUNT(*)-only, so the batch path must fall back
+        # to per-binding execution and still agree.
+        db = _make_db()
+        params_list = [{"bars": [0]}, {"bars": [1, 2]}]
+        with db.serve(readers=2) as server:
+            self._assert_batch_matches_singles(server, BRUSH, params_list)
+
+    def test_disagreeing_shared_params_fall_back(self):
+        db = _make_db()
+        stmt = (
+            "SELECT z, COUNT(*) AS c FROM Lb(v, 't', :bars) "
+            "WHERE w >= :cut GROUP BY z"
+        )
+        params_list = [
+            {"bars": [0, 1], "cut": 1.0},
+            {"bars": [0, 1], "cut": 4.0},  # same bars, different cut
+        ]
+        with db.serve(readers=2) as server:
+            self._assert_batch_matches_singles(server, stmt, params_list)
+
+    def test_single_binding_and_empty_list(self):
+        db = _make_db()
+        with db.serve(readers=2) as server:
+            assert server.sql_batch(self.COUNT_BRUSH, []) == []
+            self._assert_batch_matches_singles(
+                server, self.COUNT_BRUSH, [{"bars": [1]}]
+            )
+
+    def test_missing_param_raises(self):
+        from repro.errors import PlanError
+
+        db = _make_db()
+        with db.serve(readers=2) as server:
+            with pytest.raises(PlanError, match="bars"):
+                server.sql_batch(self.COUNT_BRUSH, [{"bars": [0]}, {}])
+
+    def test_batch_respects_pinned_snapshot(self):
+        db = _make_db()
+        with db.serve(readers=2) as server:
+            snap = server.snapshot()
+            before = server.sql_batch(
+                self.COUNT_BRUSH, [{"bars": [0]}, {"bars": [1]}],
+                snapshot=snap,
+            )
+            server.write(lambda d: _bump_w(d, 50.0))
+            after = server.sql_batch(
+                self.COUNT_BRUSH, [{"bars": [0]}, {"bars": [1]}],
+                snapshot=snap,
+            )
+            for b, a in zip(before, after):
+                assert b.table.to_rows() == a.table.to_rows()

@@ -3,13 +3,31 @@ from the materialize-then-scan path — identical output rows *and* identical
 captured lineage — across random tables, predicates, aggregates, and rid
 subsets, on both backends."""
 
+import os
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import Database
+from repro.api import Database, ExecOptions
 from repro.lineage.capture import CaptureMode
 from repro.storage import Table
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_morsels():
+    """Shrink morsels to 5 rows so the ≤40-row Hypothesis tables split
+    into several morsels and ``parallel=4`` exercises real boundaries
+    (including ones cutting through a group key's run)."""
+    old = os.environ.get("REPRO_MORSEL_SIZE")
+    os.environ["REPRO_MORSEL_SIZE"] = "5"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_MORSEL_SIZE", None)
+    else:
+        os.environ["REPRO_MORSEL_SIZE"] = old
+
 
 rows_strategy = st.lists(
     st.tuples(
@@ -54,8 +72,7 @@ def _db(rows):
     )
     db.sql(
         "SELECT k, COUNT(*) AS c FROM t GROUP BY k",
-        capture=CaptureMode.INJECT,
-        name="prev",
+        options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
     )
     return db
 
@@ -90,9 +107,12 @@ def _assert_same_lineage(db, pushed, materialized):
     st.integers(min_value=0, max_value=len(STATEMENTS) - 1),
     st.lists(st.integers(min_value=0, max_value=4), max_size=6),
     st.sampled_from(["vector", "compiled"]),
+    st.sampled_from([1, 4]),
 )
 @settings(deadline=None)  # example budget governed by the profile
-def test_pushed_path_matches_materialized(rows, cut, stmt_idx, subset, backend):
+def test_pushed_path_matches_materialized(
+    rows, cut, stmt_idx, subset, backend, parallel
+):
     db = _db(rows)
     prev = db.result("prev")
     stmt = STATEMENTS[stmt_idx]
@@ -101,15 +121,22 @@ def test_pushed_path_matches_materialized(rows, cut, stmt_idx, subset, backend):
     params = {"cut": cut, "bars": rids, "rows": rids}
 
     plan = db.parse(stmt)
+    # The pushed arm runs at the sampled worker count, the materialized
+    # arm always serially: rows AND lineage must stay bit-identical, so
+    # this doubles as the morsel determinism property.
     pushed = db.execute(
-        plan, capture=CaptureMode.INJECT, params=params, backend=backend
+        plan,
+        params=params,
+        options=ExecOptions(
+            capture=CaptureMode.INJECT, backend=backend, parallel=parallel
+        ),
     )
     materialized = db.execute(
         plan,
-        capture=CaptureMode.INJECT,
         params=params,
-        backend=backend,
-        late_materialize=False,
+        options=ExecOptions(
+            capture=CaptureMode.INJECT, backend=backend, late_materialize=False
+        ),
     )
     assert pushed.timings.get("late_mat_subtrees") == 1.0
     assert "late_mat_subtrees" not in materialized.timings
@@ -128,9 +155,13 @@ def test_backends_agree_on_pushed_path(rows, cut, stmt_idx):
     db = _db(rows)
     stmt = STATEMENTS[stmt_idx]
     params = {"cut": cut, "bars": [0], "rows": [0]}
-    vec = db.sql(stmt, capture=CaptureMode.INJECT, params=params)
+    vec = db.sql(
+        stmt, params=params, options=ExecOptions(capture=CaptureMode.INJECT)
+    )
     comp = db.sql(
-        stmt, capture=CaptureMode.INJECT, params=params, backend="compiled"
+        stmt,
+        params=params,
+        options=ExecOptions(capture=CaptureMode.INJECT, backend="compiled"),
     )
     assert vec.table.to_rows() == comp.table.to_rows()
     _assert_same_lineage(db, vec, comp)

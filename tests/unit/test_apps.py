@@ -133,6 +133,36 @@ class TestConcurrentCrossfilter:
                 assert np.array_equal(before[dim], after[dim])
         session.close()
 
+    def test_brush_batch_matches_per_user_brushes(self, ontime):
+        db, session = self._declarative(ontime)
+        with db.serve(readers=2) as server:
+            concurrent = session.serve(server)
+            bars_list = [[0, 1], [1, 2], [2], [], [0, 0, 3]]
+            snap = server.snapshot()
+            batched = concurrent.brush_batch(
+                "carrier", bars_list, snapshot=snap
+            )
+            assert len(batched) == len(bars_list)
+            for bars, per_user in zip(bars_list, batched):
+                single = concurrent.brush_many(
+                    "carrier", list(dict.fromkeys(bars)), snapshot=snap
+                )
+                assert sorted(per_user) == sorted(single)
+                for dim, counts in single.items():
+                    assert np.array_equal(per_user[dim], counts)
+        session.close()
+
+    def test_brush_batch_validates_inputs(self, ontime):
+        db, session = self._declarative(ontime)
+        with db.serve(readers=1) as server:
+            concurrent = session.serve(server)
+            assert concurrent.brush_batch("carrier", []) == []
+            with pytest.raises(WorkloadError, match="unknown dimension"):
+                concurrent.brush_batch("altitude", [[0]])
+            with pytest.raises(WorkloadError, match="out of range"):
+                concurrent.brush_batch("carrier", [[0], [10_000]])
+        session.close()
+
     def test_requires_declarative_lineage_backed_session(self, ontime):
         direct = CrossfilterSession(ontime, ("carrier",), "bt")
         db, session = self._declarative(ontime)

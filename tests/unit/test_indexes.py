@@ -199,3 +199,53 @@ class TestCompose:
         right = compose(a, compose(b, c))
         for k in range(a.num_keys):
             assert np.array_equal(left.lookup(k), right.lookup(k))
+
+
+class TestIsPartitioned:
+    """The disjointness property the multi-brush per-bar decomposition
+    relies on: every source rid in at most one bucket."""
+
+    def test_from_group_ids_is_partition_by_construction(self):
+        index = RidIndex.from_group_ids(np.array([1, 0, 1, 2, 0]), 3)
+        assert index.is_partitioned()
+
+    def test_disjoint_buckets(self):
+        index = RidIndex.from_buckets(
+            [np.array([5, 1]), np.array([3]), np.array([0, 2])]
+        )
+        assert index.is_partitioned()
+
+    def test_overlapping_buckets(self):
+        index = RidIndex.from_buckets([np.array([0, 1]), np.array([1, 2])])
+        assert not index.is_partitioned()
+
+    def test_duplicate_within_one_bucket(self):
+        index = RidIndex.from_buckets([np.array([4, 4])])
+        assert not index.is_partitioned()
+
+    def test_empty_index(self):
+        assert RidIndex.empty(3).is_partitioned()
+
+    def test_result_is_cached(self):
+        index = RidIndex.from_buckets([np.array([0]), np.array([1])])
+        assert index.is_partitioned()
+        assert index._partitioned is True
+
+    def test_sparse_rids_fall_back_to_unique(self):
+        # Span far beyond 4x the edge count: exercises the np.unique arm.
+        index = RidIndex.from_buckets(
+            [np.array([0]), np.array([10_000_000])]
+        )
+        assert index.is_partitioned()
+        dup = RidIndex.from_buckets(
+            [np.array([10_000_000]), np.array([10_000_000])]
+        )
+        assert not dup.is_partitioned()
+
+    def test_rid_array_distinct_targets(self):
+        arr = RidArray(np.array([3, NO_MATCH, 0, 2]))
+        assert arr.is_partitioned()
+
+    def test_rid_array_shared_target(self):
+        arr = RidArray(np.array([3, 3, 0]))
+        assert not arr.is_partitioned()

@@ -1,0 +1,230 @@
+"""Morsel execution substrate: partitioning, worker resolution, and the
+deterministic-merge guarantee (parallel output bit-identical to serial),
+plus the batch-path subset grouping kernel it feeds."""
+
+import numpy as np
+import pytest
+
+from repro.api import Database, ExecOptions
+from repro.errors import InvalidArgumentError
+from repro.exec import morsel
+from repro.exec.vector.kernels import factorize, subset_groups
+from repro.storage import Table
+
+
+class TestMorselRanges:
+    def test_empty_input_yields_no_morsels(self):
+        assert morsel.morsel_ranges(0, 8) == []
+        assert morsel.morsel_ranges(-3, 8) == []
+
+    def test_exact_multiple(self):
+        assert morsel.morsel_ranges(16, 8) == [(0, 8), (8, 16)]
+
+    def test_short_tail(self):
+        assert morsel.morsel_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_smaller_than_one_morsel(self):
+        assert morsel.morsel_ranges(3, 8) == [(0, 3)]
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "2")
+        assert morsel.morsel_ranges(5) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "zero")
+        with pytest.raises(InvalidArgumentError, match="int"):
+            morsel.morsel_size()
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "0")
+        with pytest.raises(InvalidArgumentError, match=">= 1"):
+            morsel.morsel_size()
+
+
+class TestResolveParallel:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert morsel.resolve_parallel(None) == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "4")
+        assert morsel.resolve_parallel(None) == 4
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "4")
+        assert morsel.resolve_parallel(2) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "4"])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(InvalidArgumentError):
+            morsel.resolve_parallel(bad)
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "many")
+        with pytest.raises(InvalidArgumentError, match="int"):
+            morsel.resolve_parallel(None)
+
+
+class TestRunTasks:
+    def test_results_in_submission_order(self):
+        thunks = [lambda i=i: i * i for i in range(20)]
+        assert morsel.run_tasks(thunks, 4) == [i * i for i in range(20)]
+
+    def test_serial_when_one_worker(self):
+        counter = morsel.MorselCounter()
+        morsel.run_tasks([lambda: 1, lambda: 2], 1, counter)
+        assert counter.tasks == 0  # nothing dispatched to the pool
+
+    def test_counter_counts_dispatched_tasks(self):
+        counter = morsel.MorselCounter()
+        morsel.run_tasks([lambda: 1, lambda: 2, lambda: 3], 2, counter)
+        assert counter.tasks == 3
+
+    def test_worker_exception_propagates(self):
+        def boom():
+            raise ValueError("worker failure")
+
+        with pytest.raises(ValueError, match="worker failure"):
+            morsel.run_tasks([lambda: 1, boom, lambda: 3], 2)
+
+
+class TestKernelDeterminism:
+    """Parallel kernels must be element-identical to serial for any
+    worker count — the contract the plan-equivalence harnesses ride on."""
+
+    def test_gather_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "7")
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 1000, 100)
+        indices = rng.integers(0, 100, 53)
+        for workers in (1, 2, 4, 9):
+            assert np.array_equal(
+                morsel.gather(values, indices, workers), values[indices]
+            )
+
+    def test_gather_object_dtype(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "3")
+        values = np.array(["a", "bb", "ccc", "dd", "e"], dtype=object)
+        indices = np.array([4, 0, 2, 2, 1, 3, 0], dtype=np.int64)
+        assert morsel.gather(values, indices, 4).tolist() == [
+            "e", "a", "ccc", "ccc", "bb", "dd", "a",
+        ]
+
+    def test_gather_empty(self):
+        out = morsel.gather(
+            np.arange(10), np.empty(0, dtype=np.int64), workers=4
+        )
+        assert out.shape == (0,)
+
+    def test_bincount_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "5")
+        rng = np.random.default_rng(6)
+        ids = rng.integers(0, 7, 64)
+        for workers in (1, 2, 4):
+            got = morsel.bincount(ids, 7, workers)
+            assert np.array_equal(got, np.bincount(ids, minlength=7))
+            assert got.dtype == np.int64
+
+
+class TestParallelExecutionEquivalence:
+    """End-to-end: ``ExecOptions(parallel=4)`` output is bit-identical
+    to serial on both backends, with morsel boundaries forced inside the
+    table (including through the middle of a group key's run)."""
+
+    @staticmethod
+    def _db():
+        db = Database()
+        # With REPRO_MORSEL_SIZE=5 the run of k=1 (positions 3..8) and
+        # the run of k=2 (positions 9..13) both straddle a boundary.
+        k = np.array([0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2], dtype=np.int64)
+        v = np.arange(14, dtype=np.int64)
+        db.create_table("t", Table({"k": k, "v": v}))
+        return db
+
+    @pytest.mark.parametrize("backend", ["vector", "compiled"])
+    def test_groupby_boundary_splits_key_run(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "5")
+        db = self._db()
+        stmt = "SELECT k, COUNT(*) AS c, SUM(v) AS s FROM t GROUP BY k"
+        serial = db.sql(stmt, options=ExecOptions(backend=backend, parallel=1))
+        par = db.sql(stmt, options=ExecOptions(backend=backend, parallel=4))
+        assert serial.table.to_rows() == par.table.to_rows()
+        if backend == "vector":
+            # The vector GROUP BY bincounts morsel-parallel; the compiled
+            # backend parallelizes the shared pushed path only.
+            assert par.timings.get("morsel_tasks", 0) > 0
+        assert "morsel_tasks" not in serial.timings
+
+    @pytest.mark.parametrize("backend", ["vector", "compiled"])
+    def test_pushed_lineage_path_dispatches_morsels(self, monkeypatch, backend):
+        from repro.lineage.capture import CaptureMode
+
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "5")
+        db = self._db()
+        db.sql(
+            "SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+            options=ExecOptions(capture=CaptureMode.INJECT, name="prev"),
+        )
+        stmt = "SELECT v, COUNT(*) AS c FROM Lb(prev, 't', :bars) GROUP BY v"
+        params = {"bars": [1, 2]}
+        serial = db.sql(
+            stmt, params=params, options=ExecOptions(backend=backend, parallel=1)
+        )
+        par = db.sql(
+            stmt, params=params, options=ExecOptions(backend=backend, parallel=4)
+        )
+        assert serial.table.to_rows() == par.table.to_rows()
+        assert par.timings.get("morsel_tasks", 0) > 0
+        assert "morsel_tasks" not in serial.timings
+
+    @pytest.mark.parametrize("backend", ["vector", "compiled"])
+    def test_table_smaller_than_one_morsel(self, backend):
+        # Default 64Ki morsel over a 14-row table: one morsel, no pool.
+        db = self._db()
+        stmt = "SELECT k, COUNT(*) AS c FROM t GROUP BY k"
+        serial = db.sql(stmt, options=ExecOptions(backend=backend, parallel=1))
+        par = db.sql(stmt, options=ExecOptions(backend=backend, parallel=4))
+        assert serial.table.to_rows() == par.table.to_rows()
+
+    def test_empty_table_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "5")
+        db = Database()
+        db.create_table(
+            "t",
+            Table({
+                "k": np.empty(0, dtype=np.int64),
+                "v": np.empty(0, dtype=np.int64),
+            }),
+        )
+        res = db.sql(
+            "SELECT k, COUNT(*) AS c FROM t GROUP BY k",
+            options=ExecOptions(parallel=4),
+        )
+        assert res.table.num_rows == 0
+
+
+class TestSubsetGroups:
+    """The batch path's subset grouping must reproduce exactly what
+    factorize + bincount would build from the subset's own key values."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_factorize_on_subset(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 6, 80)
+        codes, num_codes, reps = factorize([keys])
+        pick = np.sort(rng.choice(80, size=31, replace=False))
+        group_codes, counts = subset_groups(codes[pick], num_codes)
+        # Oracle: factorize the subset's own gathered keys.
+        sub_codes, sub_n, sub_reps = factorize([keys[pick]])
+        assert np.array_equal(keys[reps][group_codes], keys[pick][sub_reps])
+        assert np.array_equal(
+            counts, np.bincount(sub_codes, minlength=sub_n)
+        )
+
+    def test_empty_subset(self):
+        group_codes, counts = subset_groups(np.empty(0, dtype=np.int64), 5)
+        assert group_codes.size == 0 and counts.size == 0
+
+    def test_first_occurrence_order(self):
+        codes = np.array([3, 3, 0, 2, 0, 3], dtype=np.int64)
+        group_codes, counts = subset_groups(codes, 4)
+        assert group_codes.tolist() == [3, 0, 2]
+        assert counts.tolist() == [3, 2, 1]
